@@ -1,0 +1,264 @@
+// E13 — Design-choice ablations (paper §2.4, §6.1, Observation 1).
+//
+// Four knobs the paper discusses qualitatively, quantified:
+//   (a) redundancy R — the backup links kept per slot ("in the current
+//       implementation, two" backups, §2.4): their cost in space and
+//       their value as instant failover when primaries die;
+//   (b) root multiplicity + query retry (Observation 1): tolerance of
+//       root failures *without* waiting for soft-state republish;
+//   (c) PRR-style secondary search during location (§2.4): stretch
+//       improvement vs probe traffic;
+//   (d) the power of indirection (§6.1): Tapestry's pointer trails vs a
+//       plain store-at-root DHT on the *identical* locality-optimal mesh.
+#include "bench_util.h"
+#include "src/baselines/root_store.h"
+#include "src/baselines/tapestry_scheme.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+constexpr std::size_t kNodes = 512;
+
+// ------------------------------------------------------- (a) redundancy R
+
+struct RResult {
+  unsigned R;
+  double entries_per_node;
+  double repair_msgs_per_route;  // lazy-repair traffic paid after failures
+};
+
+RResult run_redundancy(unsigned R, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", kNodes + 8, rng);
+  TapestryParams params = default_params();
+  params.redundancy = R;
+  auto net = build_static(*space, kNodes, params, seed);
+  const double entries =
+      double(net->total_table_entries()) / double(kNodes);
+
+  // Kill 15% of nodes, then route from everywhere: every dead-primary
+  // encounter triggers lazy repair.  With backups (R > 1), a stored
+  // secondary takes over for the price of a probe; with R = 1, every
+  // emptied slot escalates to replacement searches (local peers, then a
+  // prefix multicast) — the traffic difference is what R buys.
+  Rng wl(seed ^ 0x99);
+  for (std::size_t i = 0; i < kNodes * 15 / 100; ++i) {
+    const auto ids = net->node_ids();
+    net->fail(ids[wl.next_u64(ids.size())]);
+  }
+  const auto ids = net->node_ids();
+  Trace t;
+  const int kRoutes = 300;
+  for (int q = 0; q < kRoutes; ++q) {
+    const Guid guid = bench_guid(*net, 9000 + q);
+    const NodeId src = ids[wl.next_u64(ids.size())];
+    (void)net->route_to_root(src, guid, &t);
+  }
+  return RResult{R, entries, double(t.messages()) / kRoutes};
+}
+
+// --------------------------------- (b) multi-root retry (Observation 1)
+
+struct RootResult {
+  unsigned roots;
+  bool retry;
+  double success_after_root_failure;
+  double locate_msgs;
+};
+
+RootResult run_roots(unsigned roots, bool retry, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", kNodes + 8, rng);
+  TapestryParams params = default_params();
+  params.root_multiplicity = roots;
+  params.retry_all_roots = retry;
+  auto net = build_static(*space, kNodes, params, seed);
+
+  Rng wl(seed ^ 0x22);
+  std::size_t ok = 0, total = 0;
+  Summary msgs;
+  for (int obj = 0; obj < 120; ++obj) {
+    const Guid guid = bench_guid(*net, 400 + obj);
+    const auto ids = net->node_ids();  // refresh: earlier roots have died
+    const NodeId server = ids[wl.next_u64(ids.size())];
+    net->publish(server, guid);
+    // Fail the primary root (salt 0) unless it is the server itself.
+    const NodeId root0 = net->surrogate_root(salted_guid(guid, 0));
+    if (root0 == server || !net->contains(root0)) continue;
+    net->fail(root0);
+    for (int q = 0; q < 3; ++q) {
+      auto live_ids = net->node_ids();
+      const NodeId client = live_ids[wl.next_u64(live_ids.size())];
+      Trace t;
+      const LocateResult r = net->locate(client, guid, &t);
+      ++total;
+      if (r.found) ++ok;
+      msgs.add(double(t.messages()));
+    }
+    // Restore invariants for the next object (oracle reset).
+    net->heartbeat_sweep();
+    net->republish_all();
+  }
+  return RootResult{roots, retry, double(ok) / double(total), msgs.mean()};
+}
+
+// ------------------------------------- (c) PRR secondary search (§2.4)
+
+struct SearchResult {
+  bool enabled;
+  double stretch_near;  // ring-adjacent pairs
+  double stretch_all;
+  double msgs_per_locate;
+  double msgs_per_publish;
+};
+
+SearchResult run_search(bool enabled, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", kNodes + 8, rng);
+  TapestryParams params = default_params();
+  params.prr_secondary_search = enabled;
+  auto net = build_static(*space, kNodes, params, seed);
+  Rng wl(seed ^ 0x33);
+  const auto ids = net->node_ids();
+  Summary near, all, msgs, pub_msgs;
+  for (int q = 0; q < 400; ++q) {
+    const Guid guid = bench_guid(*net, 700 + q);
+    const std::size_t si = wl.next_u64(ids.size());
+    Trace pt;
+    net->publish(ids[si], guid, &pt);
+    pub_msgs.add(double(pt.messages()));
+    // Near pair: ring-adjacent location; far pair: uniform.
+    const std::size_t near_ci = (si + 1) % ids.size();
+    const std::size_t far_ci = wl.next_u64(ids.size());
+    Trace t;
+    const LocateResult rn = net->locate(ids[near_ci], guid, &t);
+    const LocateResult rf = net->locate(ids[far_ci], guid, &t);
+    msgs.add(double(t.messages()) / 2.0);
+    const double dn = net->distance(ids[near_ci], ids[si]);
+    const double df = net->distance(ids[far_ci], ids[si]);
+    if (rn.found && dn > 1e-9) near.add(rn.latency / dn);
+    if (rf.found && df > 1e-9) all.add(rf.latency / df);
+  }
+  return SearchResult{enabled, near.mean(), all.mean(), msgs.mean(),
+                      pub_msgs.mean()};
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E13 — design-choice ablations",
+               "§2.4 backups & secondary search; Observation 1 multi-root "
+               "retry; §6.1 the power of indirection");
+
+  // (a) redundancy R
+  {
+    const std::vector<unsigned> rs{1, 2, 3, 4};
+    const auto results = run_trials<RResult>(rs.size(), [&](std::size_t i) {
+      return run_redundancy(rs[i], 6100 + i);
+    });
+    std::printf("\n(a) redundancy R: backup links per slot (§2.4)\n");
+    TextTable t({"R", "entries/node", "msgs/route after 15% failures"});
+    for (const auto& r : results)
+      t.add_row({fmt(std::size_t{r.R}), fmt(r.entries_per_node, 1),
+                 fmt(r.repair_msgs_per_route, 1)});
+    t.print();
+  }
+
+  // (b) multi-root retry
+  {
+    struct Cfg {
+      unsigned roots;
+      bool retry;
+    };
+    const std::vector<Cfg> cfgs{{1, false}, {2, false}, {2, true}, {4, true}};
+    const auto results = run_trials<RootResult>(cfgs.size(), [&](std::size_t i) {
+      return run_roots(cfgs[i].roots, cfgs[i].retry, 6200 + i);
+    });
+    std::printf("\n(b) root multiplicity + retry (Observation 1): queries "
+                "issued right after the salt-0 root fails, before any "
+                "republish\n");
+    TextTable t({"roots", "retry", "success", "msgs/locate"});
+    for (const auto& r : results)
+      t.add_row({fmt(std::size_t{r.roots}), r.retry ? "yes" : "no",
+                 fmt(r.success_after_root_failure * 100, 1) + "%",
+                 fmt(r.locate_msgs, 1)});
+    t.print();
+  }
+
+  // (c) PRR secondary search
+  {
+    const std::vector<bool> modes{false, true};
+    const auto results = run_trials<SearchResult>(modes.size(), [&](std::size_t i) {
+      return run_search(modes[i], 6300 + i);
+    });
+    std::printf("\n(c) PRR-style secondary search during location (§2.4)\n");
+    TextTable t({"secondary search", "stretch (adjacent pairs)",
+                 "stretch (uniform pairs)", "msgs/locate", "msgs/publish"});
+    for (const auto& r : results)
+      t.add_row({r.enabled ? "on (PRR)" : "off (Tapestry)",
+                 fmt(r.stretch_near, 2), fmt(r.stretch_all, 2),
+                 fmt(r.msgs_per_locate, 1), fmt(r.msgs_per_publish, 1)});
+    t.print();
+  }
+
+  // (d) power of indirection
+  {
+    Rng rng(6400);
+    auto space = make_space("ring", kNodes + 8, rng);
+    TapestryScheme tap_scheme(*space, default_params(), 6400);
+    RootStoreOverlay root_scheme(*space, default_params(), 6400);
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      tap_scheme.add_node(i, nullptr);
+      root_scheme.add_node(i, nullptr);
+    }
+    tap_scheme.network().rebuild_static_tables();
+    root_scheme.finalize();
+
+    Rng wl(6401);
+    Summary tap_near, root_near, tap_all, root_all;
+    for (int q = 0; q < 500; ++q) {
+      const std::uint64_t key = 12000 + q;
+      const std::size_t server = wl.next_u64(kNodes);
+      tap_scheme.publish(server, key, nullptr);
+      root_scheme.publish(server, key, nullptr);
+      for (const bool near : {true, false}) {
+        const std::size_t client =
+            near ? (server + 1) % kNodes : wl.next_u64(kNodes);
+        if (client == server) continue;
+        const double direct = space->distance(client, server);
+        if (direct < 1e-9) continue;
+        const SchemeLocate rt = tap_scheme.locate(client, key, nullptr);
+        const SchemeLocate rr = root_scheme.locate(client, key, nullptr);
+        if (rt.found) (near ? tap_near : tap_all).add(rt.latency / direct);
+        if (rr.found) (near ? root_near : root_all).add(rr.latency / direct);
+      }
+    }
+    std::printf("\n(d) the power of indirection (§6.1): identical mesh, "
+                "pointer trails vs store-at-root\n");
+    TextTable t({"object mapping", "stretch (adjacent pairs)",
+                 "stretch (uniform pairs)"});
+    t.add_row({"pointer trail (tapestry)", fmt(tap_near.mean(), 1),
+               fmt(tap_all.mean(), 2)});
+    t.add_row({"store-at-root (plain DHT)", fmt(root_near.mean(), 1),
+               fmt(root_all.mean(), 2)});
+    t.print();
+  }
+
+  std::printf(
+      "\nreading guide: (a) each extra backup costs ~b entries per level\n"
+      "and slashes post-failure repair traffic — R=3 (the paper's\n"
+      "primary+two-backups) is the knee; (b) Observation 1's retry turns\n"
+      "root failure from a ~1/roots outage into a few extra messages;\n"
+      "(c) reproduces §2.4's *simplification argument*: with R-closest\n"
+      "tables, the query's primaries already sit on the publish path, so\n"
+      "PRR's secondary machinery mostly adds probe/publish traffic —\n"
+      "empirical support for Tapestry's primary-only design 'performing\n"
+      "well in practice'; (d) pointer trails, not the mesh, deliver the\n"
+      "locality: store-at-root on the same mesh loses the nearby-object\n"
+      "advantage entirely (§6.1).\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// E7 — Availability under churn with soft state (paper §4.3, §5, §6.5).
+//
+// Claims reproduced:
+//   * voluntary departures never interrupt availability (§5.1);
+//   * involuntary failures make objects rooted at (or pathed through) the
+//     corpse unavailable until the next republish interval, then recover
+//     (§5.2 + §6.5's soft-state argument);
+//   * shorter republish intervals buy higher availability at higher
+//     maintenance traffic — the soft-state trade-off.
+//
+// Setup: event-driven churn (Poisson joins/leaves/failures) over a 256-node
+// network with 128 objects; lookups sampled continuously; a maintenance
+// timer fires the heartbeat sweep + republish at the configured interval.
+#include "bench_util.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+struct Result {
+  double republish_interval;
+  double availability_all;     // success rate over the whole run
+  double availability_fail;    // success rate in windows after failures
+  double maintenance_msgs;     // republish+sweep traffic per interval
+  std::size_t lookups;
+};
+
+Result run(double interval, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", 512, rng);
+  TapestryParams params = default_params();
+  params.pointer_ttl = 2.0 * interval;
+  auto net = grow(*space, 256, params, seed);
+
+  std::vector<Location> free_locs;
+  for (std::size_t i = 256; i < 512; ++i) free_locs.push_back(i);
+
+  // Objects with their live servers (mirror of ground truth).
+  struct Obj {
+    Guid guid;
+    NodeId server;
+    bool alive = true;
+  };
+  std::vector<Obj> objects;
+  Rng wl(seed ^ 0x0b1ec7);
+  {
+    const auto ids = net->node_ids();
+    for (int i = 0; i < 128; ++i) {
+      Obj o{bench_guid(*net, 500 + i), ids[wl.next_u64(ids.size())], true};
+      net->publish(o.server, o.guid);
+      objects.push_back(o);
+    }
+  }
+
+  const double horizon = 40.0;
+  double last_failure = -1e9;
+  std::size_t ok_all = 0, total_all = 0, ok_fail = 0, total_fail = 0;
+  Trace maintenance;
+  std::size_t maintenance_rounds = 0;
+
+  double next_churn = 0.5;
+  double next_lookup = 0.05;
+  double next_maint = interval;
+  auto& q = net->events();
+  while (q.now() < horizon) {
+    const double t =
+        std::min(std::min(next_churn, next_lookup), next_maint);
+    q.run_until(t);
+    if (t == next_churn) {
+      next_churn += rng.exponential(2.0);
+      const double dice = rng.next_double();
+      const auto ids = net->node_ids();
+      if (dice < 0.4 && !free_locs.empty()) {
+        net->join(free_locs.back());
+        free_locs.pop_back();
+      } else if (dice < 0.7 && net->size() > 128) {
+        // Voluntary departure of a non-server node.
+        NodeId victim = ids[rng.next_u64(ids.size())];
+        bool is_server = false;
+        for (const Obj& o : objects)
+          if (o.alive && o.server == victim) is_server = true;
+        if (!is_server) {
+          free_locs.push_back(net->node(victim).location());
+          net->leave(victim);
+        }
+      } else if (net->size() > 128) {
+        // Involuntary failure: any node, including servers.
+        NodeId victim = ids[rng.next_u64(ids.size())];
+        net->fail(victim);
+        for (Obj& o : objects)
+          if (o.server == victim) o.alive = false;
+        last_failure = q.now();
+      }
+    } else if (t == next_lookup) {
+      next_lookup += 0.05;
+      const auto ids = net->node_ids();
+      const Obj& o = objects[wl.next_u64(objects.size())];
+      if (!o.alive) continue;
+      const bool found =
+          net->locate(ids[wl.next_u64(ids.size())], o.guid).found;
+      ++total_all;
+      if (found) ++ok_all;
+      if (q.now() - last_failure < interval) {
+        ++total_fail;
+        if (found) ++ok_fail;
+      }
+    } else {
+      next_maint += interval;
+      ++maintenance_rounds;
+      net->heartbeat_sweep(&maintenance);
+      net->expire_pointers();
+      net->republish_all(&maintenance);
+    }
+  }
+
+  Result r;
+  r.republish_interval = interval;
+  r.availability_all = total_all ? double(ok_all) / total_all : 1.0;
+  r.availability_fail = total_fail ? double(ok_fail) / total_fail : 1.0;
+  // Per simulated time unit, so intervals are comparable: sparser rounds
+  // are individually heavier (more corpses accumulate) but cheaper per
+  // unit time.
+  r.maintenance_msgs =
+      maintenance_rounds
+          ? double(maintenance.messages()) / (maintenance_rounds * interval)
+          : 0.0;
+  r.lookups = total_all;
+  return r;
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E7 — availability under churn",
+               "§4.3/§5/§6.5: objects stay available through voluntary "
+               "churn; failures recover at the republish boundary; shorter "
+               "soft-state intervals buy availability with traffic");
+
+  const std::vector<double> intervals{1.0, 2.0, 4.0, 8.0};
+  const auto results = run_trials<Result>(intervals.size(), [&](std::size_t i) {
+    return run(intervals[i], 9000 + i);
+  });
+
+  TextTable table({"republish interval", "availability (all)",
+                   "availability (post-failure window)",
+                   "maintenance msgs/time", "lookups"});
+  for (const Result& r : results)
+    table.add_row({fmt(r.republish_interval, 1),
+                   fmt(r.availability_all * 100.0, 2) + "%",
+                   fmt(r.availability_fail * 100.0, 2) + "%",
+                   fmt(r.maintenance_msgs, 0), fmt(r.lookups)});
+  table.print();
+  std::printf(
+      "\nreading guide: overall availability stays high for every\n"
+      "interval (voluntary churn never interrupts service); the\n"
+      "post-failure window column degrades as the republish interval\n"
+      "grows — the paper's soft-state trade-off made quantitative.\n");
+  return 0;
+}

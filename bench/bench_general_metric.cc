@@ -1,0 +1,111 @@
+// E8 — Object location in general metric spaces (paper §7, Theorem 7).
+//
+// Claims reproduced:
+//   * the PRR v.0 sampling scheme always finds published objects in any
+//     metric (the anchor level is a deterministic backstop);
+//   * stretch is polylogarithmic — the distance to the answering
+//     representative is O(d·log n) w.h.p., total latency O(d·log^2 n) —
+//     even on spaces whose expansion constant destroys the §3 machinery
+//     (high-dimensional cubes, two separated clusters);
+//   * average space is O(log^2 n) pointers per node.
+//
+// For contrast the same workloads run over Tapestry, whose stretch
+// guarantee silently degrades on such spaces (§6.3's worst case: it still
+// finds objects in O(log n) hops, but with no stretch bound).
+#include "bench_util.h"
+#include "src/baselines/general_metric.h"
+#include "src/baselines/tapestry_scheme.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+constexpr std::size_t kNodes = 512;
+
+struct Result {
+  std::string space_name;
+  std::string scheme;
+  double stretch_mean;
+  double stretch_p95;
+  double stretch_max;
+  double state_per_node;
+  double found_rate;
+};
+
+Result run(const std::string& space_kind, bool use_prr_v0,
+           std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space(space_kind, kNodes + 8, rng);
+  std::unique_ptr<LocationScheme> scheme;
+  if (use_prr_v0)
+    scheme = std::make_unique<GeneralMetricScheme>(*space, seed);
+  else
+    scheme = std::make_unique<TapestryScheme>(*space, default_params(), seed);
+  for (std::size_t i = 0; i < kNodes; ++i) scheme->add_node(i, nullptr);
+  scheme->finalize();
+
+  Rng wl(seed ^ 0x777);
+  Summary stretch;
+  std::size_t found = 0, queries = 0;
+  for (int q = 0; q < 1500; ++q) {
+    const std::uint64_t key = 3000 + q;
+    const std::size_t server = wl.next_u64(kNodes);
+    const std::size_t client = wl.next_u64(kNodes);
+    if (server == client) continue;
+    scheme->publish(server, key, nullptr);
+    const SchemeLocate r = scheme->locate(client, key, nullptr);
+    ++queries;
+    if (!r.found) continue;
+    ++found;
+    const double direct = space->distance(client, server);
+    if (direct > 1e-9) stretch.add(r.latency / direct);
+  }
+
+  Result res;
+  res.space_name = space->name();
+  res.scheme = scheme->name();
+  res.stretch_mean = stretch.mean();
+  res.stretch_p95 = stretch.percentile(95);
+  res.stretch_max = stretch.max();
+  res.state_per_node = double(scheme->total_state()) / double(kNodes);
+  res.found_rate = double(found) / double(queries);
+  return res;
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E8 — general-metric object location (PRR v.0)",
+               "§7 / Theorem 7: polylog stretch and O(log^2 n) average space "
+               "in arbitrary metrics");
+
+  std::vector<std::pair<std::string, bool>> configs;
+  for (const std::string& s :
+       {std::string("euclid6d"), std::string("two-cluster"),
+        std::string("ring")})
+    for (const bool prr : {true, false}) configs.emplace_back(s, prr);
+
+  const auto results = run_trials<Result>(configs.size(), [&](std::size_t i) {
+    return run(configs[i].first, configs[i].second, 4000 + i);
+  });
+
+  const double lg = std::log2(double(kNodes));
+  TextTable table({"space", "scheme", "stretch mean", "p95", "max",
+                   "state/node", "log2^2 n", "success"});
+  for (const Result& r : results)
+    table.add_row({r.space_name, r.scheme, fmt(r.stretch_mean, 2),
+                   fmt(r.stretch_p95, 1), fmt(r.stretch_max, 0),
+                   fmt(r.state_per_node, 0), fmt(lg * lg, 0),
+                   fmt(r.found_rate * 100.0, 1) + "%"});
+  table.print();
+  std::printf(
+      "\nreading guide: prr-v0's stretch stays within a small multiple of\n"
+      "log n on every space (Theorem 7), with state/node tracking\n"
+      "log2^2 n; tapestry is better on the growth-restricted ring but its\n"
+      "worst-case stretch blows up on the two-cluster space, where the\n"
+      "expansion property fails — exactly why §7 exists.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E3 — Node insertion cost scaling (paper §3.3 and §4.5).
+//
+// Claims reproduced:
+//   * O(log^2 n) messages per insertion w.h.p. (§4.5);
+//   * O(d log n) total network latency for building the neighbor table,
+//     where d is the network diameter (§3.3) — the level radii decrease
+//     geometrically, so total distance is dominated by the top level;
+//   * the acknowledged multicast contacts the α-prefix set, small in
+//     expectation (§4.5).
+//
+// We grow networks of doubling size, measure the cost of fresh joins at
+// each size, and fit messages against log2(n) and log2^2(n): the log^2 fit
+// should win (higher R^2) once past the small-n constant-dominated regime.
+#include "bench_util.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+struct Point {
+  std::size_t n;
+  double msgs;
+  double latency;
+  double diameter;
+};
+
+Point measure(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", n + 16, rng);
+  auto net = grow(*space, n, default_params(), seed);
+  Summary msgs, latency;
+  for (std::size_t i = 0; i < 12; ++i) {
+    Trace t;
+    net->join(n + i, std::nullopt, &t);
+    msgs.add(double(t.messages()));
+    latency.add(t.latency());
+  }
+  return Point{n, msgs.mean(), latency.mean(), 0.5 /* ring diameter */};
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E3 — insertion cost vs n",
+               "§4.5: O(log^2 n) messages per insert w.h.p.; §3.3: O(d log n)"
+               " latency for neighbor-table construction");
+
+  const std::vector<std::size_t> sizes{64, 128, 256, 512, 1024, 2048};
+  const auto points = run_trials<Point>(sizes.size(), [&](std::size_t i) {
+    return measure(sizes[i], 1000 + i);
+  });
+
+  TextTable table({"n", "msgs/join", "latency/join", "latency / (d·log2 n)"});
+  std::vector<double> lg, lg2, msgs;
+  for (const Point& p : points) {
+    const double l = std::log2(double(p.n));
+    lg.push_back(l);
+    lg2.push_back(l * l);
+    msgs.push_back(p.msgs);
+    table.add_row({fmt(p.n), fmt(p.msgs, 1), fmt(p.latency, 2),
+                   fmt(p.latency / (p.diameter * l), 2)});
+  }
+  table.print();
+
+  const LinearFit fit_log = fit_linear(lg, msgs);
+  const LinearFit fit_log2 = fit_linear(lg2, msgs);
+  std::printf("\nscaling fits for msgs/join:\n");
+  std::printf("  vs log2(n)   : slope %.1f, R^2 %.4f\n", fit_log.slope,
+              fit_log.r_squared);
+  std::printf("  vs log2(n)^2 : slope %.2f, R^2 %.4f\n", fit_log2.slope,
+              fit_log2.r_squared);
+  std::printf(
+      "\nreading guide: both fits are good at these sizes (constants\n"
+      "dominate below saturation of the per-level candidate neighborhood);\n"
+      "the growth factor between successive doublings falls well below 2,\n"
+      "ruling out linear cost.  The latency column normalized by d·log2 n\n"
+      "should be roughly flat (the §3.3 O(d log n) shape).\n");
+  return 0;
+}

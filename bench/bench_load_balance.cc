@@ -1,0 +1,89 @@
+// E10 — Load balance of surrogate roots (paper §2.3, §2.4).
+//
+// The paper notes that "the Tapestry Native Routing scheme may have better
+// load balancing properties" than the distributed PRR-like variant, which
+// always resolves holes toward numerically higher digits and therefore
+// concentrates root duty on high-digit node-IDs.  This experiment maps
+// 20,000 GUIDs to roots under both variants and reports the distribution
+// of root ownership (mean = uniform share, max share, coefficient of
+// variation) plus the share of the most loaded 1% of nodes.
+#include <algorithm>
+#include <map>
+
+#include "bench_util.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+struct Result {
+  std::string mode;
+  double max_over_mean;
+  double cv;
+  double top1pct_share;
+};
+
+Result run(RoutingMode mode, std::uint64_t seed) {
+  constexpr std::size_t kNodes = 1024;
+  constexpr int kGuids = 20000;
+  Rng rng(seed);
+  auto space = make_space("ring", kNodes + 8, rng);
+  TapestryParams params = default_params();
+  params.routing = mode;
+  auto net = build_static(*space, kNodes, params, seed);
+
+  std::map<std::uint64_t, std::size_t> owned;
+  for (int g = 0; g < kGuids; ++g) {
+    const Guid guid = bench_guid(*net, 70000 + g);
+    ++owned[net->surrogate_root(guid).value()];
+  }
+  std::vector<double> loads;
+  loads.reserve(owned.size());
+  for (const auto& [id, count] : owned) loads.push_back(double(count));
+  // Nodes owning zero roots matter for the distribution too.
+  while (loads.size() < kNodes) loads.push_back(0.0);
+  Summary s;
+  s.add_all(loads);
+  std::sort(loads.begin(), loads.end(), std::greater<>());
+  double top = 0;
+  const std::size_t top_count = kNodes / 100;
+  for (std::size_t i = 0; i < top_count; ++i) top += loads[i];
+
+  Result r;
+  r.mode = mode == RoutingMode::kTapestryNative ? "tapestry-native"
+                                                : "distributed-prr-like";
+  r.max_over_mean = s.max() / s.mean();
+  r.cv = s.stddev() / s.mean();
+  r.top1pct_share = top / double(kGuids);
+  return r;
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E10 — surrogate-root load balance",
+               "§2.3/§2.4: Tapestry native routing load-balances roots "
+               "better than the PRR-like highest-digit rule");
+
+  const std::vector<RoutingMode> modes{RoutingMode::kTapestryNative,
+                                       RoutingMode::kPrrLike};
+  const auto results = run_trials<Result>(modes.size(), [&](std::size_t i) {
+    return run(modes[i], 808 + i);
+  });
+
+  TextTable table({"routing variant", "max/mean root load", "coeff. of var.",
+                   "share owned by top 1% nodes"});
+  for (const Result& r : results)
+    table.add_row({r.mode, fmt(r.max_over_mean, 1), fmt(r.cv, 2),
+                   fmt(r.top1pct_share * 100.0, 1) + "%"});
+  table.print();
+  std::printf(
+      "\nreading guide: the native wrap-around rule spreads hole traffic\n"
+      "over the digit space; the PRR-like rule funnels it to numerically\n"
+      "high IDs, inflating max/mean and the top-1%% share — the imbalance\n"
+      "the paper calls out in §2.3/§2.4.\n");
+  return 0;
+}

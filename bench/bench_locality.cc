@@ -1,0 +1,94 @@
+// E9 — Stub-locality optimization (paper §6.3).
+//
+// On transit-stub topologies, intra-stub latency is an order of magnitude
+// below wide-area latency.  The §6.3 optimization publishes a local branch
+// inside the server's stub and lets clients probe their stub's local root
+// before going wide.  Claims reproduced:
+//   * with the optimization, queries for objects replicated inside the
+//     client's stub never cross the transit network;
+//   * remote queries pay only a small bounded intra-stub detour;
+//   * net effect: large latency wins whenever workloads have stub locality.
+#include "bench_util.h"
+#include "src/tapestry/locality.h"
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E9 — stub-local publication/location",
+               "§6.3: local queries resolve without leaving the stub; "
+               "remote queries pay < 2 extra local hops in expectation");
+
+  Rng rng(60601);
+  TransitStubParams tsp;
+  tsp.transit_scale = 10.0;
+  TransitStubMetric space(512, rng, tsp);
+  Network net(space, default_params(), 60601);
+  net.bootstrap(0);
+  for (std::size_t i = 1; i < 512; ++i) net.join(i);
+  LocalityManager locality(net, space);
+  print_space_info(space, 60601);
+  std::printf("stubs: %zu, max intra-stub distance: %.4f\n", space.num_stubs(),
+              space.max_intra_stub_distance());
+
+  Rng wl(123);
+  Summary plain_local, opt_local, plain_remote, opt_remote;
+  std::size_t local_escapes_plain = 0, local_escapes_opt = 0,
+              local_queries = 0;
+
+  int key = 0;
+  for (std::size_t stub = 0; stub < space.num_stubs(); ++stub) {
+    const auto members = locality.stub_members(stub);
+    if (members.size() < 2) continue;
+    // A locally replicated object, published with and without the local
+    // branch (separate GUIDs so the two configurations don't interact).
+    const Guid g_plain = bench_guid(net, 10000 + key);
+    const Guid g_opt = bench_guid(net, 20000 + key);
+    ++key;
+    net.publish(members[0], g_plain);
+    locality.publish(members[0], g_opt);
+
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      const LocateResult rp = net.locate(members[m], g_plain);
+      const LocateResult ro = locality.locate(members[m], g_opt);
+      if (!rp.found || !ro.found) continue;
+      ++local_queries;
+      plain_local.add(rp.latency);
+      opt_local.add(ro.latency);
+      if (rp.latency > space.max_intra_stub_distance()) ++local_escapes_plain;
+      if (ro.latency > space.max_intra_stub_distance()) ++local_escapes_opt;
+    }
+
+    // Remote queries for the same objects from another stub: the price of
+    // the optimization.
+    for (int probes = 0; probes < 3; ++probes) {
+      const auto ids = net.node_ids();
+      const NodeId client = ids[wl.next_u64(ids.size())];
+      if (locality.stub_of(client) == stub) continue;
+      const LocateResult rp = net.locate(client, g_plain);
+      const LocateResult ro = locality.locate(client, g_opt);
+      if (rp.found) plain_remote.add(rp.latency);
+      if (ro.found) opt_remote.add(ro.latency);
+    }
+  }
+
+  TextTable table({"workload", "plain tapestry", "with §6.3 optimization"});
+  table.add_row({"intra-stub query latency (mean)", fmt(plain_local.mean(), 4),
+                 fmt(opt_local.mean(), 4)});
+  table.add_row({"intra-stub query latency (p95)",
+                 fmt(plain_local.percentile(95), 4),
+                 fmt(opt_local.percentile(95), 4)});
+  table.add_row({"local queries leaving the stub",
+                 fmt(double(local_escapes_plain) / local_queries * 100, 1) +
+                     "%",
+                 fmt(double(local_escapes_opt) / local_queries * 100, 1) +
+                     "%"});
+  table.add_row({"remote query latency (mean)", fmt(plain_remote.mean(), 3),
+                 fmt(opt_remote.mean(), 3)});
+  table.print();
+  std::printf(
+      "\nreading guide: the optimization drives 'local queries leaving the\n"
+      "stub' to 0%% and collapses intra-stub latency by roughly the\n"
+      "transit_scale factor, while remote queries pay only the small\n"
+      "local-probe overhead (§6.3's trade-off).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E12 — Local computation micro-costs (google-benchmark).
+//
+// The paper's cost model (§3) charges only network traffic and ignores
+// local computation, arguing none of it is time-consuming.  This benchmark
+// substantiates that for our implementation: identifier manipulation,
+// neighbor-set updates, routing-table scans and per-hop route decisions
+// all run in nanoseconds-to-microseconds, orders of magnitude below any
+// realistic network RTT.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace tap;
+using namespace tap::bench;
+
+void BM_IdDigitExtraction(benchmark::State& state) {
+  const IdSpec spec{4, 10};
+  Rng rng(1);
+  const Id id = Id::random(spec, rng);
+  unsigned acc = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < spec.num_digits; ++i) acc += id.digit(i);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_IdDigitExtraction);
+
+void BM_IdCommonPrefix(benchmark::State& state) {
+  const IdSpec spec{4, 10};
+  Rng rng(2);
+  std::vector<Id> ids;
+  for (int i = 0; i < 256; ++i) ids.push_back(Id::random(spec, rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ids[i % 256].common_prefix_len(ids[(i + 1) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IdCommonPrefix);
+
+void BM_NeighborSetConsider(benchmark::State& state) {
+  const IdSpec spec{4, 10};
+  Rng rng(3);
+  NeighborSet set(3);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 1024; ++i) ids.push_back(Id::random(spec, rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.consider(ids[i % 1024], rng.next_double()));
+    ++i;
+  }
+}
+BENCHMARK(BM_NeighborSetConsider);
+
+void BM_RouteToRoot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  auto space = make_space("ring", n + 8, rng);
+  auto net = build_static(*space, n, default_params(), 4);
+  const auto ids = net->node_ids();
+  Rng wl(5);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const Guid guid = bench_guid(*net, q++);
+    benchmark::DoNotOptimize(
+        net->route_to_root(ids[q % ids.size()], guid));
+  }
+  state.SetLabel("full surrogate route, n=" + std::to_string(n));
+}
+BENCHMARK(BM_RouteToRoot)->Arg(256)->Arg(1024);
+
+void BM_LocateHit(benchmark::State& state) {
+  const std::size_t n = 512;
+  Rng rng(6);
+  auto space = make_space("ring", n + 8, rng);
+  auto net = build_static(*space, n, default_params(), 6);
+  const auto ids = net->node_ids();
+  Rng wl(7);
+  for (int i = 0; i < 64; ++i)
+    net->publish(ids[wl.next_u64(ids.size())], bench_guid(*net, i));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net->locate(ids[q % ids.size()], bench_guid(*net, q % 64)));
+    ++q;
+  }
+}
+BENCHMARK(BM_LocateHit);
+
+void BM_StaticTableBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  auto space = make_space("ring", n + 8, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto net = std::make_unique<Network>(*space, default_params(), 8);
+    for (std::size_t i = 0; i < n; ++i) net->insert_static(i);
+    state.ResumeTiming();
+    net->rebuild_static_tables();
+    benchmark::DoNotOptimize(net->total_table_entries());
+  }
+}
+BENCHMARK(BM_StaticTableBuild)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_DynamicJoin(benchmark::State& state) {
+  const std::size_t n = 256;
+  Rng rng(9);
+  auto space = make_space("ring", n + 4096, rng);
+  auto net = grow(*space, n, default_params(), 9);
+  std::size_t next = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->join(next++));
+  }
+  state.SetLabel("wall-clock cost of one full join protocol run");
+}
+BENCHMARK(BM_DynamicJoin)->Unit(benchmark::kMicrosecond)->Iterations(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

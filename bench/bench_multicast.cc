@@ -1,0 +1,66 @@
+// E5 — Acknowledged multicast cost (paper §4.1, Theorem 5).
+//
+// Claims reproduced:
+//   * the multicast reaches exactly the prefix set (Theorem 5);
+//   * collapsing self-messages, the message graph is a spanning tree:
+//     2(k-1) messages (forward + ack) for k recipients;
+//   * total traffic is O(d·k) with d the network diameter, and the
+//     completion time (longest forward+ack chain) is far below the total
+//     traffic because the fan-out proceeds in parallel.
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E5 — acknowledged multicast",
+               "§4.1 / Theorem 5: prefix coverage with 2(k-1) messages, "
+               "O(dk) traffic");
+
+  Rng rng(31337);
+  auto space = make_space("ring", 2048 + 8, rng);
+  auto net = build_static(*space, 2048, default_params(), 31337);
+  print_space_info(*space, 31337);
+
+  // Group live nodes by first-digit prefix to get varying reach sizes;
+  // deeper prefixes give smaller sets.
+  TextTable table({"prefix len", "reach k", "messages", "2(k-1)",
+                   "traffic/d", "completion/d", "traffic/(d*k)"});
+  const double diameter = 0.5;  // ring metric
+
+  struct Probe {
+    NodeId start;
+    unsigned len;
+  };
+  std::vector<Probe> probes;
+  const auto ids = net->node_ids();
+  probes.push_back({ids[0], 0});
+  for (unsigned len = 1; len <= 3; ++len)
+    for (unsigned i = 0; i < 4; ++i)
+      probes.push_back({ids[(i * 97 + len) % ids.size()], len});
+
+  std::map<unsigned, Summary> ratio_by_len;
+  for (const Probe& p : probes) {
+    const MulticastStats stats =
+        net->multicast(p.start, p.start, p.len, [](NodeId) {});
+    table.add_row({fmt(std::size_t{p.len}), fmt(stats.reached),
+                   fmt(stats.messages), fmt(2 * (stats.reached - 1)),
+                   fmt(stats.traffic / diameter, 2),
+                   fmt(stats.completion / diameter, 2),
+                   fmt(stats.traffic / (diameter * double(stats.reached)),
+                       3)});
+    ratio_by_len[p.len].add(stats.traffic /
+                            (diameter * double(stats.reached)));
+  }
+  table.print();
+
+  std::printf("\ntraffic/(d*k) by prefix length (the O(dk) constant):\n");
+  for (const auto& [len, s] : ratio_by_len)
+    std::printf("  len %u: %s\n", len, s.describe().c_str());
+  std::printf(
+      "\nreading guide: messages == 2(k-1) exactly (spanning tree);\n"
+      "traffic/(d*k) is a small constant, and completion stays near a\n"
+      "couple of diameters regardless of k (parallel fan-out).\n");
+  return 0;
+}

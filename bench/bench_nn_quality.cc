@@ -1,0 +1,104 @@
+// E4 — Nearest-neighbor list quality vs k (paper §3, Lemma 1 / Theorem 3).
+//
+// The incremental nearest-neighbor algorithm keeps the k closest nodes per
+// prefix level; Theorem 3 proves k = O(log n) suffices w.h.p. for the
+// resulting table to equal the static ground truth.  This experiment grows
+// networks with k = scale · log2(n) for several scales and reports:
+//   * Property 2 quality (fraction of slots whose primary is the true
+//     closest matching node),
+//   * the rate at which each node's overall nearest neighbor appears in
+//     its level-0 row,
+//   * the insertion cost paid for that quality (the k knob's price).
+#include "bench_util.h"
+#include "src/metric/analysis.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+constexpr std::size_t kNodes = 512;
+
+struct Result {
+  double k_scale;
+  unsigned k;
+  double quality;
+  double nn_found_rate;
+  double msgs_per_join;
+};
+
+Result measure(double k_scale, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", kNodes + 8, rng);
+  TapestryParams params = default_params();
+  params.k_scale = k_scale;
+  params.k_min = 2;
+
+  auto net = std::make_unique<Network>(*space, params, seed);
+  Trace joins;
+  net->bootstrap(0);
+  for (std::size_t i = 1; i < kNodes; ++i) net->join(i, std::nullopt, &joins);
+
+  // How often is the true nearest node present as a level-0 primary?
+  std::size_t found = 0, total = 0;
+  for (const NodeId& id : net->node_ids()) {
+    const auto order = nearest_sorted(*space, net->node(id).location());
+    NodeId nearest{};
+    for (const Location loc : order) {
+      for (const NodeId& other : net->node_ids())
+        if (!(other == id) && net->node(other).location() == loc) {
+          nearest = other;
+          break;
+        }
+      if (nearest.valid()) break;
+    }
+    if (!nearest.valid()) continue;
+    ++total;
+    const auto prim = net->node(id).table().primary(0, nearest.digit(0));
+    if (prim.has_value() &&
+        net->distance(id, *prim) <= net->distance(id, nearest) + 1e-12)
+      ++found;
+  }
+
+  Result r;
+  r.k_scale = k_scale;
+  r.k = params.effective_k(kNodes);
+  r.quality = net->property2_quality();
+  r.nn_found_rate = double(found) / double(total);
+  r.msgs_per_join = double(joins.messages()) / double(kNodes - 1);
+  return r;
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E4 — nearest-neighbor quality vs k",
+               "Lemma 1 / Theorem 3: k = O(log n) per-level lists build the "
+               "correct (locality-optimal) neighbor table w.h.p.");
+
+  const std::vector<double> scales{0.25, 0.5, 1.0, 2.0, 3.0, 4.0};
+  const auto results = run_trials<Result>(scales.size(), [&](std::size_t i) {
+    return measure(scales[i], 2024 + i);
+  });
+
+  TextTable table({"k_scale", "k", "property2 quality", "NN in table",
+                   "msgs/join"});
+  for (const Result& r : results)
+    table.add_row({fmt(r.k_scale, 2), fmt(std::size_t{r.k}),
+                   fmt(r.quality * 100.0, 2) + "%",
+                   fmt(r.nn_found_rate * 100.0, 2) + "%",
+                   fmt(r.msgs_per_join, 0)});
+  table.print();
+  std::printf(
+      "\nreading guide: this implementation builds each table row from the\n"
+      "digit-complete union of the queried tables' rows, so Property 1/2\n"
+      "quality is near-perfect even for k below log2(n) = %0.1f, with the\n"
+      "residual misses at the smallest k; what k buys past that point —\n"
+      "and what Theorem 3's O(log n) prices in — is the recursion's\n"
+      "robustness, paid for linearly in msgs/join.  The knee sits at a\n"
+      "small multiple of log n, as the theorem predicts.\n",
+      std::log2(double(kNodes)));
+  return 0;
+}

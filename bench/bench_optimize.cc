@@ -1,0 +1,121 @@
+// E11 — Continual optimization under network drift (paper §6.4).
+//
+// Internet routes shift (BGP, ISP policy, IGP recomputation), so measured
+// distances drift and Property 2 erodes.  §6.4 sketches four heuristics:
+//   1. re-rank primaries among the R stored links,
+//   2. rerun the full nearest-neighbor construction,
+//   3. (level-list replay — subsumed by 2 in this implementation), and
+//   4. gossip level rows with level neighbors.
+//
+// This experiment relocates 25% of nodes (the drift model), then measures
+// each heuristic's recovered table quality, the resulting locate stretch,
+// and its message price.
+#include "bench_util.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+constexpr std::size_t kNodes = 384;
+
+struct Result {
+  std::string heuristic;
+  double quality_after_drift;
+  double quality_after_fix;
+  double stretch_after_fix;
+  double msgs_per_node;
+};
+
+Result run(const std::string& heuristic, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", kNodes * 2, rng);
+  auto net = grow(*space, kNodes, default_params(), seed);
+
+  // Publish a workload before the drift.
+  Rng wl(seed ^ 0xd21f7);
+  std::vector<std::pair<Guid, NodeId>> objects;
+  {
+    const auto ids = net->node_ids();
+    for (int i = 0; i < 96; ++i) {
+      const Guid g = bench_guid(*net, 800 + i);
+      const NodeId server = ids[wl.next_u64(ids.size())];
+      net->publish(server, g);
+      objects.emplace_back(g, server);
+    }
+  }
+
+  // Drift: move a quarter of the nodes to fresh locations.
+  {
+    const auto ids = net->node_ids();
+    for (std::size_t i = 0; i < kNodes / 4; ++i)
+      net->relocate(ids[wl.next_u64(ids.size())], kNodes + i);
+  }
+  const double drifted = net->property2_quality();
+
+  Trace cost;
+  if (heuristic == "primary-rerank") {
+    for (const NodeId& id : net->node_ids()) net->optimize_primaries(id, &cost);
+  } else if (heuristic == "gossip") {
+    for (int round = 0; round < 2; ++round)
+      for (const NodeId& id : net->node_ids()) net->optimize_gossip(id, &cost);
+  } else if (heuristic == "full-rebuild") {
+    for (const NodeId& id : net->node_ids())
+      net->rebuild_neighbor_table(id, &cost);
+  }  // "none": leave the drift in place
+  net->republish_all();
+
+  Summary stretch;
+  {
+    const auto ids = net->node_ids();
+    for (int q = 0; q < 600; ++q) {
+      const auto& [guid, server] = objects[wl.next_u64(objects.size())];
+      const NodeId client = ids[wl.next_u64(ids.size())];
+      if (client == server) continue;
+      const LocateResult r = net->locate(client, guid);
+      if (!r.found) continue;
+      const double direct = net->distance(client, server);
+      if (direct > 1e-9) stretch.add(r.latency / direct);
+    }
+  }
+
+  Result res;
+  res.heuristic = heuristic;
+  res.quality_after_drift = drifted;
+  res.quality_after_fix = net->property2_quality();
+  res.stretch_after_fix = stretch.mean();
+  res.msgs_per_node = double(cost.messages()) / double(kNodes);
+  return res;
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E11 — continual optimization under drift",
+               "§6.4: heuristics trade maintenance traffic for restored "
+               "routing locality after network distances change");
+
+  const std::vector<std::string> heuristics{"none", "primary-rerank",
+                                            "gossip", "full-rebuild"};
+  const auto results =
+      run_trials<Result>(heuristics.size(), [&](std::size_t i) {
+        return run(heuristics[i], 31415 + i);
+      });
+
+  TextTable table({"heuristic", "quality after drift", "quality after fix",
+                   "locate stretch", "msgs/node"});
+  for (const Result& r : results)
+    table.add_row({r.heuristic, fmt(r.quality_after_drift * 100, 1) + "%",
+                   fmt(r.quality_after_fix * 100, 1) + "%",
+                   fmt(r.stretch_after_fix, 2), fmt(r.msgs_per_node, 0)});
+  table.print();
+  std::printf(
+      "\nreading guide: 'none' shows the drift damage; primary re-ranking\n"
+      "is nearly free but can only shuffle the R stored links; gossip\n"
+      "recovers most quality at moderate cost; the full nearest-neighbor\n"
+      "rebuild recovers the most at the highest price — §6.4's menu,\n"
+      "quantified.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// E1 — Table 1: Comparison of Object Location Systems.
+//
+// The paper's Table 1 lists asymptotic insert cost, space, stretch and hop
+// bounds for Chord, CAN, Pastry, Viceroy, Tapestry (this paper),
+// Awerbuch-Peleg, RRVV, and PRR.  This experiment measures those columns
+// empirically for every system implemented in this repository — Tapestry
+// (dynamic, both as published), Chord, CAN, the centralized directory
+// strawman, the proximity-blind prefix ablation, the static PRR oracle,
+// and the PRR v.0 general-metric scheme (§7) — on a growth-restricted ring
+// and prints the rows the paper tabulates.  Rows the paper lists without
+// an implementable algorithm (Viceroy, Awerbuch-Peleg, RRVV) are reprinted
+// from the paper, marked "published".
+#include <memory>
+
+#include "bench_util.h"
+#include "src/baselines/blind_prefix.h"
+#include "src/baselines/can.h"
+#include "src/baselines/central.h"
+#include "src/baselines/chord.h"
+#include "src/baselines/general_metric.h"
+#include "src/baselines/tapestry_scheme.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+struct Row {
+  std::string scheme;
+  std::string insert_msgs = "-";
+  std::string space_per_node;
+  std::string stretch;
+  std::string hops;
+  std::string balanced;
+  std::string found;
+};
+
+struct SchemeSpec {
+  std::string kind;
+  bool balanced;
+};
+
+std::unique_ptr<LocationScheme> instantiate(const std::string& kind,
+                                            const MetricSpace& space,
+                                            std::uint64_t seed) {
+  if (kind == "tapestry" || kind == "prr-static") {
+    TapestryParams p = default_params();
+    return std::make_unique<TapestryScheme>(space, p, seed);
+  }
+  if (kind == "chord") return std::make_unique<ChordNetwork>(space, seed);
+  if (kind == "can") return std::make_unique<CanNetwork>(space, seed);
+  if (kind == "central") return std::make_unique<CentralDirectory>(space);
+  if (kind == "blind")
+    return std::make_unique<BlindPrefixOverlay>(space, IdSpec{4, 8}, seed);
+  if (kind == "prr-v0")
+    return std::make_unique<GeneralMetricScheme>(space, seed);
+  std::abort();
+}
+
+Row measure(const std::string& kind, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = make_space("ring", n + 16, rng);
+  auto scheme = instantiate(kind, *space, seed);
+
+  // Membership: measure per-join message cost over the last joins (only
+  // meaningful for dynamic schemes; the static PRR oracle uses the oracle
+  // construction, matching the "-" of the paper's PRR row).
+  Summary insert_msgs;
+  const bool dynamic = scheme->dynamic_insert() && kind != "prr-static";
+  for (std::size_t i = 0; i < n; ++i) {
+    Trace t;
+    scheme->add_node(i, &t);
+    if (dynamic && i >= n - n / 8) insert_msgs.add(double(t.messages()));
+  }
+  if (kind == "prr-static") {
+    auto* tap_scheme = static_cast<TapestryScheme*>(scheme.get());
+    tap_scheme->network().rebuild_static_tables();
+  }
+  scheme->finalize();
+
+  // Workload: 2n objects at random servers; queries from random clients.
+  Rng wl(seed ^ 0x5eed);
+  std::vector<std::pair<std::uint64_t, std::size_t>> objects;
+  for (std::size_t o = 0; o < 2 * n; ++o) {
+    const std::size_t server = wl.next_u64(n);
+    scheme->publish(server, 1000 + o, nullptr);
+    objects.emplace_back(1000 + o, server);
+  }
+  Summary stretch, hops;
+  std::size_t found = 0, queries = 0;
+  for (std::size_t q = 0; q < 4 * n; ++q) {
+    const auto& [key, server] = objects[wl.next_u64(objects.size())];
+    const std::size_t client = wl.next_u64(n);
+    if (client == server) continue;
+    const SchemeLocate r = scheme->locate(client, key, nullptr);
+    ++queries;
+    if (!r.found) continue;
+    ++found;
+    hops.add(double(r.hops));
+    const double direct = space->distance(client, server);
+    if (direct > 1e-9) stretch.add(r.latency / direct);
+  }
+
+  Row row;
+  row.scheme = scheme->name() + (kind == "prr-static" ? " (static)" : "");
+  if (dynamic) row.insert_msgs = fmt(insert_msgs.mean(), 0);
+  row.space_per_node = fmt(double(scheme->total_state()) / double(n), 1);
+  row.stretch = fmt(stretch.mean(), 2) + " (p95 " +
+                fmt(stretch.percentile(95), 1) + ")";
+  row.hops = fmt(hops.mean(), 1);
+  row.balanced = (kind == "central") ? "no" : "yes";
+  row.found = fmt(double(found) / double(queries) * 100.0, 1) + "%";
+  return row;
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main() {
+  using namespace tap;
+  using namespace tap::bench;
+  print_header("E1 / Table 1 — comparison of object location systems",
+               "Table 1: insert cost, space, stretch, hops, balance for "
+               "Chord / CAN / Tapestry / PRR / PRR v.0 and the central "
+               "directory strawman");
+
+  const std::vector<std::string> kinds{"tapestry", "chord",  "can",
+                                       "central",  "blind",  "prr-static",
+                                       "prr-v0"};
+  for (const std::size_t n : {256ul, 1024ul}) {
+    std::printf("\n--- n = %zu, objects = %zu, queries = %zu (ring) ---\n", n,
+                2 * n, 4 * n);
+    // Schemes measured in parallel: each trial is fully independent.
+    const auto rows = run_trials<Row>(
+        kinds.size(),
+        [&](std::size_t i) { return measure(kinds[i], n, 17 + i); });
+    TextTable table({"scheme", "insert msgs/join", "space/node",
+                     "stretch mean", "hops", "balanced", "success"});
+    for (const Row& r : rows)
+      table.add_row({r.scheme, r.insert_msgs, r.space_per_node, r.stretch,
+                     r.hops, r.balanced, r.found});
+    // Rows the paper lists but provides no implementable algorithm for.
+    table.add_row({"viceroy [21]", "O(log n) (published)", "O(1)·n",
+                   "- (published)", "O(log n)", "yes", "-"});
+    table.add_row({"awerbuch-peleg [1]", "- (published)", "O(log^3 n)",
+                   "O(log^2 n) (published)", "O(log^2 n)", "no", "-"});
+    table.add_row({"rrvv [25]", "O(log^3 n) (published)", "O(log^3 n)",
+                   "O(log^3 n) (published)", "O(log^2 n)", "yes", "-"});
+    table.print();
+  }
+  std::printf(
+      "\nreading guide: Tapestry matches Chord/CAN on balance and space\n"
+      "while adding locality (low stretch); the central directory has the\n"
+      "lowest hop count but no balance and diameter-bound latency; the\n"
+      "blind-prefix ablation shows stretch comes from Property 2, not\n"
+      "prefix routing itself; PRR v.0 trades stretch for generality.\n");
+  return 0;
+}

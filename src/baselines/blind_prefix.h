@@ -1,0 +1,77 @@
+// Proximity-blind prefix routing — the Property 2 ablation.
+//
+// Identical digit-resolution mesh and surrogate routing to Tapestry, but
+// each table slot holds a *uniformly random* qualifying node instead of the
+// closest one (this is prefix routing as Pastry would behave with its
+// locality heuristics disabled, and roughly how early PRR-style systems
+// behaved before proximity neighbor selection).  Hole-freeness (Property 1)
+// still holds — a slot is filled iff candidates exist — so root uniqueness
+// and deterministic location are preserved; only the *locality* of the mesh
+// is destroyed.  E2 uses this to show that Tapestry's constant stretch
+// comes from Property 2, not from prefix routing per se.
+//
+// Static construction (finalize()); membership changes are out of scope for
+// the ablation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/scheme.h"
+#include "src/common/assert.h"
+#include "src/common/rng.h"
+#include "src/tapestry/id.h"
+
+namespace tap {
+
+class BlindPrefixOverlay final : public LocationScheme {
+ public:
+  BlindPrefixOverlay(const MetricSpace& space, IdSpec spec,
+                     std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "blind-prefix"; }
+
+  std::size_t add_node(Location loc, Trace* trace) override;
+  void finalize() override;
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+
+  void publish(std::size_t server, std::uint64_t key, Trace* trace) override;
+  SchemeLocate locate(std::size_t client, std::uint64_t key,
+                      Trace* trace) override;
+
+  [[nodiscard]] std::size_t total_state() const override;
+  [[nodiscard]] bool dynamic_insert() const override { return false; }
+
+  /// Surrogate root handle for a key (exposed for tests: Theorem 2 holds
+  /// for any hole-free prefix mesh, proximity-blind or not).
+  [[nodiscard]] std::size_t root_of(std::uint64_t key) const;
+
+ private:
+  struct BNode {
+    NodeId id{};
+    Location loc = 0;
+    // One entry per (level, digit); nullopt = hole (no qualifying node).
+    std::vector<std::optional<std::size_t>> table;
+    // key -> replica handles deposited by publishes through this node.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> pointers;
+  };
+
+  [[nodiscard]] Guid key_to_guid(std::uint64_t key) const;
+  [[nodiscard]] std::size_t slot(unsigned level, unsigned digit) const {
+    return static_cast<std::size_t>(level) * spec_.radix() + digit;
+  }
+  /// Tapestry-native next step from `cur` toward `target` at `level`, or
+  /// nullopt when `cur` is the root.
+  [[nodiscard]] std::optional<std::size_t> step(std::size_t cur,
+                                                const Guid& target,
+                                                unsigned& level) const;
+
+  const MetricSpace& space_;
+  IdSpec spec_;
+  Rng rng_;
+  std::vector<BNode> nodes_;
+  bool finalized_ = false;
+};
+
+}  // namespace tap

@@ -1,0 +1,268 @@
+#include "src/baselines/can.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace tap {
+
+CanNetwork::CanNetwork(const MetricSpace& space, std::uint64_t seed)
+    : space_(space), rng_(seed) {}
+
+std::array<double, 2> CanNetwork::point_of(std::uint64_t key) const {
+  const std::uint64_t h = splitmix64(key ^ 0xdecade);
+  const auto x = static_cast<double>(h >> 32) / 4294967296.0;
+  const auto y = static_cast<double>(h & 0xffffffffu) / 4294967296.0;
+  return {{x, y}};
+}
+
+bool CanNetwork::zones_adjacent(const Zone& a, const Zone& b) {
+  // Adjacent on the unit torus: abut in one dimension (possibly across the
+  // wrap) and overlap in the other.  Zone bounds are binary fractions, so
+  // the comparisons are exact.
+  auto abut = [](double alo, double ahi, double blo, double bhi) {
+    return ahi == blo || bhi == alo || (ahi == 1.0 && blo == 0.0) ||
+           (bhi == 1.0 && alo == 0.0);
+  };
+  auto overlap = [](double alo, double ahi, double blo, double bhi) {
+    return alo < bhi && blo < ahi;
+  };
+  const bool x_abut = abut(a.lo[0], a.hi[0], b.lo[0], b.hi[0]);
+  const bool y_abut = abut(a.lo[1], a.hi[1], b.lo[1], b.hi[1]);
+  const bool x_overlap = overlap(a.lo[0], a.hi[0], b.lo[0], b.hi[0]);
+  const bool y_overlap = overlap(a.lo[1], a.hi[1], b.lo[1], b.hi[1]);
+  return (x_abut && y_overlap) || (y_abut && x_overlap);
+}
+
+double CanNetwork::torus_dist(const std::array<double, 2>& a,
+                              const std::array<double, 2>& b) {
+  double dx = std::fabs(a[0] - b[0]);
+  double dy = std::fabs(a[1] - b[1]);
+  dx = std::min(dx, 1.0 - dx);
+  dy = std::min(dy, 1.0 - dy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::size_t CanNetwork::owner_of(double x, double y) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].zone.contains(x, y)) return i;
+  TAP_CHECK(false, "zones do not cover the torus");
+}
+
+const std::vector<std::size_t>& CanNetwork::neighbors(
+    std::size_t handle) const {
+  TAP_CHECK(handle < nodes_.size(), "bad handle");
+  return nodes_[handle].neighbors;
+}
+
+namespace {
+/// Torus distance from coordinate x to the circular interval [lo, hi].
+double axis_gap(double x, double lo, double hi) {
+  if (x >= lo && x < hi) return 0.0;
+  auto circ = [](double a, double b) {
+    const double d = std::fabs(a - b);
+    return std::min(d, 1.0 - d);
+  };
+  return std::min(circ(x, lo), circ(x, hi));
+}
+}  // namespace
+
+std::size_t CanNetwork::route(std::size_t from,
+                              const std::array<double, 2>& target,
+                              Trace* trace, std::size_t* hops_out,
+                              double* lat_out) {
+  // Greedy on the torus distance from the target *point* to each zone
+  // *rectangle*: the owner is at distance 0, and the neighbor across the
+  // face containing the current zone's closest boundary point is never
+  // farther, so the walk decreases (cf. CAN's greedy + perimeter
+  // fallback).  A visited set breaks the rare corner-degenerate ties.
+  auto rect_dist = [&](std::size_t h) {
+    const Zone& z = nodes_[h].zone;
+    const double gx = axis_gap(target[0], z.lo[0], z.hi[0]);
+    const double gy = axis_gap(target[1], z.lo[1], z.hi[1]);
+    return std::sqrt(gx * gx + gy * gy);
+  };
+  std::size_t cur = from;
+  std::size_t hops = 0;
+  double latency = 0.0;
+  std::unordered_set<std::size_t> visited;
+  while (!nodes_[cur].zone.contains(target[0], target[1])) {
+    visited.insert(cur);
+    std::size_t next = cur;
+    double next_d = std::numeric_limits<double>::infinity();
+    bool next_unvisited = false;
+    for (const std::size_t nb : nodes_[cur].neighbors) {
+      const double d = rect_dist(nb);
+      const bool unvisited = visited.count(nb) == 0;
+      // Prefer unvisited zones, then smaller rect distance, then handle.
+      const bool better =
+          (unvisited && !next_unvisited) ||
+          (unvisited == next_unvisited &&
+           (d < next_d || (d == next_d && nb < next)));
+      if (better) {
+        next = nb;
+        next_d = d;
+        next_unvisited = unvisited;
+      }
+    }
+    TAP_CHECK(next != cur, "CAN routing stuck");
+    const double d = space_.distance(nodes_[cur].loc, nodes_[next].loc);
+    if (trace != nullptr) trace->hop(d);
+    ++hops;
+    latency += d;
+    cur = next;
+    TAP_CHECK(hops <= 4 * nodes_.size() + 8, "CAN routing did not converge");
+  }
+  if (hops_out != nullptr) *hops_out = hops;
+  if (lat_out != nullptr) *lat_out = latency;
+  return cur;
+}
+
+void CanNetwork::rebuild_neighbor_lists(std::size_t a, std::size_t b) {
+  // Recompute adjacency for the two affected zones against everyone, and
+  // fix everyone's references to them.  O(n) per join — acceptable for the
+  // simulator; a deployment updates only the perimeter.
+  auto rebuild_one = [&](std::size_t h) {
+    nodes_[h].neighbors.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == h) continue;
+      if (zones_adjacent(nodes_[h].zone, nodes_[i].zone))
+        nodes_[h].neighbors.push_back(i);
+    }
+  };
+  rebuild_one(a);
+  rebuild_one(b);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == a || i == b) continue;
+    auto& nb = nodes_[i].neighbors;
+    nb.erase(std::remove_if(nb.begin(), nb.end(),
+                            [&](std::size_t x) { return x == a || x == b; }),
+             nb.end());
+    if (zones_adjacent(nodes_[i].zone, nodes_[a].zone)) nb.push_back(a);
+    if (zones_adjacent(nodes_[i].zone, nodes_[b].zone)) nb.push_back(b);
+  }
+}
+
+std::size_t CanNetwork::add_node(Location loc, Trace* trace) {
+  TAP_CHECK(loc < space_.size(), "location outside the metric space");
+  if (nodes_.empty()) {
+    CanNode first;
+    first.loc = loc;
+    nodes_.push_back(std::move(first));
+    return 0;
+  }
+
+  // Route from a random gateway to a random point; split the owner's zone.
+  const std::array<double, 2> p{{rng_.next_double(), rng_.next_double()}};
+  const std::size_t gateway = rng_.next_u64(nodes_.size());
+  const std::size_t victim = route(gateway, p, trace, nullptr, nullptr);
+
+  CanNode incoming;
+  incoming.loc = loc;
+  CanNode& old = nodes_[victim];
+  const unsigned dim = old.split_depth % 2;
+  const double mid = (old.zone.lo[dim] + old.zone.hi[dim]) / 2;
+  incoming.zone = old.zone;
+  incoming.zone.lo[dim] = mid;
+  old.zone.hi[dim] = mid;
+  ++old.split_depth;
+  incoming.split_depth = old.split_depth;
+
+  // Object handoff: keys hashing into the new half move (one bulk message).
+  if (trace != nullptr) trace->hop(space_.distance(old.loc, loc));
+  for (auto it = old.store.begin(); it != old.store.end();) {
+    const auto q = point_of(it->first);
+    if (incoming.zone.contains(q[0], q[1])) {
+      incoming.store.emplace(it->first, std::move(it->second));
+      it = old.store.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  nodes_.push_back(std::move(incoming));
+  const std::size_t handle = nodes_.size() - 1;
+  rebuild_neighbor_lists(victim, handle);
+  // Neighbor-update traffic: one message per affected neighbor.
+  if (trace != nullptr)
+    for (const std::size_t nb : nodes_[handle].neighbors)
+      trace->hop(space_.distance(nodes_[handle].loc, nodes_[nb].loc));
+  return handle;
+}
+
+void CanNetwork::publish(std::size_t server, std::uint64_t key,
+                         Trace* trace) {
+  TAP_CHECK(server < nodes_.size(), "bad server handle");
+  const auto p = point_of(key);
+  const std::size_t owner = route(server, p, trace, nullptr, nullptr);
+  auto& replicas = nodes_[owner].store[key];
+  for (const std::size_t s : replicas)
+    if (s == server) return;
+  replicas.push_back(server);
+}
+
+SchemeLocate CanNetwork::locate(std::size_t client, std::uint64_t key,
+                                Trace* trace) {
+  TAP_CHECK(client < nodes_.size(), "bad client handle");
+  SchemeLocate res;
+  const auto p = point_of(key);
+  std::size_t hops = 0;
+  double latency = 0.0;
+  const std::size_t owner = route(client, p, trace, &hops, &latency);
+  res.hops = hops;
+  res.latency = latency;
+  auto it = nodes_[owner].store.find(key);
+  if (it == nodes_[owner].store.end() || it->second.empty()) return res;
+  std::size_t best = it->second.front();
+  for (const std::size_t s : it->second)
+    if (space_.distance(nodes_[client].loc, nodes_[s].loc) <
+        space_.distance(nodes_[client].loc, nodes_[best].loc))
+      best = s;
+  const double d = space_.distance(nodes_[owner].loc, nodes_[best].loc);
+  if (trace != nullptr) trace->hop(d);
+  res.found = true;
+  res.server = best;
+  res.hops += 1;
+  res.latency += d;
+  return res;
+}
+
+std::size_t CanNetwork::total_state() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    n += node.neighbors.size();
+    for (const auto& [key, replicas] : node.store) n += replicas.size();
+  }
+  return n;
+}
+
+void CanNetwork::check_invariants() const {
+  // Coverage + disjointness via area accounting and point probes.
+  double area = 0.0;
+  for (const auto& n : nodes_)
+    area += (n.zone.hi[0] - n.zone.lo[0]) * (n.zone.hi[1] - n.zone.lo[1]);
+  TAP_CHECK(std::fabs(area - 1.0) < 1e-9, "zone areas do not tile the torus");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      const Zone& a = nodes_[i].zone;
+      const Zone& b = nodes_[j].zone;
+      const bool overlap = a.lo[0] < b.hi[0] && b.lo[0] < a.hi[0] &&
+                           a.lo[1] < b.hi[1] && b.lo[1] < a.hi[1];
+      TAP_CHECK(!overlap, "zones overlap");
+    }
+  }
+  // Neighbor symmetry + completeness.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (i == j) continue;
+      const bool adj = zones_adjacent(nodes_[i].zone, nodes_[j].zone);
+      const bool listed =
+          std::find(nodes_[i].neighbors.begin(), nodes_[i].neighbors.end(),
+                    j) != nodes_[i].neighbors.end();
+      TAP_CHECK(adj == listed, "neighbor list out of sync with the tiling");
+    }
+  }
+}
+
+}  // namespace tap

@@ -1,0 +1,84 @@
+// CAN — the Content-Addressable Network (Ratnasamy et al. [26]): nodes own
+// rectangular zones of a d-dimensional torus (d = 2 here, so hops are
+// O(sqrt(n)) per Table 1's O(r·n^(1/r)) with r = 2); objects hash to points
+// and live with the zone owner; routing is greedy through zone neighbors.
+//
+// Like Chord, CAN's structure is oblivious to network distance: a zone
+// neighbor can be physically anywhere, so every virtual-space hop costs a
+// random network jump — the stretch contrast E2 measures.
+//
+// Joins follow the paper: pick a random point, route to its zone owner,
+// split that zone in half (alternating dimensions), inherit the relevant
+// neighbors and the objects falling in the new half.  Zone coordinates are
+// binary fractions, so adjacency tests are exact.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/scheme.h"
+#include "src/common/assert.h"
+#include "src/common/rng.h"
+
+namespace tap {
+
+class CanNetwork final : public LocationScheme {
+ public:
+  CanNetwork(const MetricSpace& space, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "can"; }
+
+  std::size_t add_node(Location loc, Trace* trace) override;
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+
+  void publish(std::size_t server, std::uint64_t key, Trace* trace) override;
+  SchemeLocate locate(std::size_t client, std::uint64_t key,
+                      Trace* trace) override;
+
+  [[nodiscard]] std::size_t total_state() const override;
+  [[nodiscard]] bool dynamic_insert() const override { return true; }
+
+  /// Zone owner of a virtual point (exposed for tests).
+  [[nodiscard]] std::size_t owner_of(double x, double y) const;
+  /// Neighbor handles of a node (exposed for tests).
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(
+      std::size_t handle) const;
+
+  /// Audits the zone tiling: zones are disjoint, cover the unit torus, and
+  /// neighbor lists are symmetric and complete.  Throws on violation.
+  void check_invariants() const;
+
+ private:
+  struct Zone {
+    std::array<double, 2> lo{{0.0, 0.0}};
+    std::array<double, 2> hi{{1.0, 1.0}};
+    [[nodiscard]] bool contains(double x, double y) const {
+      return x >= lo[0] && x < hi[0] && y >= lo[1] && y < hi[1];
+    }
+    [[nodiscard]] std::array<double, 2> center() const {
+      return {{(lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2}};
+    }
+  };
+  struct CanNode {
+    Zone zone{};
+    Location loc = 0;
+    unsigned split_depth = 0;  // next split dimension = depth % 2
+    std::vector<std::size_t> neighbors;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> store;
+  };
+
+  [[nodiscard]] std::array<double, 2> point_of(std::uint64_t key) const;
+  [[nodiscard]] static bool zones_adjacent(const Zone& a, const Zone& b);
+  [[nodiscard]] static double torus_dist(const std::array<double, 2>& a,
+                                         const std::array<double, 2>& b);
+  std::size_t route(std::size_t from, const std::array<double, 2>& target,
+                    Trace* trace, std::size_t* hops_out, double* lat_out);
+  void rebuild_neighbor_lists(std::size_t a, std::size_t b);
+
+  const MetricSpace& space_;
+  Rng rng_;
+  std::vector<CanNode> nodes_;
+};
+
+}  // namespace tap

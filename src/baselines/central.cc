@@ -1,0 +1,76 @@
+#include "src/baselines/central.h"
+
+#include <limits>
+
+namespace tap {
+
+std::size_t CentralDirectory::add_node(Location loc, Trace* trace) {
+  TAP_CHECK(loc < space_.size(), "location outside the metric space");
+  locs_.push_back(loc);
+  // Registering with the directory costs one message once it exists.
+  if (finalized_ && trace != nullptr)
+    trace->hop(space_.distance(loc, locs_[directory_]));
+  return locs_.size() - 1;
+}
+
+void CentralDirectory::finalize() {
+  TAP_CHECK(!locs_.empty(), "no nodes");
+  // Medoid placement: the kindest possible home for the directory.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < locs_.size(); ++c) {
+    double sum = 0;
+    for (const Location l : locs_) sum += space_.distance(locs_[c], l);
+    if (sum < best) {
+      best = sum;
+      directory_ = c;
+    }
+  }
+  finalized_ = true;
+}
+
+void CentralDirectory::publish(std::size_t server, std::uint64_t key,
+                               Trace* trace) {
+  TAP_CHECK(finalized_, "finalize() before publishing");
+  TAP_CHECK(server < locs_.size(), "bad server handle");
+  if (trace != nullptr)
+    trace->hop(space_.distance(locs_[server], locs_[directory_]));
+  auto& servers = table_[key];
+  for (const std::size_t s : servers)
+    if (s == server) return;
+  servers.push_back(server);
+}
+
+SchemeLocate CentralDirectory::locate(std::size_t client, std::uint64_t key,
+                                      Trace* trace) {
+  TAP_CHECK(finalized_, "finalize() before locating");
+  TAP_CHECK(client < locs_.size(), "bad client handle");
+  SchemeLocate res;
+  const double to_dir = space_.distance(locs_[client], locs_[directory_]);
+  if (trace != nullptr) trace->hop(to_dir);
+  res.hops = 1;
+  res.latency = to_dir;
+  auto it = table_.find(key);
+  if (it == table_.end() || it->second.empty()) return res;
+  // The directory forwards to the replica closest to the *client* (again,
+  // the kindest possible policy for this baseline).
+  std::size_t best = it->second.front();
+  for (const std::size_t s : it->second)
+    if (space_.distance(locs_[client], locs_[s]) <
+        space_.distance(locs_[client], locs_[best]))
+      best = s;
+  const double to_server = space_.distance(locs_[directory_], locs_[best]);
+  if (trace != nullptr) trace->hop(to_server);
+  res.found = true;
+  res.server = best;
+  res.hops = 2;
+  res.latency += to_server;
+  return res;
+}
+
+std::size_t CentralDirectory::total_state() const {
+  std::size_t n = 0;
+  for (const auto& [key, servers] : table_) n += servers.size();
+  return n;
+}
+
+}  // namespace tap

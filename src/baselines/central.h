@@ -1,0 +1,47 @@
+// Centralized directory — the strawman of paper §1: one directory server
+// holds every (object -> server) mapping; publishes register with it and
+// queries are forwarded through it.  Placed at the medoid of the joined
+// nodes (the best case for this design), it still pays ~network-diameter
+// latency for queries whose answer sits next door, has O(n·m) state on one
+// machine, and is a single point of failure — the properties Table 1 and
+// E2 contrast Tapestry against.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/scheme.h"
+#include "src/common/assert.h"
+
+namespace tap {
+
+class CentralDirectory final : public LocationScheme {
+ public:
+  explicit CentralDirectory(const MetricSpace& space) : space_(space) {}
+
+  [[nodiscard]] std::string name() const override { return "central-dir"; }
+
+  std::size_t add_node(Location loc, Trace* trace) override;
+  void finalize() override;
+  [[nodiscard]] std::size_t size() const override { return locs_.size(); }
+
+  void publish(std::size_t server, std::uint64_t key, Trace* trace) override;
+  SchemeLocate locate(std::size_t client, std::uint64_t key,
+                      Trace* trace) override;
+
+  [[nodiscard]] std::size_t total_state() const override;
+  [[nodiscard]] bool dynamic_insert() const override { return true; }
+
+  /// Handle of the node acting as the directory (valid after finalize()).
+  [[nodiscard]] std::size_t directory() const { return directory_; }
+
+ private:
+  const MetricSpace& space_;
+  std::vector<Location> locs_;
+  std::size_t directory_ = 0;
+  bool finalized_ = false;
+  // key -> replica server handles, stored "at" the directory node.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> table_;
+};
+
+}  // namespace tap

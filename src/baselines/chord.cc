@@ -1,0 +1,203 @@
+#include "src/baselines/chord.h"
+
+#include <algorithm>
+
+namespace tap {
+
+ChordNetwork::ChordNetwork(const MetricSpace& space, std::uint64_t seed,
+                           unsigned ring_bits)
+    : space_(space), ring_bits_(ring_bits), rng_(seed) {
+  TAP_CHECK(ring_bits_ >= 8 && ring_bits_ <= 64, "ring_bits in [8, 64]");
+}
+
+bool ChordNetwork::in_range(std::uint64_t x, std::uint64_t a,
+                            std::uint64_t b) {
+  // Half-open ring interval (a, b]; when a == b the interval is the whole
+  // ring (single-node case).
+  if (a == b) return true;
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wraps zero
+}
+
+ChordNetwork::ChordNode& ChordNetwork::ring_node(std::uint64_t key) {
+  auto it = ring_.find(key);
+  TAP_ASSERT(it != ring_.end());
+  return it->second;
+}
+
+std::uint64_t ChordNetwork::ring_successor(std::uint64_t k) const {
+  TAP_ASSERT(!ring_.empty());
+  auto it = ring_.lower_bound(k);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->first;
+}
+
+std::uint64_t ChordNetwork::key_of(std::size_t handle) const {
+  TAP_CHECK(handle < handles_.size(), "bad handle");
+  return handles_[handle];
+}
+
+std::size_t ChordNetwork::successor_handle(std::uint64_t k) const {
+  return ring_.at(ring_successor(k & mask())).handle;
+}
+
+std::uint64_t ChordNetwork::lookup(std::uint64_t from_key, std::uint64_t k,
+                                   Trace* trace, std::size_t* hops_out,
+                                   double* latency_out) {
+  std::size_t hops = 0;
+  double latency = 0.0;
+  std::uint64_t cur = from_key;
+  // Progress guard: strictly shrinking clockwise distance to k.
+  for (std::size_t guard = 0; guard <= 2 * ring_.size() + ring_bits_;
+       ++guard) {
+    const std::uint64_t succ = ring_successor((cur + 1) & mask());
+    if (in_range(k, cur, succ)) {
+      // One final hop to the owner.
+      if (succ != cur) {
+        const double d =
+            space_.distance(ring_node(cur).loc, ring_node(succ).loc);
+        if (trace != nullptr) trace->hop(d);
+        ++hops;
+        latency += d;
+      }
+      if (hops_out != nullptr) *hops_out = hops;
+      if (latency_out != nullptr) *latency_out = latency;
+      return succ;
+    }
+    // Closest preceding finger of `cur` for target k.
+    const ChordNode& n = ring_node(cur);
+    std::uint64_t next = succ;  // fall back to the successor: always correct
+    for (auto f = n.fingers.rbegin(); f != n.fingers.rend(); ++f) {
+      if (*f != cur && in_range(*f, cur, (k - 1) & mask())) {
+        next = *f;
+        break;
+      }
+    }
+    if (next == cur) next = succ;
+    const double d = space_.distance(n.loc, ring_node(next).loc);
+    if (trace != nullptr) trace->hop(d);
+    ++hops;
+    latency += d;
+    cur = next;
+  }
+  TAP_CHECK(false, "chord lookup failed to converge");
+}
+
+void ChordNetwork::build_fingers(ChordNode& n) {
+  n.fingers.assign(ring_bits_, n.key);
+  for (unsigned i = 0; i < ring_bits_; ++i) {
+    const std::uint64_t target = (n.key + (std::uint64_t{1} << i)) & mask();
+    n.fingers[i] = ring_successor(target);
+  }
+}
+
+void ChordNetwork::refresh_fingers() {
+  for (auto& [key, n] : ring_) build_fingers(n);
+}
+
+std::size_t ChordNetwork::add_node(Location loc, Trace* trace) {
+  TAP_CHECK(loc < space_.size(), "location outside the metric space");
+  std::uint64_t key = 0;
+  do {
+    key = rng_() & mask();
+  } while (ring_.count(key) != 0);
+
+  ChordNode n;
+  n.key = key;
+  n.loc = loc;
+  n.handle = handles_.size();
+
+  if (ring_.empty()) {
+    ring_.emplace(key, std::move(n));
+    handles_.push_back(key);
+    build_fingers(ring_node(key));
+    return handles_.size() - 1;
+  }
+
+  // Join via a random gateway: find our successor (counted), take over the
+  // keys in (pred, us], then initialize fingers with one lookup each,
+  // starting from the previous answer (the O(log^2 n) construction).
+  const std::uint64_t gateway = handles_[rng_.next_u64(handles_.size())];
+  const std::uint64_t succ = lookup(gateway, key, trace);
+
+  // Key transfer from the successor (one bulk message); the actual moves
+  // happen below, once the ring contains us.
+  if (trace != nullptr) trace->hop(space_.distance(loc, ring_node(succ).loc));
+
+  ring_.emplace(key, std::move(n));
+  handles_.push_back(key);
+  ChordNode& self = ring_node(key);
+
+  // Now that the ring contains us, move the keys we own.
+  ChordNode& successor = ring_node(succ);
+  for (auto it = successor.store.begin(); it != successor.store.end();) {
+    if (ring_successor(hash_key(it->first)) == key) {
+      self.store.emplace(it->first, std::move(it->second));
+      it = successor.store.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Finger construction: lookup each target from the previous finger.
+  self.fingers.assign(ring_bits_, key);
+  std::uint64_t from = succ;
+  for (unsigned i = 0; i < ring_bits_; ++i) {
+    const std::uint64_t target = (key + (std::uint64_t{1} << i)) & mask();
+    const std::uint64_t f = lookup(from, target, trace);
+    self.fingers[i] = f;
+    from = f;
+  }
+  return handles_.size() - 1;
+}
+
+void ChordNetwork::publish(std::size_t server, std::uint64_t key,
+                           Trace* trace) {
+  TAP_CHECK(server < handles_.size(), "bad server handle");
+  const std::uint64_t owner = lookup(handles_[server], hash_key(key), trace);
+  auto& replicas = ring_node(owner).store[key];
+  for (const std::size_t s : replicas)
+    if (s == server) return;
+  replicas.push_back(server);
+}
+
+SchemeLocate ChordNetwork::locate(std::size_t client, std::uint64_t key,
+                                  Trace* trace) {
+  TAP_CHECK(client < handles_.size(), "bad client handle");
+  SchemeLocate res;
+  std::size_t hops = 0;
+  double latency = 0.0;
+  const std::uint64_t owner =
+      lookup(handles_[client], hash_key(key), trace, &hops, &latency);
+  res.hops = hops;
+  res.latency = latency;
+  const ChordNode& o = ring_node(owner);
+  auto it = o.store.find(key);
+  if (it == o.store.end() || it->second.empty()) return res;
+  // Forward to the replica closest to the client.
+  const Location client_loc = ring_node(handles_[client]).loc;
+  std::size_t best = it->second.front();
+  for (const std::size_t s : it->second)
+    if (space_.distance(client_loc, ring_node(handles_[s]).loc) <
+        space_.distance(client_loc, ring_node(handles_[best]).loc))
+      best = s;
+  const double d =
+      space_.distance(o.loc, ring_node(handles_[best]).loc);
+  if (trace != nullptr) trace->hop(d);
+  res.found = true;
+  res.server = best;
+  res.hops += 1;
+  res.latency += d;
+  return res;
+}
+
+std::size_t ChordNetwork::total_state() const {
+  std::size_t n = 0;
+  for (const auto& [key, node] : ring_) {
+    n += node.fingers.size() + 1;  // fingers + successor knowledge
+    for (const auto& [obj, replicas] : node.store) n += replicas.size();
+  }
+  return n;
+}
+
+}  // namespace tap

@@ -1,0 +1,95 @@
+// Chord (Stoica et al. [30]) — the canonical load-balanced DHT baseline of
+// Table 1: nodes on an m-bit virtual ring, each keeping a successor, a
+// predecessor and m fingers; lookups walk closest-preceding-fingers in
+// O(log n) hops; objects live at successor(hash(key)).
+//
+// The essential contrast with Tapestry: Chord's fingers are chosen by ring
+// arithmetic with *no regard for network distance*, so although the hop
+// count is logarithmic, each hop is an expected random cross-network jump —
+// stretch grows with the network instead of staying constant (E2).
+//
+// Fidelity notes:
+//   * joins are dynamic: a join pays a successor lookup plus one lookup per
+//     finger (started from the previous finger's answer, the standard
+//     O(log^2 n) construction) plus key transfer;
+//   * successor/predecessor pointers are maintained eagerly on join (the
+//     paper's stabilization protocol run to quiescence), so lookups are
+//     always correct; stale *fingers* of other nodes only cost extra hops
+//     until refresh_fingers() — our stand-in for the background
+//     fix_fingers task — is run.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/scheme.h"
+#include "src/common/assert.h"
+#include "src/common/rng.h"
+
+namespace tap {
+
+class ChordNetwork final : public LocationScheme {
+ public:
+  ChordNetwork(const MetricSpace& space, std::uint64_t seed,
+               unsigned ring_bits = 24);
+
+  [[nodiscard]] std::string name() const override { return "chord"; }
+
+  std::size_t add_node(Location loc, Trace* trace) override;
+  void finalize() override { refresh_fingers(); }
+  [[nodiscard]] std::size_t size() const override { return handles_.size(); }
+
+  void publish(std::size_t server, std::uint64_t key, Trace* trace) override;
+  SchemeLocate locate(std::size_t client, std::uint64_t key,
+                      Trace* trace) override;
+
+  [[nodiscard]] std::size_t total_state() const override;
+  [[nodiscard]] bool dynamic_insert() const override { return true; }
+
+  /// Recomputes every node's fingers against the current ring (the
+  /// background fix_fingers task, run to quiescence; not charged).
+  void refresh_fingers();
+
+  /// Ring key of a node handle (exposed for tests).
+  [[nodiscard]] std::uint64_t key_of(std::size_t handle) const;
+  /// Handle of the node owning ring position k (exposed for tests).
+  [[nodiscard]] std::size_t successor_handle(std::uint64_t k) const;
+
+ private:
+  struct ChordNode {
+    std::uint64_t key = 0;
+    Location loc = 0;
+    std::size_t handle = 0;
+    std::vector<std::uint64_t> fingers;  // finger[i] ~ successor(key + 2^i)
+    // Objects this node is responsible for: key -> replica handles.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> store;
+  };
+
+  [[nodiscard]] std::uint64_t mask() const {
+    return ring_bits_ == 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << ring_bits_) - 1;
+  }
+  [[nodiscard]] std::uint64_t hash_key(std::uint64_t key) const {
+    return splitmix64(key ^ 0xc0ffee) & mask();
+  }
+  /// True iff x lies in the half-open ring interval (a, b].
+  [[nodiscard]] static bool in_range(std::uint64_t x, std::uint64_t a,
+                                     std::uint64_t b);
+  [[nodiscard]] ChordNode& ring_node(std::uint64_t key);
+  [[nodiscard]] std::uint64_t ring_successor(std::uint64_t k) const;
+  /// Iterative lookup of successor(k) from a starting node; costs land in
+  /// `trace` and `hops_out`/`latency_out`.
+  std::uint64_t lookup(std::uint64_t from_key, std::uint64_t k, Trace* trace,
+                       std::size_t* hops_out = nullptr,
+                       double* latency_out = nullptr);
+  void build_fingers(ChordNode& n);
+
+  const MetricSpace& space_;
+  unsigned ring_bits_;
+  Rng rng_;
+  std::map<std::uint64_t, ChordNode> ring_;  // ordered by ring key
+  std::vector<std::uint64_t> handles_;       // handle -> ring key
+};
+
+}  // namespace tap

@@ -1,0 +1,150 @@
+#include "src/baselines/general_metric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <limits>
+
+namespace tap {
+
+GeneralMetricScheme::GeneralMetricScheme(const MetricSpace& space,
+                                         std::uint64_t seed,
+                                         double rep_factor)
+    : space_(space), seed_(seed), rep_factor_(rep_factor) {
+  TAP_CHECK(rep_factor_ >= 1.0, "rep_factor must be >= 1");
+}
+
+std::size_t GeneralMetricScheme::add_node(Location loc, Trace* /*trace*/) {
+  TAP_CHECK(!finalized_, "static scheme: no joins after finalize()");
+  TAP_CHECK(loc < space_.size(), "location outside the metric space");
+  locs_.push_back(loc);
+  return locs_.size() - 1;
+}
+
+void GeneralMetricScheme::finalize() {
+  TAP_CHECK(!locs_.empty(), "no nodes");
+  const std::size_t n = locs_.size();
+  const double lg = std::log2(static_cast<double>(n < 2 ? 2 : n));
+  levels_ = static_cast<std::size_t>(std::ceil(lg)) + 1;  // level 0 = anchor
+  classes_ = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::ceil(rep_factor_ * lg)));
+
+  // Nested sampling ranks: rank(u, j) uniform in [0,1);
+  // S_{i,j} = { u : rank(u, j) < 2^i / n }, so S_{i,j} ⊆ S_{i+1,j}.
+  auto rank = [&](std::size_t u, std::size_t j) {
+    const std::uint64_t h = splitmix64(hash_combine(seed_, u * 131 + j));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  };
+
+  // The anchor: a deterministic "random" node every class agrees on.
+  anchor_ = 0;
+  double best_rank = 2.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (rank(u, 0) < best_rank) {
+      best_rank = rank(u, 0);
+      anchor_ = u;
+    }
+  }
+
+  // Precompute S_{i,j} membership and every node's closest representative.
+  rep_.assign(n * levels_ * classes_, anchor_);
+  for (std::size_t j = 0; j < classes_; ++j) {
+    for (std::size_t i = 1; i < levels_; ++i) {
+      const double threshold =
+          std::min(1.0, std::pow(2.0, static_cast<double>(i)) /
+                            static_cast<double>(n));
+      std::vector<std::size_t> members;
+      for (std::size_t u = 0; u < n; ++u)
+        if (rank(u, j) < threshold) members.push_back(u);
+      if (members.empty()) members.push_back(anchor_);
+      for (std::size_t u = 0; u < n; ++u) {
+        std::size_t best = members.front();
+        double best_d = space_.distance(locs_[u], locs_[best]);
+        for (const std::size_t m : members) {
+          const double d = space_.distance(locs_[u], locs_[m]);
+          if (d < best_d || (d == best_d && m < best)) {
+            best = m;
+            best_d = d;
+          }
+        }
+        rep_[rep_index(u, i, j)] = best;
+      }
+    }
+    // Level 0: everyone points at the anchor.
+    for (std::size_t u = 0; u < n; ++u) rep_[rep_index(u, 0, j)] = anchor_;
+  }
+  finalized_ = true;
+}
+
+void GeneralMetricScheme::publish(std::size_t server, std::uint64_t key,
+                                  Trace* trace) {
+  TAP_CHECK(finalized_, "finalize() first");
+  TAP_CHECK(server < locs_.size(), "bad server handle");
+  // Register the object with every representative of its holder.
+  for (std::size_t i = 0; i < levels_; ++i) {
+    for (std::size_t j = 0; j < classes_; ++j) {
+      const std::size_t rep = rep_[rep_index(server, i, j)];
+      if (trace != nullptr)
+        trace->hop(space_.distance(locs_[server], locs_[rep]));
+      auto& holders = member_state_[rep_index(rep, i, j)].objects[key];
+      if (std::find(holders.begin(), holders.end(), server) == holders.end())
+        holders.push_back(server);
+    }
+  }
+}
+
+SchemeLocate GeneralMetricScheme::locate(std::size_t client,
+                                         std::uint64_t key, Trace* trace) {
+  TAP_CHECK(finalized_, "finalize() first");
+  TAP_CHECK(client < locs_.size(), "bad client handle");
+  SchemeLocate res;
+  // Densest level first: representatives are nearest there.  All j classes
+  // are probed in parallel, so the level's latency is the worst round trip,
+  // while every probe counts as traffic.
+  for (std::size_t level = levels_; level-- > 0;) {
+    double level_latency = 0.0;
+    std::optional<std::size_t> found_holder;
+    double found_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < classes_; ++j) {
+      const std::size_t rep = rep_[rep_index(client, level, j)];
+      const double d = space_.distance(locs_[client], locs_[rep]);
+      if (trace != nullptr) {
+        trace->hop(d);
+        trace->hop(d);  // reply
+      }
+      res.hops += 2;
+      level_latency = std::max(level_latency, 2.0 * d);
+      auto it = member_state_.find(rep_index(rep, level, j));
+      if (it == member_state_.end()) continue;
+      auto obj = it->second.objects.find(key);
+      if (obj == it->second.objects.end() || obj->second.empty()) continue;
+      for (const std::size_t h : obj->second) {
+        const double dh = space_.distance(locs_[client], locs_[h]);
+        if (dh < found_dist) {
+          found_dist = dh;
+          found_holder = h;
+        }
+      }
+    }
+    res.latency += level_latency;
+    if (found_holder.has_value()) {
+      // Fetch from the closest holder discovered at this level.
+      if (trace != nullptr) trace->hop(found_dist);
+      res.hops += 1;
+      res.latency += found_dist;
+      res.found = true;
+      res.server = *found_holder;
+      return res;
+    }
+  }
+  return res;  // only reachable when the object was never published
+}
+
+std::size_t GeneralMetricScheme::total_state() const {
+  std::size_t n = rep_.size();  // every (node, i, j) pointer
+  for (const auto& [idx, member] : member_state_)
+    for (const auto& [key, holders] : member.objects) n += holders.size();
+  return n;
+}
+
+}  // namespace tap

@@ -1,0 +1,80 @@
+// Object location in general metric spaces (paper §7, Theorem 7) — the
+// static "PRR v.0" sampling scheme.
+//
+// For i in [1, log n] and j in [0, c·log n), the set S_{i,j} contains each
+// node independently with probability 2^i / n (implemented with nested
+// per-(node, j) ranks so S_{i,j} ⊆ S_{i+1,j}, the containment the proof's
+// final remark requires).  S_{0,0} is a single anchor node.  Every node
+// stores its closest member of each S_{i,j}; every member stores the
+// objects of the nodes that point to it.
+//
+// A query from X probes its representatives level by level, densest first
+// (i = log n down to 0), all j in parallel; the first level where some
+// representative knows the object answers it.  Theorem 7: the distance to
+// the answering representative is O(d(X, Y) · log n) w.h.p., giving
+// polylogarithmic stretch in *any* metric — including the high-expansion
+// spaces where the growth-restricted machinery of §3 does not apply.
+// E8 measures exactly this.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/scheme.h"
+#include "src/common/assert.h"
+#include "src/common/rng.h"
+
+namespace tap {
+
+class GeneralMetricScheme final : public LocationScheme {
+ public:
+  /// `rep_factor` is the c in c·log n parallel sampling classes.
+  GeneralMetricScheme(const MetricSpace& space, std::uint64_t seed,
+                      double rep_factor = 2.0);
+
+  [[nodiscard]] std::string name() const override { return "prr-v0"; }
+
+  std::size_t add_node(Location loc, Trace* trace) override;
+  void finalize() override;
+  [[nodiscard]] std::size_t size() const override { return locs_.size(); }
+
+  void publish(std::size_t server, std::uint64_t key, Trace* trace) override;
+  SchemeLocate locate(std::size_t client, std::uint64_t key,
+                      Trace* trace) override;
+
+  [[nodiscard]] std::size_t total_state() const override;
+  [[nodiscard]] bool dynamic_insert() const override { return false; }
+
+  /// Number of (i, j) sampling classes (exposed for space accounting
+  /// tests: average per-node state must be O(log^2 n)).
+  [[nodiscard]] std::size_t num_levels() const { return levels_; }
+  [[nodiscard]] std::size_t num_classes() const { return classes_; }
+
+ private:
+  struct Member {
+    // Objects of the nodes that point to this member, per (i, j) class:
+    // key -> holder handles.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> objects;
+  };
+
+  [[nodiscard]] std::size_t rep_index(std::size_t node, std::size_t i,
+                                      std::size_t j) const {
+    return (node * levels_ + i) * classes_ + j;
+  }
+
+  const MetricSpace& space_;
+  std::uint64_t seed_;
+  double rep_factor_;
+  std::vector<Location> locs_;
+  bool finalized_ = false;
+
+  std::size_t levels_ = 0;   // i in [0, levels_); 0 is the anchor level
+  std::size_t classes_ = 0;  // j in [0, classes_)
+  std::size_t anchor_ = 0;
+  // rep_[rep_index(u, i, j)] = handle of u's closest member of S_{i,j}.
+  std::vector<std::size_t> rep_;
+  // Per (member, i, j): object lists.  Keyed by rep_index(member, i, j).
+  std::unordered_map<std::size_t, Member> member_state_;
+};
+
+}  // namespace tap

@@ -1,0 +1,63 @@
+// LocationScheme: the common face of every object-location system compared
+// in Table 1, so the benchmark harness can run one workload over all of
+// them.  Nodes are addressed by dense handles (0..size-1, in join order);
+// objects by opaque 64-bit keys.  All costs flow through Trace, exactly as
+// in the Tapestry core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/metric/metric_space.h"
+#include "src/sim/trace.h"
+
+namespace tap {
+
+/// Outcome of a baseline locate, mirroring tapestry's LocateResult.
+struct SchemeLocate {
+  bool found = false;
+  std::size_t server = 0;  ///< node handle of the replica resolved to
+  std::size_t hops = 0;
+  double latency = 0.0;
+};
+
+class LocationScheme {
+ public:
+  virtual ~LocationScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Adds a node at the given underlay location; returns its handle.
+  /// The first call bootstraps the system.  Insertion traffic lands in
+  /// `trace` (schemes without a dynamic insertion algorithm — the “-”
+  /// rows of Table 1 — charge their full construction here or rebuild in
+  /// finalize()).
+  virtual std::size_t add_node(Location loc, Trace* trace) = 0;
+
+  /// Called once after the last add_node, before any publish/locate.
+  /// Static schemes build their structures here.
+  virtual void finalize() {}
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Registers that `server` stores the object `key`.
+  virtual void publish(std::size_t server, std::uint64_t key,
+                       Trace* trace) = 0;
+
+  /// Finds some replica of `key` starting at `client`.
+  virtual SchemeLocate locate(std::size_t client, std::uint64_t key,
+                              Trace* trace) = 0;
+
+  /// Total directory + routing state (Table 1 “space”), in entries.
+  [[nodiscard]] virtual std::size_t total_state() const = 0;
+
+  /// True when add_node implements the paper's dynamic-membership column
+  /// (Table 1 “insert cost”); false for static constructions.
+  [[nodiscard]] virtual bool dynamic_insert() const = 0;
+
+  LocationScheme() = default;
+  LocationScheme(const LocationScheme&) = delete;
+  LocationScheme& operator=(const LocationScheme&) = delete;
+};
+
+}  // namespace tap

@@ -1,0 +1,56 @@
+// Invariant-checking macros used throughout the Tapestry implementation.
+//
+// TAP_ASSERT is for internal invariants (violations indicate a bug in this
+// library); TAP_CHECK is for precondition validation on public API entry
+// points (violations indicate caller error).  Both are always on — the
+// simulator is a correctness artifact first and a performance artifact
+// second, and the cost of the checks is negligible next to the algorithms
+// they guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tap {
+
+/// Exception thrown on TAP_CHECK failure.  Tests catch this to verify that
+/// misuse of the public API is diagnosed.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "TAP_ASSERT failed: %s at %s:%d %s\n", expr, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TAP_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace tap
+
+#define TAP_ASSERT(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::tap::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TAP_ASSERT_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) ::tap::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define TAP_CHECK(expr, msg)                                     \
+  do {                                                           \
+    if (!(expr)) ::tap::check_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,77 @@
+// Small text-table formatting helpers shared by the benchmark binaries so
+// that every experiment prints its results in the same aligned style.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// with a header rule, e.g.
+///
+///   scheme     | hops  | stretch
+///   -----------+-------+--------
+///   tapestry   | 4.20  | 1.35
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {
+    TAP_CHECK(!header_.empty(), "TextTable needs at least one column");
+  }
+
+  void add_row(std::vector<std::string> row) {
+    TAP_CHECK(row.size() == header_.size(),
+              "TextTable row width must match header");
+    rows_.push_back(std::move(row));
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+        if (c + 1 < row.size()) os << " | ";
+      }
+      os << '\n';
+    };
+    emit(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c], '-');
+      if (c + 1 < header_.size()) os << "-+-";
+    }
+    os << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+  }
+
+  void print() const { std::fputs(render().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (default 3 significant-ish
+/// decimal places), trimming the noise a raw operator<< would add.
+[[nodiscard]] inline std::string fmt(double v, int prec = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+[[nodiscard]] inline std::string fmt(std::size_t v) { return std::to_string(v); }
+[[nodiscard]] inline std::string fmt(int v) { return std::to_string(v); }
+
+}  // namespace tap

@@ -1,0 +1,21 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace tap {
+
+double Rng::exponential(double rate) {
+  TAP_CHECK(rate > 0, "exponential: rate must be positive");
+  // Inverse-CDF sampling; 1 - U avoids log(0).
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+}  // namespace tap

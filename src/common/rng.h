@@ -1,0 +1,118 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Everything stochastic in this repository — node identifiers, metric-space
+// point placement, workload generation, event jitter — draws from tap::Rng so
+// that every test and benchmark is reproducible bit-for-bit from its seed.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64, which is the conventional pairing: splitmix64 decorrelates
+// low-entropy seeds (0, 1, 2, ...) before they reach the xoshiro state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+/// splitmix64 step: used for seeding and as a cheap stateless hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes two 64-bit values into one; used to derive per-object salts
+/// (e.g. GUID -> root-set member i) and per-trial sub-seeds.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  [[nodiscard]] std::uint64_t next_u64(std::uint64_t bound) {
+    TAP_CHECK(bound > 0, "next_u64 bound must be positive");
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    TAP_CHECK(lo < hi, "uniform: lo must be < hi");
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    return next_double() < p;
+  }
+
+  /// Exponentially distributed waiting time with the given rate
+  /// (used by the churn workload's Poisson arrival processes).
+  [[nodiscard]] double exponential(double rate);
+
+  /// A uniformly random permutation of {0, 1, ..., n-1}.
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Fisher-Yates shuffle of an arbitrary vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = next_u64(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each parallel
+  /// benchmark trial its own stream.
+  [[nodiscard]] Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tap

@@ -1,0 +1,158 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_valid_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Summary::mean() const {
+  TAP_CHECK(!empty(), "mean of empty Summary");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::variance() const {
+  TAP_CHECK(samples_.size() >= 2, "variance needs >= 2 samples");
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(samples_.size() - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::min() const {
+  TAP_CHECK(!empty(), "min of empty Summary");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  TAP_CHECK(!empty(), "max of empty Summary");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Summary::percentile(double p) const {
+  TAP_CHECK(!empty(), "percentile of empty Summary");
+  TAP_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Summary::describe() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "(no samples)";
+    return os.str();
+  }
+  os.precision(4);
+  os << mean();
+  if (samples_.size() >= 2) os << " ±" << stddev();
+  os << " (p50=" << median() << ", p99=" << percentile(99)
+     << ", n=" << count() << ")";
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  TAP_CHECK(lo < hi, "Histogram range must be non-empty");
+  TAP_CHECK(bins > 0, "Histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(std::floor(t * static_cast<double>(counts_.size())));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  TAP_CHECK(i < counts_.size(), "Histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  TAP_CHECK(i < counts_.size(), "Histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return bin_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  os.precision(3);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / peak;
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") ";
+    for (std::size_t j = 0; j < bar; ++j) os << '#';
+    os << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  TAP_CHECK(x.size() == y.size(), "fit_linear: size mismatch");
+  TAP_CHECK(x.size() >= 2, "fit_linear: need >= 2 points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace tap

@@ -1,0 +1,82 @@
+// Lightweight descriptive statistics used by the benchmark harness and the
+// metric-space analysis tools: running moments, exact percentiles, fixed-bin
+// histograms and least-squares fits (for checking O(log n) / O(log^2 n)
+// scaling shapes empirically).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tap {
+
+/// Accumulates samples and answers summary queries.  Keeps all samples so
+/// percentiles are exact; intended for experiment-scale data volumes.
+class Summary {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< unbiased sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// "mean ± stddev (p50=..., p99=..., n=...)" for bench table cells.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily maintained cache
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped to the
+/// end bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering used in bench output.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Ordinary least squares y = a + b*x.  Used to report empirical scaling
+/// exponents: fitting measured cost against log n (or log^2 n) and reporting
+/// the residual tells us whether the predicted asymptotic shape holds.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace tap

@@ -1,0 +1,107 @@
+#include "src/metric/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/assert.h"
+#include "src/common/stats.h"
+
+namespace tap {
+
+TriangleAudit audit_triangle_inequality(const MetricSpace& space, Rng& rng,
+                                        std::size_t triples) {
+  constexpr double kTolerance = 1e-9;
+  TriangleAudit audit;
+  const std::size_t n = space.size();
+  if (n < 3) return audit;
+  for (std::size_t t = 0; t < triples; ++t) {
+    const Location x = rng.next_u64(n);
+    const Location y = rng.next_u64(n);
+    const Location z = rng.next_u64(n);
+    const double excess =
+        space.distance(x, y) - (space.distance(x, z) + space.distance(z, y));
+    ++audit.triples_checked;
+    if (excess > kTolerance) {
+      ++audit.violations;
+      audit.worst_excess = std::max(audit.worst_excess, excess);
+    }
+  }
+  return audit;
+}
+
+ExpansionEstimate estimate_expansion(const MetricSpace& space, Rng& rng,
+                                     std::size_t centers,
+                                     std::size_t min_ball) {
+  const std::size_t n = space.size();
+  TAP_CHECK(n >= 2, "expansion estimate needs >= 2 points");
+  Summary ratios;
+  for (std::size_t c = 0; c < centers; ++c) {
+    const Location a = rng.next_u64(n);
+    std::vector<double> dist;
+    dist.reserve(n);
+    for (Location i = 0; i < n; ++i)
+      if (i != a) dist.push_back(space.distance(a, i));
+    std::sort(dist.begin(), dist.end());
+    // Sweep r = distance to the j-th nearest point; |B(r)| = j + 1 (counting
+    // the center).  |B(2r)| by binary search.  Skip radii where the doubled
+    // ball covers everything (Equation 1's side condition).
+    for (std::size_t j = min_ball; j < dist.size(); ++j) {
+      const double r = dist[j - 1];
+      if (r <= 0) continue;
+      const auto it =
+          std::upper_bound(dist.begin(), dist.end(), 2.0 * r);
+      const auto ball2 = static_cast<std::size_t>(it - dist.begin()) + 1;
+      if (ball2 >= n) break;  // doubled ball is the whole space
+      const auto ball1 = j + 1;
+      ratios.add(static_cast<double>(ball2) / static_cast<double>(ball1));
+    }
+  }
+  ExpansionEstimate est;
+  if (!ratios.empty()) {
+    est.median_ratio = ratios.median();
+    est.p90_ratio = ratios.percentile(90);
+    est.max_ratio = ratios.max();
+  }
+  return est;
+}
+
+double diameter(const MetricSpace& space) {
+  const std::size_t n = space.size();
+  double best = 0.0;
+  for (Location a = 0; a < n; ++a)
+    for (Location b = a + 1; b < n; ++b)
+      best = std::max(best, space.distance(a, b));
+  return best;
+}
+
+Location medoid(const MetricSpace& space) {
+  const std::size_t n = space.size();
+  TAP_CHECK(n > 0, "medoid of empty space");
+  Location best = 0;
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (Location a = 0; a < n; ++a) {
+    double sum = 0.0;
+    for (Location b = 0; b < n; ++b) sum += space.distance(a, b);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = a;
+    }
+  }
+  return best;
+}
+
+std::vector<Location> nearest_sorted(const MetricSpace& space, Location from) {
+  TAP_CHECK(from < space.size(), "location out of range");
+  std::vector<Location> order;
+  order.reserve(space.size() - 1);
+  for (Location i = 0; i < space.size(); ++i)
+    if (i != from) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](Location a, Location b) {
+    return space.distance(from, a) < space.distance(from, b);
+  });
+  return order;
+}
+
+}  // namespace tap

@@ -1,0 +1,60 @@
+// Empirical analysis of metric spaces: triangle-inequality auditing,
+// expansion-constant estimation (Equation 1 of the paper), diameter and
+// medoid computation.  These feed both the test suite (every space is
+// audited) and the benchmark reports (each experiment prints the measured
+// expansion constant of the space it ran on, since the paper's guarantees
+// are parameterized by it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metric/metric_space.h"
+
+namespace tap {
+
+/// Result of a randomized triangle-inequality audit.
+struct TriangleAudit {
+  std::size_t triples_checked = 0;
+  std::size_t violations = 0;
+  double worst_excess = 0.0;  ///< max of d(x,y) - (d(x,z) + d(z,y)) observed
+};
+
+/// Samples random triples and checks d(x,y) <= d(x,z) + d(z,y) up to a
+/// small floating-point tolerance.
+[[nodiscard]] TriangleAudit audit_triangle_inequality(const MetricSpace& space,
+                                                      Rng& rng,
+                                                      std::size_t triples);
+
+/// Estimate of the expansion constant c of Equation 1:
+///   |B_A(2r)| <= c |B_A(r)|   (while B_A(2r) is not the whole space).
+/// For each sampled center we sweep r over the sorted distance profile and
+/// record |B(2r)| / |B(r)|; the estimate aggregates over centers and radii.
+struct ExpansionEstimate {
+  double median_ratio = 0.0;
+  double p90_ratio = 0.0;
+  double max_ratio = 0.0;
+};
+
+[[nodiscard]] ExpansionEstimate estimate_expansion(const MetricSpace& space,
+                                                   Rng& rng,
+                                                   std::size_t centers = 32,
+                                                   std::size_t min_ball = 4);
+
+/// Exact diameter over all pairs (O(n^2); spaces here are <= a few thousand
+/// points).
+[[nodiscard]] double diameter(const MetricSpace& space);
+
+/// The medoid: the location minimizing the sum of distances to all others.
+/// Used to place the centralized directory baseline fairly (best possible
+/// single-server position).
+[[nodiscard]] Location medoid(const MetricSpace& space);
+
+/// All locations sorted by distance from `from` (nearest first, excluding
+/// `from` itself).  Brute force; the test oracle for nearest-neighbor
+/// correctness.
+[[nodiscard]] std::vector<Location> nearest_sorted(const MetricSpace& space,
+                                                   Location from);
+
+}  // namespace tap

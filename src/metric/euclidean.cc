@@ -1,0 +1,32 @@
+#include "src/metric/euclidean.h"
+
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+Euclidean2D::Euclidean2D(std::size_t n, Rng& rng) {
+  TAP_CHECK(n > 0, "Euclidean2D needs at least one point");
+  xs_.reserve(n);
+  ys_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs_.push_back(rng.next_double());
+    ys_.push_back(rng.next_double());
+  }
+}
+
+Euclidean2D::Euclidean2D(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  TAP_CHECK(xs_.size() == ys_.size(), "coordinate vectors must match");
+  TAP_CHECK(!xs_.empty(), "Euclidean2D needs at least one point");
+}
+
+double Euclidean2D::distance(Location a, Location b) const {
+  TAP_ASSERT(a < xs_.size() && b < xs_.size());
+  const double dx = xs_[a] - xs_[b];
+  const double dy = ys_[a] - ys_[b];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace tap

@@ -1,0 +1,36 @@
+// Flat 2-D Euclidean point set on the unit square (no wrap-around).
+// Compared with Torus2D this has boundary effects: balls near the edge grow
+// more slowly, so the local expansion constant varies across the space —
+// closer to a realistic geographic layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metric/metric_space.h"
+
+namespace tap {
+
+class Euclidean2D final : public MetricSpace {
+ public:
+  Euclidean2D(std::size_t n, Rng& rng);
+
+  /// Constructs from explicit coordinates (used by tests for hand-built
+  /// geometries and by TransitStubMetric internally).
+  Euclidean2D(std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return xs_.size();
+  }
+  [[nodiscard]] double distance(Location a, Location b) const override;
+  [[nodiscard]] std::string name() const override { return "euclid2d"; }
+
+  [[nodiscard]] double x(Location i) const { return xs_.at(i); }
+  [[nodiscard]] double y(Location i) const { return ys_.at(i); }
+
+ private:
+  std::vector<double> xs_, ys_;
+};
+
+}  // namespace tap

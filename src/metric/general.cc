@@ -1,0 +1,52 @@
+#include "src/metric/general.h"
+
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+HighDimEuclidean::HighDimEuclidean(std::size_t n, std::size_t dim, Rng& rng)
+    : n_(n), dim_(dim) {
+  TAP_CHECK(n > 0, "HighDimEuclidean needs at least one point");
+  TAP_CHECK(dim > 0, "dimension must be positive");
+  coords_.reserve(n * dim);
+  for (std::size_t i = 0; i < n * dim; ++i)
+    coords_.push_back(rng.next_double());
+}
+
+double HighDimEuclidean::distance(Location a, Location b) const {
+  TAP_ASSERT(a < n_ && b < n_);
+  double acc = 0.0;
+  const double* pa = &coords_[a * dim_];
+  const double* pb = &coords_[b * dim_];
+  for (std::size_t k = 0; k < dim_; ++k) {
+    const double d = pa[k] - pb[k];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::string HighDimEuclidean::name() const {
+  return "euclid" + std::to_string(dim_) + "d";
+}
+
+TwoClusterMetric::TwoClusterMetric(std::size_t n, Rng& rng,
+                                   double cluster_radius, double separation) {
+  TAP_CHECK(n >= 2, "TwoClusterMetric needs at least two points");
+  TAP_CHECK(cluster_radius > 0 && separation > 2 * cluster_radius,
+            "clusters must be separated");
+  pos_.reserve(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double center = i < half ? 0.0 : separation;
+    pos_.push_back(center + rng.uniform(-cluster_radius, cluster_radius));
+  }
+}
+
+double TwoClusterMetric::distance(Location a, Location b) const {
+  TAP_ASSERT(a < pos_.size() && b < pos_.size());
+  return std::fabs(pos_[a] - pos_[b]);
+}
+
+}  // namespace tap

@@ -1,0 +1,58 @@
+// Metric spaces *outside* the growth-restricted family — the regime of the
+// paper's §7 (object location in general metric spaces, "PRR v.0").
+//
+//   HighDimEuclidean  points uniform in [0,1]^d.  The expansion constant of
+//                     a d-dimensional cube is ~2^d, so for d >= 5 the
+//                     b > c^2 precondition of the dynamic algorithms fails
+//                     decisively; §7's sampling scheme still works here.
+//   TwoClusterMetric  two dense clusters separated by a long bridge — a
+//                     minimal, adversarial violation of even growth (a ball
+//                     that reaches the far cluster suddenly doubles its
+//                     population).  Useful for worst-case stretch tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metric/metric_space.h"
+
+namespace tap {
+
+class HighDimEuclidean final : public MetricSpace {
+ public:
+  HighDimEuclidean(std::size_t n, std::size_t dim, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] double distance(Location a, Location b) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+ private:
+  std::size_t n_, dim_;
+  std::vector<double> coords_;  // row-major n x dim
+};
+
+class TwoClusterMetric final : public MetricSpace {
+ public:
+  /// Half the points sit in a cluster of the given radius around 0, half
+  /// around `separation` on a line.
+  TwoClusterMetric(std::size_t n, Rng& rng, double cluster_radius = 0.01,
+                   double separation = 1.0);
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return pos_.size();
+  }
+  [[nodiscard]] double distance(Location a, Location b) const override;
+  [[nodiscard]] std::string name() const override { return "two-cluster"; }
+
+  [[nodiscard]] bool in_first_cluster(Location i) const {
+    return i < pos_.size() / 2;
+  }
+
+ private:
+  std::vector<double> pos_;
+};
+
+}  // namespace tap

@@ -1,0 +1,32 @@
+#include "src/metric/ring.h"
+
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+RingMetric::RingMetric(std::size_t n, Rng& rng, double jitter) {
+  TAP_CHECK(n > 0, "RingMetric needs at least one point");
+  TAP_CHECK(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0,1)");
+  pos_.reserve(n);
+  const double slot = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = static_cast<double>(i) * slot;
+    const double offs = jitter > 0 ? rng.uniform(0.0, jitter * slot) : 0.0;
+    pos_.push_back(base + offs);
+  }
+}
+
+double RingMetric::distance(Location a, Location b) const {
+  TAP_ASSERT(a < pos_.size() && b < pos_.size());
+  const double d = std::fabs(pos_[a] - pos_[b]);
+  return std::min(d, 1.0 - d);
+}
+
+double RingMetric::position(Location i) const {
+  TAP_CHECK(i < pos_.size(), "position out of range");
+  return pos_[i];
+}
+
+}  // namespace tap

@@ -1,0 +1,37 @@
+// 1-D ring metric: points on a circle of circumference 1.
+//
+// This is the canonical growth-restricted space for this paper: doubling a
+// ball's radius at most doubles the number of points it contains (up to
+// sampling noise), so the expansion constant c is about 2 and the paper's
+// requirement b > c^2 holds comfortably for hex digits (16 > 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metric/metric_space.h"
+
+namespace tap {
+
+class RingMetric final : public MetricSpace {
+ public:
+  /// Places n points on the ring.  `jitter` in [0,1): 0 places points
+  /// exactly evenly (deterministic growth), larger values perturb each
+  /// point away from its even slot by up to jitter/n.
+  RingMetric(std::size_t n, Rng& rng, double jitter = 0.9);
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return pos_.size();
+  }
+  [[nodiscard]] double distance(Location a, Location b) const override;
+  [[nodiscard]] std::string name() const override { return "ring"; }
+
+  /// Angular position in [0,1); exposed for tests.
+  [[nodiscard]] double position(Location i) const;
+
+ private:
+  std::vector<double> pos_;
+};
+
+}  // namespace tap

@@ -1,0 +1,28 @@
+#include "src/metric/torus.h"
+
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+Torus2D::Torus2D(std::size_t n, Rng& rng) {
+  TAP_CHECK(n > 0, "Torus2D needs at least one point");
+  xs_.reserve(n);
+  ys_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs_.push_back(rng.next_double());
+    ys_.push_back(rng.next_double());
+  }
+}
+
+double Torus2D::distance(Location a, Location b) const {
+  TAP_ASSERT(a < xs_.size() && b < xs_.size());
+  double dx = std::fabs(xs_[a] - xs_[b]);
+  double dy = std::fabs(ys_[a] - ys_[b]);
+  dx = std::min(dx, 1.0 - dx);
+  dy = std::min(dy, 1.0 - dy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace tap

@@ -1,0 +1,99 @@
+#include "src/metric/transit_stub.h"
+
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+namespace {
+double euclid(double ax, double ay, double bx, double by) {
+  const double dx = ax - bx;
+  const double dy = ay - by;
+  return std::sqrt(dx * dx + dy * dy);
+}
+}  // namespace
+
+TransitStubMetric::TransitStubMetric(std::size_t n, Rng& rng,
+                                     TransitStubParams params)
+    : params_(params) {
+  TAP_CHECK(n > 0, "TransitStubMetric needs at least one node");
+  TAP_CHECK(params_.transit_routers > 0, "need at least one transit router");
+  TAP_CHECK(params_.stubs_per_transit > 0, "need at least one stub per router");
+  TAP_CHECK(params_.transit_scale >= 1.0,
+            "transit links must not be shorter than local ones");
+
+  const std::size_t T = params_.transit_routers;
+  const std::size_t num_stubs = T * params_.stubs_per_transit;
+
+  tx_.reserve(T);
+  ty_.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    tx_.push_back(rng.next_double());
+    ty_.push_back(rng.next_double());
+  }
+
+  stub_cx_.reserve(num_stubs);
+  stub_cy_.reserve(num_stubs);
+  stub_transit_.reserve(num_stubs);
+  for (std::size_t s = 0; s < num_stubs; ++s) {
+    const std::size_t t = s / params_.stubs_per_transit;
+    const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double r = rng.uniform(0.0, params_.gateway_spread);
+    stub_cx_.push_back(tx_[t] + r * std::cos(angle));
+    stub_cy_.push_back(ty_[t] + r * std::sin(angle));
+    stub_transit_.push_back(t);
+  }
+
+  nx_.reserve(n);
+  ny_.reserve(n);
+  stub_of_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Round-robin assignment keeps stub populations balanced, matching the
+    // even-node-layout variant of transit-stub generation.
+    const std::size_t s = i % num_stubs;
+    const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double r = rng.uniform(0.0, params_.stub_radius);
+    nx_.push_back(stub_cx_[s] + r * std::cos(angle));
+    ny_.push_back(stub_cy_[s] + r * std::sin(angle));
+    stub_of_.push_back(s);
+  }
+}
+
+double TransitStubMetric::node_to_gateway(Location i) const {
+  const std::size_t s = stub_of_[i];
+  return euclid(nx_[i], ny_[i], stub_cx_[s], stub_cy_[s]);
+}
+
+double TransitStubMetric::distance(Location a, Location b) const {
+  TAP_ASSERT(a < stub_of_.size() && b < stub_of_.size());
+  if (a == b) return 0.0;
+  const std::size_t sa = stub_of_[a];
+  const std::size_t sb = stub_of_[b];
+  if (sa == sb) {
+    // Star topology inside a stub: path goes through the gateway.
+    return node_to_gateway(a) + node_to_gateway(b);
+  }
+  const std::size_t ta = stub_transit_[sa];
+  const std::size_t tb = stub_transit_[sb];
+  double d = node_to_gateway(a) + node_to_gateway(b);
+  d += euclid(stub_cx_[sa], stub_cy_[sa], tx_[ta], ty_[ta]);
+  d += euclid(stub_cx_[sb], stub_cy_[sb], tx_[tb], ty_[tb]);
+  if (ta != tb) {
+    // Scaled-Euclidean router weights form a metric, so the direct router
+    // edge is a shortest router path.
+    d += params_.transit_scale * euclid(tx_[ta], ty_[ta], tx_[tb], ty_[tb]);
+  }
+  return d;
+}
+
+std::size_t TransitStubMetric::stub_of(Location i) const {
+  TAP_CHECK(i < stub_of_.size(), "location out of range");
+  return stub_of_[i];
+}
+
+std::size_t TransitStubMetric::transit_of(Location i) const {
+  return stub_transit_[stub_of(i)];
+}
+
+}  // namespace tap

@@ -1,0 +1,84 @@
+// Transit-stub topology (Zegura, Calvert, Bhattacharjee [34]; paper §6.2).
+//
+// The metric is the exact shortest-path metric of the following graph:
+//
+//   * T transit routers placed uniformly in the unit square, fully
+//     connected with edge weight  transit_scale * euclid(r1, r2)
+//     (wide-area links are an order of magnitude longer than local ones);
+//   * each router owns S stub domains; a stub's gateway sits near its
+//     router; stub nodes sit near their gateway and connect only to it
+//     (star topology), with Euclidean edge weights.
+//
+// Because the router-router weights are a scaled Euclidean metric, the
+// direct router edge is always a shortest router path, so the graph
+// shortest path has the closed form implemented in distance() — exact,
+// symmetric, and triangle-inequality-satisfying by construction.
+//
+// Intra-stub latencies are tiny compared to wide-area latencies, exactly
+// the regime that motivates the stub-locality optimization of §6.3, which
+// queries the stub structure through domain_of().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metric/metric_space.h"
+
+namespace tap {
+
+struct TransitStubParams {
+  std::size_t transit_routers = 4;    ///< T
+  std::size_t stubs_per_transit = 4;  ///< S
+  double transit_scale = 10.0;        ///< wide-area edge weight multiplier
+  double gateway_spread = 0.04;       ///< max gateway offset from its router
+  double stub_radius = 0.01;          ///< max node offset from its gateway
+};
+
+class TransitStubMetric final : public MetricSpace {
+ public:
+  TransitStubMetric(std::size_t n, Rng& rng,
+                    TransitStubParams params = TransitStubParams{});
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return stub_of_.size();
+  }
+  [[nodiscard]] double distance(Location a, Location b) const override;
+  [[nodiscard]] std::string name() const override { return "transit-stub"; }
+
+  /// Stub domain identifiers, used by the §6.3 locality optimization.
+  [[nodiscard]] std::size_t num_stubs() const noexcept {
+    return stub_cx_.size();
+  }
+  [[nodiscard]] std::size_t stub_of(Location i) const;
+  [[nodiscard]] std::size_t transit_of(Location i) const;
+  [[nodiscard]] bool same_stub(Location a, Location b) const {
+    return stub_of(a) == stub_of(b);
+  }
+
+  /// Upper bound on any intra-stub distance; the locality optimization can
+  /// use it as the latency threshold that "probably guesses" stub locality
+  /// (paper §6.3) instead of oracle knowledge.
+  [[nodiscard]] double max_intra_stub_distance() const noexcept {
+    return 4.0 * params_.stub_radius;
+  }
+
+  [[nodiscard]] const TransitStubParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  [[nodiscard]] double node_to_gateway(Location i) const;
+
+  TransitStubParams params_;
+  // Node coordinates and their stub assignment.
+  std::vector<double> nx_, ny_;
+  std::vector<std::size_t> stub_of_;
+  // Stub gateway coordinates and their transit-router assignment.
+  std::vector<double> stub_cx_, stub_cy_;
+  std::vector<std::size_t> stub_transit_;
+  // Transit router coordinates.
+  std::vector<double> tx_, ty_;
+};
+
+}  // namespace tap

@@ -1,0 +1,63 @@
+#include "src/sim/event_queue.h"
+
+namespace tap {
+
+EventId EventQueue::schedule_at(double when, Action action) {
+  TAP_CHECK(when >= now_, "schedule_at: cannot schedule in the past");
+  TAP_CHECK(static_cast<bool>(action), "schedule_at: empty action");
+  const EventId id = next_id_++;
+  if (actions_.size() <= id) actions_.resize(id + 1);
+  actions_[id] = std::move(action);
+  heap_.push(Entry{when, id});
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= actions_.size() || !actions_[id]) return false;
+  actions_[id] = nullptr;  // release captured state eagerly
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    TAP_ASSERT(e.time >= now_);
+    now_ = e.time;
+    Action action = std::move(actions_[e.id]);
+    actions_[e.id] = nullptr;
+    ++fired_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    TAP_CHECK(++n <= max_events, "EventQueue::run exceeded max_events");
+  }
+}
+
+void EventQueue::run_until(double t_end) {
+  TAP_CHECK(t_end >= now_, "run_until: cannot rewind the clock");
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    if (cancelled_.count(e.id)) {
+      heap_.pop();
+      cancelled_.erase(e.id);
+      continue;
+    }
+    if (e.time > t_end) break;
+    step();
+  }
+  now_ = t_end;
+}
+
+}  // namespace tap

@@ -1,0 +1,87 @@
+// Discrete-event simulation engine.
+//
+// Used wherever the *interleaving* of distributed events matters to the
+// algorithms, not just their aggregate cost:
+//   * the event-driven acknowledged multicast (paper §4.1/§4.4), where
+//     simultaneous insertions race and the pinned-pointer/watch-list
+//     machinery must observe genuinely interleaved message deliveries;
+//   * soft-state timers (object-pointer expiry and periodic republish,
+//     §6.5) driving the churn/availability experiments.
+//
+// Events at equal timestamps fire in scheduling order (a stable tiebreak on
+// a monotone sequence number), which keeps every simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+/// Handle returned by schedule(); can be used to cancel a pending event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.  Starts at 0 and only moves forward.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules `action` to fire at absolute time `when` (>= now()).
+  EventId schedule_at(double when, Action action);
+
+  /// Schedules `action` to fire `delay` (>= 0) after the current time.
+  EventId schedule_in(double delay, Action action) {
+    TAP_CHECK(delay >= 0.0, "schedule_in: delay must be non-negative");
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event.  Returns false if the event already fired
+  /// (or was already cancelled).
+  bool cancel(EventId id);
+
+  /// Fires the earliest pending event.  Returns false if the queue is
+  /// empty.  Actions may schedule further events.
+  bool step();
+
+  /// Runs until the queue drains.  `max_events` guards against runaway
+  /// event loops in tests.
+  void run(std::size_t max_events = 100'000'000);
+
+  /// Runs events with time <= t_end, then advances the clock to t_end.
+  void run_until(double t_end);
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+
+  /// Total number of events fired over the queue's lifetime.
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    // Ordered as a min-heap: earliest time first, scheduling order breaking
+    // ties so same-time events are FIFO.
+    bool operator>(const Entry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  double now_ = 0.0;
+  EventId next_id_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Action> actions_;  // indexed by EventId
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace tap

@@ -1,0 +1,55 @@
+#include "src/sim/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+std::size_t default_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t workers) {
+  TAP_CHECK(static_cast<bool>(fn), "parallel_for: empty function");
+  if (count == 0) return;
+  if (workers == 0) workers = default_worker_count();
+  workers = std::min(workers, count);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic scheduling over an atomic counter: trials have highly variable
+  // cost (different n, different seeds), so static blocks would straggle.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tap

@@ -1,0 +1,41 @@
+// Parallel trial driver for the benchmark harness and heavyweight tests.
+//
+// Experiments in this repository are embarrassingly parallel at the *trial*
+// level: each trial owns an independent simulator instance seeded from the
+// trial index, so trials share no mutable state and results are
+// deterministic regardless of thread count or scheduling.  This is the
+// standard HPC pattern for simulation sweeps — explicit decomposition, no
+// shared mutable state, deterministic reduction order.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace tap {
+
+/// Number of workers to use by default: hardware concurrency, at least 1.
+[[nodiscard]] std::size_t default_worker_count() noexcept;
+
+/// Runs fn(i) for i in [0, count) across `workers` threads using static
+/// block scheduling.  Blocks until all iterations complete.  The first
+/// exception thrown by any iteration is rethrown on the caller's thread
+/// (after all workers have joined).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t workers = 0);
+
+/// Runs `count` independent trials, each producing a value of type T, and
+/// returns the results in trial order (deterministic reduction).
+template <typename T>
+[[nodiscard]] std::vector<T> run_trials(
+    std::size_t count, const std::function<T(std::size_t)>& trial,
+    std::size_t workers = 0) {
+  std::vector<T> results(count);
+  parallel_for(
+      count, [&](std::size_t i) { results[i] = trial(i); }, workers);
+  return results;
+}
+
+}  // namespace tap

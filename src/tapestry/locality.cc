@@ -1,0 +1,122 @@
+#include "src/tapestry/locality.h"
+
+#include <algorithm>
+
+namespace tap {
+
+LocalityManager::LocalityManager(Network& net, const TransitStubMetric& ts)
+    : net_(net), ts_(ts) {
+  TAP_CHECK(&net.space() == &ts,
+            "LocalityManager requires the network's own transit-stub space");
+}
+
+std::size_t LocalityManager::stub_of(const NodeId& node) const {
+  return ts_.stub_of(net_.node(node).location());
+}
+
+std::vector<NodeId> LocalityManager::stub_members(std::size_t stub) const {
+  std::vector<NodeId> out;
+  for (const NodeId& id : net_.node_ids())
+    if (ts_.stub_of(net_.node(id).location()) == stub) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+NodeId LocalityManager::local_root(std::size_t stub, const Guid& guid) const {
+  const std::vector<NodeId> members = stub_members(stub);
+  TAP_CHECK(!members.empty(), "stub has no live members");
+  // Longest prefix match first; among ties, the smallest wrap-around
+  // next-digit offset (the Tapestry native rule), then the id itself.
+  const unsigned radix = guid.radix();
+  NodeId best = members.front();
+  unsigned best_gcp = guid.common_prefix_len(best);
+  auto offset = [&](const NodeId& m, unsigned gcp) -> unsigned {
+    if (gcp >= guid.num_digits()) return 0;
+    const unsigned want = guid.digit(gcp);
+    const unsigned have = m.digit(gcp);
+    return (have + radix - want) % radix;
+  };
+  for (const NodeId& m : members) {
+    const unsigned g = guid.common_prefix_len(m);
+    if (g > best_gcp ||
+        (g == best_gcp && offset(m, g) < offset(best, best_gcp)) ||
+        (g == best_gcp && offset(m, g) == offset(best, best_gcp) && m < best)) {
+      best = m;
+      best_gcp = g;
+    }
+  }
+  return best;
+}
+
+void LocalityManager::publish(NodeId server, const Guid& guid, Trace* trace) {
+  net_.publish(server, guid, trace);
+  // Local branch: deposit a pointer at the stub's local root for every
+  // salted name, so local queries resolve whichever root they pick.
+  const std::size_t stub = stub_of(server);
+  const double expires =
+      net_.now() + net_.params().pointer_ttl;
+  for (unsigned salt = 0; salt < net_.params().root_multiplicity; ++salt) {
+    const Guid g = salted_guid(guid, salt);
+    const NodeId root = local_root(stub, g);
+    if (root == server) continue;  // the server already holds its own record
+    if (trace != nullptr) trace->hop(net_.distance(server, root));
+    net_.node(root).store().upsert(
+        g, PointerRecord{server, server,
+                         /*level=*/net_.params().id.num_digits,
+                         /*past_hole=*/true, expires});
+  }
+}
+
+void LocalityManager::unpublish(NodeId server, const Guid& guid, Trace* trace) {
+  const std::size_t stub = stub_of(server);
+  for (unsigned salt = 0; salt < net_.params().root_multiplicity; ++salt) {
+    const Guid g = salted_guid(guid, salt);
+    const NodeId root = local_root(stub, g);
+    if (trace != nullptr) trace->hop(net_.distance(server, root));
+    net_.node(root).store().remove(g, server);
+  }
+  net_.unpublish(server, guid, trace);
+}
+
+LocateResult LocalityManager::locate(NodeId client, const Guid& guid,
+                                     Trace* trace) {
+  // Local branch first: one round trip to the stub's local root.
+  const std::size_t stub = stub_of(client);
+  const Guid g0 = salted_guid(guid, 0);
+  const NodeId root = local_root(stub, g0);
+  Trace local(false);
+  Trace* t = trace != nullptr ? trace : &local;
+  const std::size_t msgs0 = t->messages();
+  const double lat0 = t->latency();
+
+  auto finish = [&](LocateResult r) {
+    r.hops = t->messages() - msgs0;
+    r.latency = t->latency() - lat0;
+    return r;
+  };
+
+  if (!(root == client)) t->hop(net_.distance(client, root));
+  auto records = net_.node(root).store().find_live(g0, net_.now());
+  std::sort(records.begin(), records.end(),
+            [&](const PointerRecord& a, const PointerRecord& b) {
+              return net_.distance(client, a.server) <
+                     net_.distance(client, b.server);
+            });
+  for (const auto& rec : records) {
+    if (!net_.contains(rec.server)) continue;
+    if (ts_.stub_of(net_.node(rec.server).location()) != stub) continue;
+    // Local hit: hand the query straight to the replica.
+    LocateResult r;
+    r.found = true;
+    r.pointer_node = root;
+    r.server = rec.server;
+    if (!(rec.server == root)) t->hop(net_.distance(root, rec.server));
+    return finish(r);
+  }
+
+  // Local miss: resume wide-area location from the client.
+  LocateResult wide = net_.locate(client, guid, t);
+  return finish(wide);
+}
+
+}  // namespace tap

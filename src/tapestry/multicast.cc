@@ -1,0 +1,114 @@
+// Acknowledged multicast (paper §4.1, Figure 8): contacts every node whose
+// ID carries a given prefix, exactly once, by recursively extending the
+// prefix one digit at a time along routing-table entries.  Property 1
+// guarantees coverage (Theorem 5): if an (α, j) node exists anywhere, every
+// α-node's table has one.
+//
+// Messages a node sends to itself (its own-digit extension) cross no
+// network link and cost nothing; collapsing them turns the message graph
+// into a spanning tree of the prefix set, so a multicast reaching k nodes
+// costs 2(k-1) messages (forward + acknowledgment per edge).  The
+// synchronous recursion here computes acknowledgments implicitly; the
+// completion time — the longest forward+ack chain — is accumulated
+// separately since fan-out proceeds in parallel in a real network.
+//
+// The event-driven variant with pinned pointers and watch lists used by
+// *simultaneous* insertion (§4.4, Figure 11) lives in parallel_join.cc.
+#include "src/tapestry/network.h"
+
+#include <algorithm>
+
+namespace tap {
+
+namespace {
+
+struct McContext {
+  const std::function<void(NodeId)>* visit;
+  MulticastStats* stats;
+  Trace* trace;
+  const std::vector<NodeId>* exclude;
+};
+
+}  // namespace
+
+MulticastStats Network::multicast(NodeId start, const Id& pattern,
+                                  unsigned prefix_len,
+                                  const std::function<void(NodeId)>& visit,
+                                  Trace* trace,
+                                  const std::vector<NodeId>& exclude) {
+  TapestryNode& s = live(start);
+  TAP_CHECK(pattern.valid() && pattern.spec() == params_.id,
+            "pattern does not match the network's IdSpec");
+  TAP_CHECK(prefix_len <= params_.id.num_digits, "prefix too long");
+  TAP_CHECK(s.id().matches_prefix(pattern, prefix_len),
+            "multicast must start at a node carrying the prefix");
+
+  MulticastStats stats;
+  McContext ctx{&visit, &stats, trace, &exclude};
+
+  auto excluded = [&](const NodeId& id) {
+    return std::find(exclude.begin(), exclude.end(), id) != exclude.end();
+  };
+
+  // Recursive lambda: handles the multicast message (prefix length l) at
+  // node `cur`; returns the completion time of the subtree (forward + ack).
+  std::function<double(TapestryNode&, unsigned)> mc =
+      [&](TapestryNode& cur, unsigned l) -> double {
+    const unsigned digits = params_.id.num_digits;
+    const unsigned radix = params_.id.radix();
+
+    // NOTONLYNODEWITHPREFIX: does cur know any other node sharing its
+    // length-l prefix?  (All row-l members share it.)
+    bool only = true;
+    if (l < digits) {
+      for (unsigned j = 0; j < radix && only; ++j)
+        for (const auto& e : cur.table().at(l, j).entries())
+          if (!(e.id == cur.id()) && is_live(e.id) && !excluded(e.id))
+            only = false;
+    }
+    if (l >= digits || only) {
+      (*ctx.visit)(cur.id());
+      ++ctx.stats->reached;
+      return 0.0;
+    }
+
+    double completion = 0.0;
+    for (unsigned j = 0; j < radix; ++j) {
+      // One recipient per extension digit: the closest live member.
+      const NeighborSet& set = cur.table().at(l, j);
+      const TapestryNode* child = nullptr;
+      for (const auto& e : set.entries()) {
+        if (excluded(e.id)) continue;
+        if (e.id == cur.id()) {
+          child = &cur;
+          break;
+        }
+        if (is_live(e.id)) {
+          child = &live(e.id);
+          break;
+        }
+      }
+      if (child == nullptr) continue;
+      if (child == &cur) {
+        // Self-message: no network cost, continue at the next level.
+        completion = std::max(completion, mc(cur, l + 1));
+      } else {
+        const double d = dist_nodes(cur, *child);
+        ctx.stats->messages += 2;  // forward + acknowledgment
+        ctx.stats->traffic += 2.0 * d;
+        if (ctx.trace != nullptr) {
+          ctx.trace->hop(d);
+          ctx.trace->hop(d);
+        }
+        TapestryNode& c = live(child->id());
+        completion = std::max(completion, d + mc(c, l + 1) + d);
+      }
+    }
+    return completion;
+  };
+
+  stats.completion = mc(s, prefix_len);
+  return stats;
+}
+
+}  // namespace tap

@@ -1,0 +1,84 @@
+// NeighborSet: one (β, j) entry of a Tapestry routing table (paper §2.1).
+//
+// Holds up to R = `capacity` neighbors whose node-IDs share the prefix β·j,
+// ordered by network distance; the closest is the *primary* neighbor, the
+// rest are *secondary* (backup) neighbors.  Of all candidate nodes, the set
+// keeps the closest — Property 2 (locality).  If the set holds fewer than R
+// members it must hold *all* (β, j) nodes — Property 1 (consistency); that
+// global property is maintained by the Network algorithms, not by this
+// container.
+//
+// Pinned members (paper §4.4) are concurrently-inserting nodes whose
+// multicasts have not yet been acknowledged.  A pinned member is never
+// evicted and does not count against capacity: "X must keep at least one
+// unpinned pointer and all pinned pointers."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/tapestry/id.h"
+
+namespace tap {
+
+struct NeighborEntry {
+  NodeId id{};
+  double dist = 0.0;
+  bool pinned = false;
+};
+
+class NeighborSet {
+ public:
+  explicit NeighborSet(unsigned capacity = 0) : capacity_(capacity) {}
+
+  struct ConsiderResult {
+    bool inserted = false;             ///< candidate is now a member
+    std::optional<NodeId> evicted{};   ///< member displaced to make room
+  };
+
+  /// Offers a candidate.  Inserts it when the set has room or the candidate
+  /// is closer than the farthest unpinned member (which is then evicted).
+  /// Updating an existing member's distance is allowed (relocation, §6.4).
+  ConsiderResult consider(NodeId id, double dist);
+
+  /// Removes a member.  Returns true when it was present.
+  bool remove(const NodeId& id);
+
+  [[nodiscard]] bool contains(const NodeId& id) const;
+
+  /// Closest member (the primary neighbor), if any.
+  [[nodiscard]] std::optional<NodeId> primary() const {
+    if (entries_.empty()) return std::nullopt;
+    return entries_.front().id;
+  }
+
+  /// Members ordered by distance (primary first).
+  [[nodiscard]] const std::vector<NeighborEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] unsigned capacity() const noexcept { return capacity_; }
+
+  /// Marks a member pinned, inserting it first if absent (never evicts
+  /// anyone to do so — pinned members live outside the capacity budget).
+  void pin(NodeId id, double dist);
+
+  /// Clears the pinned mark.  If the set is now over capacity the farthest
+  /// unpinned members are evicted; evicted ids are appended to `evicted`.
+  void unpin(const NodeId& id, std::vector<NodeId>& evicted);
+
+  [[nodiscard]] std::vector<NodeId> pinned_members() const;
+  [[nodiscard]] std::size_t unpinned_count() const;
+
+ private:
+  void insert_sorted(NeighborEntry e);
+  void enforce_capacity(std::vector<NodeId>& evicted);
+
+  unsigned capacity_;
+  std::vector<NeighborEntry> entries_;  // sorted by (dist, id)
+};
+
+}  // namespace tap

@@ -1,0 +1,96 @@
+#include "src/tapestry/object_store.h"
+
+#include "src/common/assert.h"
+
+namespace tap {
+
+void ObjectStore::upsert(const Guid& guid, const PointerRecord& record) {
+  TAP_CHECK(guid.valid() && record.server.valid(),
+            "upsert needs valid guid and server");
+  auto& vec = map_[guid];
+  for (auto& r : vec) {
+    if (r.server == record.server) {
+      r = record;
+      return;
+    }
+  }
+  vec.push_back(record);
+  ++count_;
+}
+
+PointerRecord* ObjectStore::find(const Guid& guid, const NodeId& server) {
+  auto it = map_.find(guid);
+  if (it == map_.end()) return nullptr;
+  for (auto& r : it->second)
+    if (r.server == server) return &r;
+  return nullptr;
+}
+
+const PointerRecord* ObjectStore::find(const Guid& guid,
+                                       const NodeId& server) const {
+  return const_cast<ObjectStore*>(this)->find(guid, server);
+}
+
+std::vector<PointerRecord> ObjectStore::find_all(const Guid& guid) const {
+  auto it = map_.find(guid);
+  if (it == map_.end()) return {};
+  return it->second;
+}
+
+std::vector<PointerRecord> ObjectStore::find_live(const Guid& guid,
+                                                  double now) const {
+  std::vector<PointerRecord> out;
+  auto it = map_.find(guid);
+  if (it == map_.end()) return out;
+  for (const auto& r : it->second)
+    if (r.expires_at >= now) out.push_back(r);
+  return out;
+}
+
+bool ObjectStore::remove(const Guid& guid, const NodeId& server) {
+  auto it = map_.find(guid);
+  if (it == map_.end()) return false;
+  auto& vec = it->second;
+  for (auto r = vec.begin(); r != vec.end(); ++r) {
+    if (r->server == server) {
+      vec.erase(r);
+      --count_;
+      if (vec.empty()) map_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ObjectStore::remove_expired(double now) {
+  std::size_t removed = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    auto& vec = it->second;
+    for (auto r = vec.begin(); r != vec.end();) {
+      if (r->expires_at < now) {
+        r = vec.erase(r);
+        ++removed;
+        --count_;
+      } else {
+        ++r;
+      }
+    }
+    it = vec.empty() ? map_.erase(it) : std::next(it);
+  }
+  return removed;
+}
+
+void ObjectStore::for_each(
+    const std::function<void(const Guid&, const PointerRecord&)>& fn) const {
+  for (const auto& [guid, vec] : map_)
+    for (const auto& r : vec) fn(guid, r);
+}
+
+std::vector<std::pair<Guid, PointerRecord>> ObjectStore::snapshot() const {
+  std::vector<std::pair<Guid, PointerRecord>> out;
+  out.reserve(count_);
+  for_each([&](const Guid& g, const PointerRecord& r) { out.emplace_back(g, r); });
+  return out;
+}
+
+}  // namespace tap

@@ -1,0 +1,77 @@
+// ObjectStore: the object pointers a node holds (paper §2.2, §4.2).
+//
+// Publishing deposits, at every node on the path from a storage server to
+// the object's root, a pointer  GUID -> server.  Unlike PRR, Tapestry keeps
+// a pointer for *every* replica of a GUID (paper §2.4), so records are
+// keyed by (salted GUID, server).
+//
+// Each record carries:
+//   * last_hop — the previous node on the publish path, required by the
+//     OPTIMIZEOBJECTPTRS / DELETEPOINTERSBACKWARD procedures of Figure 9;
+//   * the routing level (and past-hole flag) at which this node processed
+//     the publish, so the node can recompute its next hop for the pointer
+//     (the paper's NEXTHOP(objPtr, level));
+//   * a soft-state expiry deadline (§6.5): pointers are republished at
+//     regular intervals and vanish if their publisher stops refreshing.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tapestry/id.h"
+
+namespace tap {
+
+struct PointerRecord {
+  NodeId server{};
+  std::optional<NodeId> last_hop{};  ///< absent at the storage server itself
+  unsigned level = 0;                ///< routing level on arrival
+  bool past_hole = false;            ///< PRR-like routing state on arrival
+  double expires_at = std::numeric_limits<double>::infinity();
+};
+
+class ObjectStore {
+ public:
+  /// Inserts or replaces the record for (guid, record.server).
+  void upsert(const Guid& guid, const PointerRecord& record);
+
+  /// Record for a specific (guid, server) pair, or nullptr.
+  [[nodiscard]] PointerRecord* find(const Guid& guid, const NodeId& server);
+  [[nodiscard]] const PointerRecord* find(const Guid& guid,
+                                          const NodeId& server) const;
+
+  /// All records for a guid (possibly several replicas); empty if none.
+  [[nodiscard]] std::vector<PointerRecord> find_all(const Guid& guid) const;
+
+  /// Non-expired records for a guid at simulated time `now`.
+  [[nodiscard]] std::vector<PointerRecord> find_live(const Guid& guid,
+                                                     double now) const;
+
+  /// Removes the record for (guid, server).  Returns true if present.
+  bool remove(const Guid& guid, const NodeId& server);
+
+  /// Drops every record whose deadline has passed; returns how many.
+  std::size_t remove_expired(double now);
+
+  /// Total records held (the per-node directory load in Table 1 terms).
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Visits every (guid, record) pair.  The callback must not mutate this
+  /// store; callers snapshot first when they need to modify during
+  /// iteration (see snapshot()).
+  void for_each(
+      const std::function<void(const Guid&, const PointerRecord&)>& fn) const;
+
+  /// Copy of all (guid, record) pairs — safe to iterate while mutating.
+  [[nodiscard]] std::vector<std::pair<Guid, PointerRecord>> snapshot() const;
+
+ private:
+  std::unordered_map<Guid, std::vector<PointerRecord>> map_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tap

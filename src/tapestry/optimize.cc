@@ -1,0 +1,201 @@
+// Object-pointer redistribution (paper §4.2, Figure 9) and the continual
+// optimization heuristics of §6.4.
+//
+// When the routing mesh changes the expected path from some object to its
+// root (a closer primary was adopted, a node vanished, the new node filled
+// a hole), the node whose forward route changed pushes the object pointer
+// up the *new* path.  Where the new path meets the old one — detected by
+// finding an existing record whose last-hop differs — a delete message
+// walks the old path backward via the stored last-hop links, removing the
+// outdated pointers (DELETEPOINTERSBACKWARD).  This keeps Property 4
+// without republished-from-scratch traffic; plain soft-state republish
+// remains as the backstop (§6.5).
+#include "src/tapestry/network.h"
+
+#include <algorithm>
+
+namespace tap {
+
+std::optional<NodeId> Network::pointer_next_hop(
+    const TapestryNode& at, const Guid& guid,
+    const PointerRecord& record) const {
+  // Raw table walk: selection ignores liveness, exactly as the node itself
+  // would route before discovering a corpse.  Deterministic in the table
+  // contents, which is what "did the path change" must compare.
+  RouteState state{record.level, record.past_hole};
+  const unsigned digits = params_.id.num_digits;
+  while (state.level < digits) {
+    auto j = select_slot(at, state.level, guid.digit(state.level),
+                         state.past_hole);
+    TAP_ASSERT_MSG(j.has_value(), "routing row with no filled slot");
+    const auto prim = at.table().at(state.level, *j).primary();
+    TAP_ASSERT(prim.has_value());
+    ++state.level;
+    if (!(*prim == at.id())) return prim;
+  }
+  return std::nullopt;
+}
+
+std::vector<Network::PendingReroute> Network::snapshot_pointer_hops(
+    const TapestryNode& at) const {
+  std::vector<PendingReroute> out;
+  for (const auto& [guid, rec] : at.store().snapshot())
+    out.push_back(PendingReroute{guid, rec, pointer_next_hop(at, guid, rec)});
+  return out;
+}
+
+void Network::reroute_changed_pointers(
+    TapestryNode& at, const std::vector<PendingReroute>& before,
+    Trace* trace) {
+  for (const auto& p : before) {
+    // The record may have been refreshed or dropped meanwhile; re-read.
+    const PointerRecord* current = at.store().find(p.guid, p.record.server);
+    if (current == nullptr) continue;
+    const auto now_hop = pointer_next_hop(at, p.guid, *current);
+    if (now_hop == p.next_hop) continue;
+    optimize_pointer(at, p.guid, *current, trace);
+  }
+}
+
+void Network::optimize_pointer(TapestryNode& from, const Guid& guid,
+                               const PointerRecord& record, Trace* trace) {
+  const NodeId changed = from.id();
+  RouteState state{record.level, record.past_hole};
+  TapestryNode* prev = &from;
+  auto step = route_step(from, guid, state, trace);
+  while (step.has_value()) {
+    TapestryNode& v = live(*step);
+    acct(trace, *prev, v);
+    const PointerRecord* existing = v.store().find(guid, record.server);
+    const std::optional<NodeId> old_sender =
+        existing != nullptr ? existing->last_hop : std::nullopt;
+    v.store().upsert(guid,
+                     PointerRecord{record.server, prev->id(), state.level,
+                                   state.past_hole, record.expires_at});
+    if (existing != nullptr && old_sender.has_value() &&
+        !(*old_sender == prev->id())) {
+      // Converged onto the old path: above here nothing changed.  Prune the
+      // outdated branch backward along last-hop links.
+      if (!(*old_sender == changed))
+        delete_backward(*old_sender, guid, record.server, changed, trace);
+      return;
+    }
+    prev = &v;
+    step = route_step(v, guid, state, trace);
+  }
+}
+
+void Network::delete_backward(const NodeId& start, const Guid& guid,
+                              const NodeId& server, const NodeId& changed,
+                              Trace* trace) {
+  // Two passes.  The paper's delete message walks the *changed node's* old
+  // branch backward via last-hop links; but a record's last hop may belong
+  // to a different deposit (the server's own publish path), in which case
+  // walking blindly would destroy live pointers — including, ultimately,
+  // the server's own record.  So first confirm that the chain actually
+  // leads back to the changed node; only then delete it.  Unconfirmed
+  // chains are left to soft-state expiry (§6.5) — under-deletion is safe,
+  // over-deletion breaks Property 4.
+  std::vector<NodeId> chain;
+  bool confirmed = false;
+  NodeId cur = start;
+  for (unsigned i = 0; i <= params_.id.num_digits + 1; ++i) {
+    if (cur == changed) {
+      confirmed = true;
+      break;
+    }
+    TapestryNode* w = find(cur);
+    if (w == nullptr) break;
+    const PointerRecord* rec = w->store().find(guid, server);
+    if (rec == nullptr) break;
+    if (!rec->last_hop.has_value()) break;  // reached the server's record
+    chain.push_back(cur);
+    cur = *rec->last_hop;
+  }
+  if (!confirmed) return;
+  const TapestryNode* prev = nullptr;
+  for (const NodeId& id : chain) {
+    TapestryNode* w = find(id);
+    TAP_ASSERT(w != nullptr);
+    w->store().remove(guid, server);
+    if (prev != nullptr) acct(trace, *prev, *w);
+    prev = w;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Continual optimization (§6.4)
+// ---------------------------------------------------------------------
+
+void Network::relocate(NodeId id, Location loc) {
+  TapestryNode& n = live(id);
+  TAP_CHECK(loc < space_.size(), "location outside the metric space");
+  n.set_location(loc);
+  // Deliberately no table fix-up: stored distances are now stale, exactly
+  // the drift the §6.4 heuristics are designed to absorb.
+}
+
+void Network::optimize_primaries(NodeId id, Trace* trace) {
+  TapestryNode& n = live(id);
+  const auto before = snapshot_pointer_hops(n);
+  const unsigned digits = params_.id.num_digits;
+  for (unsigned l = 0; l < digits; ++l) {
+    for (unsigned j = 0; j < params_.id.radix(); ++j) {
+      // Re-measure every member and re-rank; consider() re-sorts in place.
+      auto members = n.table().at(l, j).entries();  // copy: we mutate below
+      for (const auto& e : members) {
+        if (e.id == n.id()) continue;
+        const TapestryNode* other = find(e.id);
+        if (other == nullptr || !other->alive) {
+          unlink(n, l, e.id);
+          continue;
+        }
+        acct(trace, n, *other, 2);  // distance probe
+        n.table().at(l, j).consider(e.id, dist_nodes(n, *other));
+      }
+    }
+  }
+  reroute_changed_pointers(n, before, trace);
+}
+
+void Network::optimize_gossip(NodeId id, Trace* trace) {
+  TapestryNode& n = live(id);
+  const auto before = snapshot_pointer_hops(n);
+  const unsigned digits = params_.id.num_digits;
+  for (unsigned l = 0; l < digits; ++l) {
+    // Ask each level-l neighbor for its level-l row; adopt closer members
+    // (the "local sharing of information" heuristic).
+    const auto peers = n.table().row_members(l);
+    for (const NodeId& m : peers) {
+      if (m == n.id() || !is_live(m)) continue;
+      TapestryNode& member = live(m);
+      acct(trace, n, member, 2);  // row exchange
+      for (const NodeId& x : member.table().row_members(l)) {
+        if (x == n.id() || !is_live(x)) continue;
+        link(n, l, live(x));
+      }
+    }
+  }
+  reroute_changed_pointers(n, before, trace);
+}
+
+void Network::rebuild_neighbor_table(NodeId id, Trace* trace) {
+  TapestryNode& n = live(id);
+  const auto before = snapshot_pointer_hops(n);
+  // Deepest level at which anyone shares our prefix; the multicast over
+  // that prefix regenerates the first list exactly as at insertion time.
+  unsigned max_level = 0;
+  for (unsigned l = 0; l < params_.id.num_digits; ++l)
+    if (n.table().row_has_other(l)) max_level = l;
+  std::vector<NodeId> list;
+  multicast(
+      id, n.id(), max_level,
+      [&](NodeId y) {
+        if (!(y == id)) list.push_back(y);
+      },
+      trace, {id});
+  acquire_neighbor_table(n, max_level, std::move(list), trace);
+  reroute_changed_pointers(n, before, trace);
+}
+
+}  // namespace tap

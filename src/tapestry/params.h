@@ -1,0 +1,73 @@
+// Tunable parameters of the Tapestry overlay (paper §2-§4).
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "src/tapestry/id.h"
+
+namespace tap {
+
+/// Which localized surrogate-routing variant to use (paper §2.3).
+enum class RoutingMode {
+  /// "Tapestry Native Routing": on a hole, route to the next filled entry
+  /// in the same level, wrapping around digit values.
+  kTapestryNative,
+  /// "Distributed PRR-like Routing": before the first hole route exactly;
+  /// at and after the first hole prefer digits matching in the most
+  /// significant bits, breaking ties toward numerically higher digits.
+  kPrrLike,
+};
+
+struct TapestryParams {
+  IdSpec id{};
+
+  /// R (paper §2.1): each neighbor set N_{β,j} keeps at most `redundancy`
+  /// members — the closest ones.  R > 1 provides the backup links used for
+  /// fault-resilience (§2.4: current implementation keeps two backups, so
+  /// R = 3 overall).
+  unsigned redundancy = 3;
+
+  /// k (paper §3): length of the per-level closest-node lists maintained
+  /// while building a neighbor table.  0 = automatic: k = ceil(k_scale *
+  /// log2(n)) clamped to [k_min, n], following Theorem 3's k = O(log n).
+  unsigned list_size_k = 0;
+  double k_scale = 3.0;
+  unsigned k_min = 8;
+
+  /// |R_psi| (paper §2.2, Observation 2): number of roots per object.
+  unsigned root_multiplicity = 1;
+
+  RoutingMode routing = RoutingMode::kTapestryNative;
+
+  /// Soft-state TTL for object pointers in simulated time units (§6.5).
+  /// Infinity disables expiry (static experiments).
+  double pointer_ttl = std::numeric_limits<double>::infinity();
+
+  /// §2.4: "PRR searches on the primary and secondary neighbors before
+  /// taking an additional hop towards the object root."  When set, a
+  /// query that misses locally probes the secondary members of the slot
+  /// it is about to route through (2 messages each) before hopping —
+  /// PRR's object-location behaviour; off (Tapestry behaviour) queries
+  /// only primaries.
+  bool prr_secondary_search = false;
+
+  /// Observation 1: with root_multiplicity > 1 and independent root
+  /// names, a query that misses on one root retries the others, giving
+  /// fault tolerance against root failures without waiting for soft
+  /// state.  Off, locate tries a single randomly drawn root (the paper's
+  /// base behaviour).
+  bool retry_all_roots = false;
+
+  [[nodiscard]] unsigned effective_k(std::size_t n) const {
+    if (list_size_k != 0) return list_size_k;
+    const double lg = std::log2(static_cast<double>(n < 2 ? 2 : n));
+    const auto k = static_cast<unsigned>(std::ceil(k_scale * lg));
+    const auto clamped = k < k_min ? k_min : k;
+    return n == 0 ? clamped
+                  : static_cast<unsigned>(
+                        std::min<std::size_t>(clamped, n));
+  }
+};
+
+}  // namespace tap

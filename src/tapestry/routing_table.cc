@@ -1,0 +1,86 @@
+#include "src/tapestry/routing_table.h"
+
+#include <algorithm>
+
+namespace tap {
+
+RoutingTable::RoutingTable(IdSpec spec, NodeId self, unsigned redundancy)
+    : self_(self), levels_(spec.num_digits), radix_(spec.radix()) {
+  TAP_CHECK(spec.valid(), "invalid IdSpec");
+  TAP_CHECK(self.valid() && self.spec() == spec, "self id must match spec");
+  TAP_CHECK(redundancy >= 1, "redundancy (R) must be at least 1");
+  slots_.reserve(static_cast<std::size_t>(levels_) * radix_);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(levels_) * radix_; ++i)
+    slots_.emplace_back(redundancy);
+  backptrs_.resize(levels_);
+  // The owner is a (β, own-digit) node at distance zero for every prefix β
+  // of its own ID; seed those self-entries.
+  for (unsigned l = 0; l < levels_; ++l)
+    slots_[index(l, self.digit(l))].consider(self, 0.0);
+}
+
+NeighborSet& RoutingTable::at(unsigned level, unsigned digit) {
+  return slots_[index(level, digit)];
+}
+
+const NeighborSet& RoutingTable::at(unsigned level, unsigned digit) const {
+  return slots_[index(level, digit)];
+}
+
+bool RoutingTable::row_has_other(unsigned level) const {
+  for (unsigned j = 0; j < radix_; ++j) {
+    for (const auto& e : at(level, j).entries())
+      if (!(e.id == self_)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> RoutingTable::row_members(unsigned level) const {
+  std::vector<NodeId> out;
+  for (unsigned j = 0; j < radix_; ++j)
+    for (const auto& e : at(level, j).entries()) out.push_back(e.id);
+  // A node appears in at most one slot per row, so no dedupe needed.
+  return out;
+}
+
+std::vector<NodeId> RoutingTable::all_neighbors() const {
+  std::set<NodeId> uniq;
+  for (unsigned l = 0; l < levels_; ++l)
+    for (unsigned j = 0; j < radix_; ++j)
+      for (const auto& e : at(l, j).entries())
+        if (!(e.id == self_)) uniq.insert(e.id);
+  return {uniq.begin(), uniq.end()};
+}
+
+std::size_t RoutingTable::total_entries() const {
+  std::size_t n = 0;
+  for (unsigned l = 0; l < levels_; ++l)
+    for (unsigned j = 0; j < radix_; ++j)
+      for (const auto& e : at(l, j).entries())
+        if (!(e.id == self_)) ++n;
+  return n;
+}
+
+void RoutingTable::add_backpointer(unsigned level, NodeId who) {
+  TAP_ASSERT(level < levels_);
+  TAP_ASSERT_MSG(!(who == self_), "node cannot backpoint to itself");
+  backptrs_[level].insert(who);
+}
+
+void RoutingTable::remove_backpointer(unsigned level, const NodeId& who) {
+  TAP_ASSERT(level < levels_);
+  backptrs_[level].erase(who);
+}
+
+const std::set<NodeId>& RoutingTable::backpointers(unsigned level) const {
+  TAP_ASSERT(level < levels_);
+  return backptrs_[level];
+}
+
+std::vector<NodeId> RoutingTable::all_backpointers() const {
+  std::set<NodeId> uniq;
+  for (const auto& level : backptrs_) uniq.insert(level.begin(), level.end());
+  return {uniq.begin(), uniq.end()};
+}
+
+}  // namespace tap

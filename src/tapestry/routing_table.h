@@ -1,0 +1,80 @@
+// RoutingTable: a Tapestry node's neighbor sets and backpointers (§2.1).
+//
+// Level l (0-based here; the paper's levels are 1-based) holds, for each
+// digit j, the neighbor set N_{β,j} where β is the first l digits of the
+// owner's node-ID.  A node X can therefore appear in at most one slot per
+// level — slot (l, X.digit(l)) — which makes backpointers per (level, node)
+// unambiguous.
+//
+// The owner occupies its own slot at every level (it is a (β, own-digit)
+// node at distance 0), so every row has at least one filled slot; the
+// surrogate-routing stop rule ("current node is the only node left at and
+// above this level") then falls out of plain next-filled-slot traversal.
+//
+// For each forward link A -> B, node B keeps a backpointer (level, A);
+// the Network layer keeps the two sides coherent.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/tapestry/id.h"
+#include "src/tapestry/neighbor_set.h"
+
+namespace tap {
+
+class RoutingTable {
+ public:
+  RoutingTable(IdSpec spec, NodeId self, unsigned redundancy);
+
+  [[nodiscard]] unsigned levels() const noexcept { return levels_; }
+  [[nodiscard]] unsigned radix() const noexcept { return radix_; }
+  [[nodiscard]] const NodeId& self() const noexcept { return self_; }
+
+  [[nodiscard]] NeighborSet& at(unsigned level, unsigned digit);
+  [[nodiscard]] const NeighborSet& at(unsigned level, unsigned digit) const;
+
+  /// Primary neighbor of a slot, if the slot is non-empty.
+  [[nodiscard]] std::optional<NodeId> primary(unsigned level,
+                                              unsigned digit) const {
+    return at(level, digit).primary();
+  }
+
+  /// True when some slot in the row holds a node other than the owner —
+  /// i.e. the owner is *not* the only node with its length-`level` prefix
+  /// (the multicast NOTONLYNODEWITHPREFIX test, Figure 8).
+  [[nodiscard]] bool row_has_other(unsigned level) const;
+
+  /// Unique members across all slots of a row, owner included.  These are
+  /// the "forward pointers at level l" handed out during GETNEXTLIST.
+  [[nodiscard]] std::vector<NodeId> row_members(unsigned level) const;
+
+  /// Unique members across the whole table, owner excluded.
+  [[nodiscard]] std::vector<NodeId> all_neighbors() const;
+
+  /// Total stored links, owner-self entries excluded — the space figure
+  /// reported in Table 1 comparisons.
+  [[nodiscard]] std::size_t total_entries() const;
+
+  // --- backpointers ---
+  void add_backpointer(unsigned level, NodeId who);
+  void remove_backpointer(unsigned level, const NodeId& who);
+  [[nodiscard]] const std::set<NodeId>& backpointers(unsigned level) const;
+  /// Unique nodes holding any backpointer to the owner.
+  [[nodiscard]] std::vector<NodeId> all_backpointers() const;
+
+ private:
+  [[nodiscard]] std::size_t index(unsigned level, unsigned digit) const {
+    TAP_ASSERT(level < levels_ && digit < radix_);
+    return static_cast<std::size_t>(level) * radix_ + digit;
+  }
+
+  NodeId self_;
+  unsigned levels_;
+  unsigned radix_;
+  std::vector<NeighborSet> slots_;
+  std::vector<std::set<NodeId>> backptrs_;  // per level
+};
+
+}  // namespace tap

@@ -1,0 +1,59 @@
+// Oracle construction of PRR/Tapestry tables from global knowledge — the
+// static preprocessing the original PRR scheme assumes (paper §1, §4: "We
+// would like the results of the insertion to be the same as if we had been
+// able to build the network from static data").  Tests compare dynamically
+// grown networks against this ground truth; benchmarks use it to stand up
+// large overlays quickly when insertion cost is not what is being measured.
+#include "src/tapestry/network.h"
+
+#include <unordered_map>
+
+namespace tap {
+
+NodeId Network::insert_static(Location loc, std::optional<NodeId> id) {
+  NodeId nid = id.has_value() ? *id : fresh_node_id();
+  register_node(nid, loc);
+  return nid;
+}
+
+void Network::rebuild_static_tables() {
+  const unsigned digits = params_.id.num_digits;
+  const unsigned bits = params_.id.digit_bits;
+
+  // Fresh tables (drops any dynamically accumulated state).
+  for (auto& n : nodes_) {
+    if (!n->alive) continue;
+    n->table() = RoutingTable(params_.id, n->id(), params_.redundancy);
+  }
+
+  // Bucket live nodes by (prefix length, prefix value).
+  auto key = [&](unsigned len, std::uint64_t prefix) {
+    return (static_cast<std::uint64_t>(len) << 56) | prefix;
+  };
+  std::unordered_map<std::uint64_t, std::vector<TapestryNode*>> buckets;
+  for (auto& n : nodes_) {
+    if (!n->alive) continue;
+    for (unsigned len = 1; len <= digits; ++len)
+      buckets[key(len, n->id().prefix_value(len))].push_back(n.get());
+  }
+
+  // Every slot considers every qualifying node; NeighborSet retains the R
+  // closest, which is Property 2 by construction, and no slot with
+  // candidates stays empty, which is Property 1.
+  for (auto& n : nodes_) {
+    if (!n->alive) continue;
+    for (unsigned l = 0; l < digits; ++l) {
+      const std::uint64_t base = n->id().prefix_value(l) << bits;
+      for (unsigned j = 0; j < params_.id.radix(); ++j) {
+        auto it = buckets.find(key(l + 1, base | j));
+        if (it == buckets.end()) continue;
+        for (TapestryNode* cand : it->second) {
+          if (cand->id() == n->id()) continue;
+          link(*n, l, *cand);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tap

@@ -1,0 +1,214 @@
+// Surrogate routing (paper §2.3): localized routing decisions that resolve
+// a destination GUID one digit per level, adapting deterministically when
+// the exact next-digit entry is a hole.  Both published variants are
+// implemented:
+//
+//   Tapestry Native  — on a hole, take the next filled entry in the same
+//                      level, wrapping around the digit alphabet;
+//   Distributed PRR  — route exactly until the first hole; at the first
+//                      hole prefer the filled digit sharing the most
+//                      significant bits with the desired digit (ties to the
+//                      numerically higher digit); after the first hole
+//                      always take the numerically highest filled digit.
+//
+// Self-entries make the termination rule implicit: when the current node is
+// the only node left at and above the current level, every remaining
+// selection is a self-advance and the walk ends with the node as root.
+// Theorem 2 (root uniqueness) is exercised by tests/test_routing.cc.
+#include "src/tapestry/network.h"
+
+namespace tap {
+
+namespace {
+
+/// Number of matching leading bits between two digit values of `bits` width.
+unsigned leading_bit_match(unsigned a, unsigned b, unsigned bits) {
+  unsigned n = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const unsigned mask = 1u << (bits - 1 - i);
+    if ((a & mask) != (b & mask)) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::optional<unsigned> Network::select_slot(const TapestryNode& at,
+                                             unsigned level, unsigned desired,
+                                             bool& past_hole,
+                                             const ExcludeSet* exclude) const {
+  const unsigned radix = params_.id.radix();
+  auto filled = [&](unsigned j) {
+    const auto& entries = at.table().at(level, j).entries();
+    if (exclude == nullptr) return !entries.empty();
+    for (const auto& e : entries)
+      if (exclude->count(e.id.value()) == 0) return true;
+    return false;
+  };
+
+  if (params_.routing == RoutingMode::kTapestryNative) {
+    for (unsigned off = 0; off < radix; ++off) {
+      const unsigned j = (desired + off) % radix;
+      if (filled(j)) {
+        if (j != desired) past_hole = true;
+        return j;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // RoutingMode::kPrrLike.
+  if (!past_hole) {
+    if (filled(desired)) return desired;
+    past_hole = true;
+    // First hole: best leading-bit match, ties to the higher digit.
+    std::optional<unsigned> best;
+    unsigned best_score = 0;
+    for (unsigned j = 0; j < radix; ++j) {
+      if (!filled(j)) continue;
+      const unsigned score = leading_bit_match(j, desired, params_.id.digit_bits);
+      if (!best.has_value() || score > best_score ||
+          (score == best_score && j > *best)) {
+        best = j;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+  // After the first hole: numerically highest filled digit.
+  for (unsigned j = radix; j-- > 0;)
+    if (filled(j)) return j;
+  return std::nullopt;
+}
+
+std::optional<NodeId> Network::route_step(TapestryNode& at, const Id& target,
+                                          RouteState& state, Trace* trace,
+                                          const ExcludeSet* exclude) {
+  TAP_ASSERT(target.valid() && target.spec() == params_.id);
+  const unsigned digits = params_.id.num_digits;
+  while (state.level < digits) {
+    for (;;) {
+      const unsigned desired = target.digit(state.level);
+      auto j = select_slot(at, state.level, desired, state.past_hole, exclude);
+      // Self-entries guarantee at least one filled slot per row.
+      TAP_ASSERT_MSG(j.has_value(), "routing row with no filled slot");
+      auto p = live_primary_repair(at, state.level, *j, trace, exclude);
+      if (!p.has_value()) continue;  // slot died under us; re-select
+      if (*p == at.id()) {
+        ++state.level;  // self-advance: resolve the digit locally
+        break;
+      }
+      ++state.level;
+      return p;
+    }
+  }
+  return std::nullopt;  // `at` is the root
+}
+
+std::optional<NodeId> Network::route_step_peek(const NodeId& at,
+                                               const Id& target,
+                                               RouteState& state) const {
+  const TapestryNode& n = node(at);
+  const unsigned digits = params_.id.num_digits;
+  const unsigned radix = params_.id.radix();
+  unsigned level = state.level;
+  while (level < digits) {
+    // Peek treats a slot as filled only if it has a live member; this is
+    // the steady-state the repairing walk converges to.
+    std::vector<bool> live_filled(radix, false);
+    std::vector<NodeId> live_prim(radix);
+    for (unsigned j = 0; j < radix; ++j) {
+      for (const auto& e : n.table().at(level, j).entries()) {
+        if (is_live(e.id)) {
+          live_filled[j] = true;
+          live_prim[j] = e.id;
+          break;  // entries are distance-sorted; first live is primary
+        }
+      }
+    }
+    const unsigned desired = target.digit(level);
+    std::optional<unsigned> pick;
+    if (params_.routing == RoutingMode::kTapestryNative) {
+      for (unsigned off = 0; off < radix && !pick; ++off) {
+        const unsigned j = (desired + off) % radix;
+        if (live_filled[j]) {
+          if (j != desired) state.past_hole = true;
+          pick = j;
+        }
+      }
+    } else {
+      if (!state.past_hole && live_filled[desired]) {
+        pick = desired;
+      } else if (!state.past_hole) {
+        state.past_hole = true;
+        unsigned best_score = 0;
+        for (unsigned j = 0; j < radix; ++j) {
+          if (!live_filled[j]) continue;
+          const unsigned score =
+              leading_bit_match(j, desired, params_.id.digit_bits);
+          if (!pick.has_value() || score > best_score ||
+              (score == best_score && j > *pick)) {
+            pick = j;
+            best_score = score;
+          }
+        }
+      } else {
+        for (unsigned j = radix; j-- > 0 && !pick.has_value();)
+          if (live_filled[j]) pick = j;
+      }
+    }
+    // Reachable under failures before repair: every member of every slot
+    // in this row is dead.  A real router would block on repair here; the
+    // peek reports it as a checkable condition.
+    TAP_CHECK(pick.has_value(), "peek: routing row with no live slot");
+    const NodeId p = live_prim[*pick];
+    ++level;
+    state.level = level;
+    if (!(p == n.id())) return p;
+  }
+  state.level = level;
+  return std::nullopt;
+}
+
+RouteResult Network::route_to_root(NodeId from, const Id& target,
+                                   Trace* trace) {
+  TapestryNode* cur = &live(from);
+  RouteResult res;
+  res.path.push_back(from);
+  RouteState state;
+  for (;;) {
+    auto next = route_step(*cur, target, state, trace);
+    if (!next.has_value()) {
+      res.root = cur->id();
+      return res;
+    }
+    TapestryNode& nxt = live(*next);
+    acct(trace, *cur, nxt);
+    res.latency += dist_nodes(*cur, nxt);
+    ++res.hops;
+    if (state.past_hole) ++res.surrogate_hops;
+    res.path.push_back(nxt.id());
+    cur = &nxt;
+  }
+}
+
+NodeId Network::surrogate_root(const Id& target) const {
+  TAP_CHECK(live_count_ > 0, "surrogate_root on empty network");
+  const TapestryNode* start = nullptr;
+  for (const auto& n : nodes_) {
+    if (n->alive) {
+      start = n.get();
+      break;
+    }
+  }
+  RouteState state;
+  NodeId cur = start->id();
+  for (;;) {
+    auto next = route_step_peek(cur, target, state);
+    if (!next.has_value()) return cur;
+    cur = *next;
+  }
+}
+
+}  // namespace tap

@@ -1,0 +1,237 @@
+// Dynamic node insertion (§3-§4): the grown network must satisfy the same
+// invariants as the statically built one, objects must survive membership
+// growth (Property 4 + availability), and the nearest-neighbor machinery
+// must produce locality-correct tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/stats.h"
+#include "src/metric/analysis.h"
+#include "test_util.h"
+
+namespace tap {
+namespace {
+
+using test::grow_ring_network;
+using test::make_guid;
+using test::small_params;
+using test::static_ring_network;
+
+class JoinModeTest : public ::testing::TestWithParam<RoutingMode> {};
+
+TEST_P(JoinModeTest, GrownNetworkSatisfiesProperty1) {
+  auto g = grow_ring_network(160, 40, small_params(GetParam()));
+  g.net->check_property1();
+  g.net->check_backpointer_symmetry();
+}
+
+TEST_P(JoinModeTest, GrownNetworkRootsAreUnique) {
+  auto g = grow_ring_network(96, 41, small_params(GetParam()));
+  for (int obj = 0; obj < 20; ++obj) {
+    const Guid guid = make_guid(*g.net, 3000 + obj);
+    std::set<std::uint64_t> roots;
+    for (const NodeId& src : g.ids)
+      roots.insert(g.net->route_to_root(src, guid).root.value());
+    EXPECT_EQ(roots.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, JoinModeTest,
+                         ::testing::Values(RoutingMode::kTapestryNative,
+                                           RoutingMode::kPrrLike),
+                         [](const auto& ti) {
+                           return ti.param == RoutingMode::kTapestryNative
+                                      ? "native"
+                                      : "prrlike";
+                         });
+
+TEST(Join, TablesConvergeToStaticGroundTruth) {
+  // §4: "the results of the insertion should be the same as if we had been
+  // able to build the network from static data."  Property 2 quality of
+  // the grown network should be essentially perfect.
+  auto g = grow_ring_network(192, 42);
+  const double quality = g.net->property2_quality();
+  EXPECT_GT(quality, 0.98) << "grown tables diverge from nearest-neighbor "
+                              "ground truth";
+}
+
+TEST(Join, NewNodeKnowsItsTrueNearestNeighbor) {
+  // The incremental nearest-neighbor algorithm (§3) must find the closest
+  // node overall: it is the primary of some level-0 slot.
+  auto g = grow_ring_network(128, 43);
+  for (const NodeId& id : g.ids) {
+    const auto order = nearest_sorted(*g.space, g.net->node(id).location());
+    // Find the nearest location that hosts a node.
+    NodeId nearest{};
+    for (const Location loc : order) {
+      bool found = false;
+      for (const NodeId& other : g.ids) {
+        if (!(other == id) && g.net->node(other).location() == loc) {
+          nearest = other;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    ASSERT_TRUE(nearest.valid());
+    const auto prim =
+        g.net->node(id).table().primary(0, nearest.digit(0));
+    ASSERT_TRUE(prim.has_value());
+    const double d_prim = g.net->distance(id, *prim);
+    const double d_near = g.net->distance(id, nearest);
+    // The slot holding the nearest node's first digit must contain a node
+    // at distance <= the true nearest (i.e. the nearest itself or a tie).
+    EXPECT_LE(d_prim, d_near + 1e-12);
+  }
+}
+
+TEST(Join, DuplicateIdRejected) {
+  auto g = grow_ring_network(16, 44);
+  EXPECT_THROW(g.net->join(0, g.ids[3]), CheckError);
+}
+
+TEST(Join, JoinOnEmptyNetworkRejected) {
+  Rng rng(1);
+  RingMetric space(8, rng);
+  Network net(space, small_params());
+  EXPECT_THROW(net.join(0), CheckError);
+}
+
+TEST(Join, SecondBootstrapRejected) {
+  Rng rng(1);
+  RingMetric space(8, rng);
+  Network net(space, small_params());
+  net.bootstrap(0);
+  EXPECT_THROW(net.bootstrap(1), CheckError);
+}
+
+TEST(Join, TinyNetworkGrowsCorrectly) {
+  // Exercise the smallest cases: 1 -> 2 -> 3 nodes.
+  Rng rng(2);
+  RingMetric space(8, rng);
+  Network net(space, small_params(), 99);
+  const NodeId a = net.bootstrap(0);
+  const NodeId b = net.join(1);
+  const NodeId c = net.join(2);
+  net.check_property1();
+  net.check_backpointer_symmetry();
+  EXPECT_EQ(net.size(), 3u);
+  // All three route consistently.
+  const Guid guid = make_guid(net, 55);
+  const NodeId root = net.route_to_root(a, guid).root;
+  EXPECT_EQ(net.route_to_root(b, guid).root, root);
+  EXPECT_EQ(net.route_to_root(c, guid).root, root);
+}
+
+TEST(Join, ObjectsPublishedBeforeJoinStayAvailable) {
+  Rng rng(3);
+  RingMetric space(128, rng);
+  Network net(space, small_params(), 7);
+  std::vector<NodeId> ids{net.bootstrap(0)};
+  for (std::size_t i = 1; i < 32; ++i) ids.push_back(net.join(i));
+
+  std::vector<Guid> guids;
+  for (int i = 0; i < 12; ++i) {
+    const Guid guid = make_guid(net, 200 + i);
+    guids.push_back(guid);
+    net.publish(ids[static_cast<std::size_t>(i) % ids.size()], guid);
+  }
+
+  // Grow the network by 4x; every object must stay locatable from every
+  // node after every single join (deterministic location, Property 1+4).
+  for (std::size_t i = 32; i < 128; ++i) {
+    ids.push_back(net.join(i));
+    for (const Guid& guid : guids) {
+      const LocateResult r = net.locate(ids[i % ids.size()], guid);
+      ASSERT_TRUE(r.found) << "object lost after join " << i;
+    }
+  }
+  net.check_property4();
+}
+
+TEST(Join, RootOwnershipTransfersToNewNode) {
+  // If the new node becomes an object's root, the pointer must move to it
+  // (LINKANDXFERROOT), otherwise surrogate routing would dead-end.
+  Rng rng(4);
+  RingMetric space(64, rng);
+  TapestryParams p = small_params();
+  Network net(space, p, 11);
+  std::vector<NodeId> ids{net.bootstrap(0)};
+  for (std::size_t i = 1; i < 24; ++i) ids.push_back(net.join(i));
+
+  const Guid guid = make_guid(net, 77);
+  net.publish(ids[5], guid);
+  const NodeId old_root = net.surrogate_root(guid);
+
+  // Insert a node whose id is one digit closer to the guid than the old
+  // root: it must become the new root and hold the pointer.
+  NodeId target = guid;
+  // Perturb the last digit so the id is not the guid itself (and unused).
+  unsigned last = guid.num_digits() - 1;
+  NodeId candidate = target.with_digit(last, (guid.digit(last) + 1) % 16);
+  if (net.contains(candidate)) GTEST_SKIP() << "improbable id collision";
+  net.join(30, candidate);
+
+  const NodeId new_root = net.surrogate_root(guid);
+  EXPECT_EQ(new_root, candidate);
+  EXPECT_FALSE(new_root == old_root);
+  EXPECT_FALSE(net.node(new_root).store().find_all(guid).empty())
+      << "root pointer did not transfer";
+  // And the object remains locatable from everywhere.
+  for (const NodeId& c : ids)
+    EXPECT_TRUE(net.locate(c, guid).found);
+  net.check_property4();
+}
+
+TEST(Join, InsertCostScalesPolylogarithmically) {
+  // §4.5: insertion needs O(log^2 n) messages w.h.p.  At small n the cost
+  // is dominated by the O(b·R·k) per-level candidate neighborhood, which
+  // saturates; in the regime past saturation a 4x increase in n must cost
+  // far less than 4x messages ((log 1024 / log 256)^2 = 1.5625x predicted).
+  auto measure = [](std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    RingMetric space(n + 8, rng);
+    Network net(space, small_params(), seed);
+    net.bootstrap(0);
+    for (std::size_t i = 1; i < n; ++i) net.join(i);
+    Summary msgs;
+    for (std::size_t i = 0; i < 8; ++i) {
+      Trace t;
+      net.join(n + i, std::nullopt, &t);
+      msgs.add(static_cast<double>(t.messages()));
+    }
+    return msgs.mean();
+  };
+  const double cost256 = measure(256, 50);
+  const double cost1024 = measure(1024, 51);
+  EXPECT_LT(cost1024, cost256 * 3.0)
+      << "insertion cost grows too fast with n (not polylog)";
+}
+
+TEST(Join, GatewayChoiceDoesNotAffectOutcomeInvariants) {
+  Rng rng(5);
+  RingMetric space(64, rng);
+  Network net(space, small_params(), 13);
+  std::vector<NodeId> ids{net.bootstrap(0)};
+  for (std::size_t i = 1; i < 32; ++i) ids.push_back(net.join(i));
+  // Join through every possible gateway in turn; invariants hold each time.
+  for (std::size_t i = 32; i < 48; ++i) {
+    const NodeId gw = ids[(i * 7) % ids.size()];
+    ids.push_back(net.join_via(gw, i));
+    net.check_property1();
+  }
+  net.check_backpointer_symmetry();
+}
+
+TEST(Join, TraceCountsRealisticCosts) {
+  auto g = grow_ring_network(64, 45);
+  Trace t;
+  g.net->join(64, std::nullopt, &t);
+  EXPECT_GT(t.messages(), 0u);
+  EXPECT_GT(t.latency(), 0.0);
+}
+
+}  // namespace
+}  // namespace tap

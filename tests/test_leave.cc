@@ -1,0 +1,230 @@
+// Node deletion (§5): voluntary departure preserves all invariants and
+// availability; involuntary failure is repaired lazily; objects rooted at
+// a failed node come back after soft-state republish.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/stats.h"
+#include "test_util.h"
+
+namespace tap {
+namespace {
+
+using test::grow_ring_network;
+using test::make_guid;
+using test::small_params;
+
+TEST(VoluntaryLeave, InvariantsHoldAfterEachDeparture) {
+  auto g = grow_ring_network(96, 80);
+  Rng rng(1);
+  // Remove a third of the network one node at a time.
+  for (int i = 0; i < 32; ++i) {
+    auto ids = g.net->node_ids();
+    const NodeId victim = ids[rng.next_u64(ids.size())];
+    g.net->leave(victim);
+    g.net->check_property1();
+  }
+  g.net->check_backpointer_symmetry();
+  EXPECT_EQ(g.net->size(), 64u);
+}
+
+TEST(VoluntaryLeave, ObjectsStayAvailableThroughDepartures) {
+  auto g = grow_ring_network(128, 81);
+  Rng rng(2);
+  std::vector<Guid> guids;
+  std::vector<NodeId> servers;
+  for (int i = 0; i < 10; ++i) {
+    const Guid guid = make_guid(*g.net, 500 + i);
+    const NodeId server = g.ids[rng.next_u64(g.ids.size())];
+    g.net->publish(server, guid);
+    guids.push_back(guid);
+    servers.push_back(server);
+  }
+  for (int round = 0; round < 40; ++round) {
+    // Never remove a server (the replica itself would vanish with it — an
+    // application-layer event, not an overlay failure).
+    auto ids = g.net->node_ids();
+    NodeId victim = ids[rng.next_u64(ids.size())];
+    bool is_server = false;
+    for (const NodeId& s : servers)
+      if (s == victim) is_server = true;
+    if (is_server) continue;
+    g.net->leave(victim);
+    for (std::size_t i = 0; i < guids.size(); ++i) {
+      auto clients = g.net->node_ids();
+      const NodeId client = clients[rng.next_u64(clients.size())];
+      const LocateResult r = g.net->locate(client, guids[i]);
+      ASSERT_TRUE(r.found) << "object lost after departure round " << round;
+      EXPECT_EQ(r.server, servers[i]);
+    }
+  }
+  g.net->check_property4();
+}
+
+TEST(VoluntaryLeave, ServerDepartureWithdrawsItsReplicas) {
+  auto g = grow_ring_network(64, 82);
+  const Guid guid = make_guid(*g.net, 9);
+  g.net->publish(g.ids[10], guid);
+  g.net->publish(g.ids[20], guid);
+  g.net->leave(g.ids[10]);
+  // The remaining replica serves every query.
+  for (const NodeId& c : g.net->node_ids()) {
+    const LocateResult r = g.net->locate(c, guid);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.server, g.ids[20]);
+  }
+  EXPECT_EQ(g.net->servers_of(guid).size(), 1u);
+}
+
+TEST(VoluntaryLeave, RootDepartureMigratesPointers) {
+  auto g = grow_ring_network(96, 83);
+  const Guid guid = make_guid(*g.net, 11);
+  g.net->publish(g.ids[5], guid);
+  const NodeId old_root = g.net->surrogate_root(guid);
+  if (old_root == g.ids[5]) GTEST_SKIP() << "server happens to be root";
+  g.net->leave(old_root);
+  const NodeId new_root = g.net->surrogate_root(guid);
+  EXPECT_FALSE(new_root == old_root);
+  // The new root must already hold the pointer (availability was never
+  // interrupted, §5.1).
+  EXPECT_FALSE(g.net->node(new_root).store().find_all(guid).empty());
+  for (const NodeId& c : g.net->node_ids())
+    EXPECT_TRUE(g.net->locate(c, guid).found);
+  g.net->check_property4();
+}
+
+TEST(VoluntaryLeave, DownToOneNode) {
+  auto g = grow_ring_network(8, 84);
+  while (g.net->size() > 1) {
+    auto ids = g.net->node_ids();
+    g.net->leave(ids.front());
+    g.net->check_property1();
+  }
+  EXPECT_EQ(g.net->size(), 1u);
+}
+
+TEST(VoluntaryLeave, LeaveOfDeadNodeRejected) {
+  auto g = grow_ring_network(16, 85);
+  g.net->fail(g.ids[3]);
+  EXPECT_THROW(g.net->leave(g.ids[3]), CheckError);
+}
+
+// ---------------------------------------------------------------- failure
+
+TEST(InvoluntaryFail, LazyRepairRestoresRouting) {
+  auto g = grow_ring_network(128, 86);
+  Rng rng(3);
+  // Kill 20% of the network without warning.
+  for (int i = 0; i < 25; ++i) {
+    auto ids = g.net->node_ids();
+    g.net->fail(ids[rng.next_u64(ids.size())]);
+  }
+  // Routing still terminates and roots stay unique per GUID: exercise many
+  // routes (each repairs tables as it trips over corpses).
+  for (int obj = 0; obj < 30; ++obj) {
+    const Guid guid = make_guid(*g.net, 700 + obj);
+    auto ids = g.net->node_ids();
+    std::set<std::uint64_t> roots;
+    for (std::size_t i = 0; i < ids.size(); i += 5)
+      roots.insert(g.net->route_to_root(ids[i], guid).root.value());
+    EXPECT_EQ(roots.size(), 1u) << "roots diverge after failures";
+  }
+}
+
+TEST(InvoluntaryFail, RepairConvergesToProperty1) {
+  auto g = grow_ring_network(96, 87);
+  Rng rng(4);
+  for (int i = 0; i < 16; ++i) {
+    auto ids = g.net->node_ids();
+    g.net->fail(ids[rng.next_u64(ids.size())]);
+  }
+  // Drive repair by routing from everywhere to everywhere-ish.
+  auto ids = g.net->node_ids();
+  for (const NodeId& src : ids)
+    for (int obj = 0; obj < 8; ++obj)
+      (void)g.net->route_to_root(src, make_guid(*g.net, 800 + obj));
+  // After the dust settles, no live table slot should still hold only
+  // corpses while live candidates exist.
+  g.net->check_property1();
+}
+
+TEST(InvoluntaryFail, ObjectsOnFailedPathsSurviveViaRepair) {
+  auto g = grow_ring_network(128, 88);
+  const Guid guid = make_guid(*g.net, 13);
+  g.net->publish(g.ids[7], guid);
+  const RouteResult path = g.net->route_to_root(g.ids[7], guid);
+  // Fail an intermediate path node (not server, not root).
+  if (path.path.size() < 3) GTEST_SKIP() << "publish path too short";
+  const NodeId victim = path.path[1];
+  g.net->fail(victim);
+  // Queries still succeed: they repair around the corpse and, in the worst
+  // case, meet the pointer at the root.
+  for (const NodeId& c : g.net->node_ids())
+    EXPECT_TRUE(g.net->locate(c, guid).found);
+}
+
+TEST(InvoluntaryFail, RootFailureRecoversAfterRepublish) {
+  auto g = grow_ring_network(128, 89);
+  const Guid guid = make_guid(*g.net, 14);
+  g.net->publish(g.ids[9], guid);
+  const NodeId root = g.net->surrogate_root(guid);
+  if (root == g.ids[9]) GTEST_SKIP() << "server happens to be root";
+  g.net->fail(root);
+
+  // The paper accepts unavailability here until soft state refreshes
+  // (§5.2): after republish, the object is found again by everyone.
+  g.net->republish_all();
+  for (const NodeId& c : g.net->node_ids())
+    EXPECT_TRUE(g.net->locate(c, guid).found)
+        << "object unavailable after republish";
+  const NodeId new_root = g.net->surrogate_root(guid);
+  EXPECT_FALSE(new_root == root);
+}
+
+TEST(InvoluntaryFail, DeadServerPointersPrunedLazily) {
+  auto g = grow_ring_network(96, 90);
+  const Guid guid = make_guid(*g.net, 15);
+  g.net->publish(g.ids[11], guid);
+  g.net->publish(g.ids[22], guid);
+  g.net->fail(g.ids[11]);
+  // Queries must skip the dead replica and settle on the live one.
+  for (const NodeId& c : g.net->node_ids()) {
+    const LocateResult r = g.net->locate(c, guid);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.server, g.ids[22]);
+  }
+}
+
+TEST(InvoluntaryFail, FailedTwiceRejected) {
+  auto g = grow_ring_network(16, 91);
+  g.net->fail(g.ids[3]);
+  EXPECT_THROW(g.net->fail(g.ids[3]), CheckError);
+}
+
+TEST(MixedChurn, JoinsAndLeavesInterleaved) {
+  auto g = grow_ring_network(64, 92);
+  Rng rng(5);
+  std::size_t next_loc = 64;
+  for (int round = 0; round < 60; ++round) {
+    if (rng.bernoulli(0.5) && g.net->size() > 8) {
+      auto ids = g.net->node_ids();
+      g.net->leave(ids[rng.next_u64(ids.size())]);
+    } else if (next_loc < 128) {
+      g.net->join(next_loc++);
+    }
+  }
+  g.net->check_property1();
+  g.net->check_backpointer_symmetry();
+  // Roots still unique.
+  for (int obj = 0; obj < 10; ++obj) {
+    const Guid guid = make_guid(*g.net, 900 + obj);
+    std::set<std::uint64_t> roots;
+    for (const NodeId& src : g.net->node_ids())
+      roots.insert(g.net->route_to_root(src, guid).root.value());
+    EXPECT_EQ(roots.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace tap

@@ -1,0 +1,212 @@
+// Metric substrate: every space must be a true metric (symmetry + triangle
+// inequality), and the growth-restricted spaces must exhibit the expansion
+// behaviour the paper's analysis assumes (Equation 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/assert.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/metric/analysis.h"
+#include "src/metric/euclidean.h"
+#include "src/metric/general.h"
+#include "src/metric/ring.h"
+#include "src/metric/torus.h"
+#include "src/metric/transit_stub.h"
+
+namespace tap {
+namespace {
+
+std::unique_ptr<MetricSpace> make_space(const std::string& kind, std::size_t n,
+                                        Rng& rng) {
+  if (kind == "ring") return std::make_unique<RingMetric>(n, rng);
+  if (kind == "torus") return std::make_unique<Torus2D>(n, rng);
+  if (kind == "euclid") return std::make_unique<Euclidean2D>(n, rng);
+  if (kind == "transit") return std::make_unique<TransitStubMetric>(n, rng);
+  if (kind == "highdim") return std::make_unique<HighDimEuclidean>(n, 6, rng);
+  if (kind == "clusters") return std::make_unique<TwoClusterMetric>(n, rng);
+  ADD_FAILURE() << "unknown space " << kind;
+  return nullptr;
+}
+
+class MetricPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MetricPropertyTest, TriangleInequalityHolds) {
+  Rng rng(11);
+  auto space = make_space(GetParam(), 200, rng);
+  const TriangleAudit audit = audit_triangle_inequality(*space, rng, 20000);
+  EXPECT_EQ(audit.violations, 0u)
+      << GetParam() << " worst excess " << audit.worst_excess;
+}
+
+TEST_P(MetricPropertyTest, SymmetryAndIdentity) {
+  Rng rng(12);
+  auto space = make_space(GetParam(), 100, rng);
+  for (int t = 0; t < 2000; ++t) {
+    const Location a = rng.next_u64(space->size());
+    const Location b = rng.next_u64(space->size());
+    EXPECT_DOUBLE_EQ(space->distance(a, b), space->distance(b, a));
+    EXPECT_GE(space->distance(a, b), 0.0);
+  }
+  for (Location a = 0; a < space->size(); ++a)
+    EXPECT_DOUBLE_EQ(space->distance(a, a), 0.0);
+}
+
+TEST_P(MetricPropertyTest, SizeMatchesRequest) {
+  Rng rng(13);
+  auto space = make_space(GetParam(), 150, rng);
+  EXPECT_EQ(space->size(), 150u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpaces, MetricPropertyTest,
+                         ::testing::Values("ring", "torus", "euclid",
+                                           "transit", "highdim", "clusters"),
+                         [](const auto& ti) { return ti.param; });
+
+TEST(RingMetric, DistanceWrapsAround) {
+  Rng rng(1);
+  RingMetric ring(4, rng, 0.0);  // even placement: 0, .25, .5, .75
+  EXPECT_NEAR(ring.distance(0, 1), 0.25, 1e-12);
+  EXPECT_NEAR(ring.distance(0, 3), 0.25, 1e-12);  // wraps, not 0.75
+  EXPECT_NEAR(ring.distance(0, 2), 0.50, 1e-12);
+}
+
+TEST(RingMetric, ExpansionConstantNearTwo) {
+  Rng rng(2);
+  RingMetric ring(1024, rng);
+  const auto est = estimate_expansion(ring, rng, 32);
+  // A 1-D space doubles ball population when radius doubles.
+  EXPECT_GT(est.median_ratio, 1.5);
+  EXPECT_LT(est.median_ratio, 2.5);
+}
+
+TEST(Torus2D, ExpansionConstantNearFour) {
+  Rng rng(3);
+  Torus2D torus(2048, rng);
+  const auto est = estimate_expansion(torus, rng, 32);
+  // A 2-D space quadruples ball population when radius doubles.
+  EXPECT_GT(est.median_ratio, 3.0);
+  EXPECT_LT(est.median_ratio, 5.0);
+}
+
+TEST(HighDim, ExpansionExceedsHexRadixBound) {
+  Rng rng(4);
+  HighDimEuclidean space(2048, 6, rng);
+  const auto est = estimate_expansion(space, rng, 32);
+  // The b > c^2 precondition (b = 16 => c < 4) fails decisively here,
+  // which is why §7 needs a different scheme.
+  EXPECT_GT(est.p90_ratio, 4.0);
+}
+
+TEST(Torus2D, WrapAroundShortensDistance) {
+  // Points at opposite edges are close on the torus.
+  Rng rng(5);
+  Torus2D torus(2, rng);
+  // Can't control sampled points; instead check the distance bound that the
+  // wraparound guarantees: no two points are farther than sqrt(0.5).
+  Rng rng2(6);
+  Torus2D big(500, rng2);
+  double max_d = 0;
+  for (Location a = 0; a < big.size(); ++a)
+    for (Location b = a + 1; b < big.size(); ++b)
+      max_d = std::max(max_d, big.distance(a, b));
+  EXPECT_LE(max_d, std::sqrt(0.5) + 1e-12);
+}
+
+TEST(TransitStub, IntraStubDistancesAreSmall) {
+  Rng rng(7);
+  TransitStubMetric ts(256, rng);
+  for (Location a = 0; a < ts.size(); ++a) {
+    for (Location b = a + 1; b < ts.size(); ++b) {
+      if (ts.same_stub(a, b))
+        EXPECT_LE(ts.distance(a, b), ts.max_intra_stub_distance());
+    }
+  }
+}
+
+TEST(TransitStub, InterTransitDominatesIntraStub) {
+  Rng rng(8);
+  TransitStubParams params;
+  params.transit_scale = 10.0;
+  TransitStubMetric ts(256, rng, params);
+  Summary intra, inter;
+  for (Location a = 0; a < ts.size(); ++a) {
+    for (Location b = a + 1; b < ts.size(); ++b) {
+      if (ts.same_stub(a, b))
+        intra.add(ts.distance(a, b));
+      else if (ts.transit_of(a) != ts.transit_of(b))
+        inter.add(ts.distance(a, b));
+    }
+  }
+  ASSERT_FALSE(intra.empty());
+  ASSERT_FALSE(inter.empty());
+  EXPECT_GT(inter.mean(), 5.0 * intra.mean());
+}
+
+TEST(TransitStub, StubAssignmentIsBalanced) {
+  Rng rng(9);
+  TransitStubParams params;
+  params.transit_routers = 4;
+  params.stubs_per_transit = 4;
+  TransitStubMetric ts(320, rng, params);
+  std::vector<int> counts(ts.num_stubs(), 0);
+  for (Location a = 0; a < ts.size(); ++a) ++counts[ts.stub_of(a)];
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(TransitStub, ParameterValidation) {
+  Rng rng(10);
+  TransitStubParams bad;
+  bad.transit_scale = 0.5;
+  EXPECT_THROW(TransitStubMetric(64, rng, bad), CheckError);
+}
+
+TEST(TwoCluster, BallGrowthIsAbrupt) {
+  Rng rng(14);
+  TwoClusterMetric space(512, rng);
+  // From a point in cluster one, a ball of radius 0.1 holds ~half the
+  // points; radius 1.1 holds everything — the expansion ratio explodes.
+  std::size_t small_ball = 0, big_ball = 0;
+  for (Location b = 1; b < space.size(); ++b) {
+    const double d = space.distance(0, b);
+    if (d <= 0.1) ++small_ball;
+    if (d <= 1.2) ++big_ball;
+  }
+  EXPECT_GE(small_ball, space.size() / 2 - 2);
+  EXPECT_EQ(big_ball, space.size() - 1);
+}
+
+TEST(Analysis, NearestSortedMatchesBruteForce) {
+  Rng rng(15);
+  Euclidean2D space(64, rng);
+  const auto order = nearest_sorted(space, 10);
+  ASSERT_EQ(order.size(), 63u);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(space.distance(10, order[i - 1]),
+              space.distance(10, order[i]) + 1e-15);
+}
+
+TEST(Analysis, MedoidMinimizesDistanceSum) {
+  Rng rng(16);
+  Euclidean2D space(40, rng);
+  const Location m = medoid(space);
+  auto total = [&](Location c) {
+    double s = 0;
+    for (Location i = 0; i < space.size(); ++i) s += space.distance(c, i);
+    return s;
+  };
+  const double best = total(m);
+  for (Location c = 0; c < space.size(); ++c) EXPECT_LE(best, total(c) + 1e-12);
+}
+
+TEST(Analysis, DiameterIsMaxPairwise) {
+  Rng rng(17);
+  RingMetric ring(32, rng, 0.0);
+  EXPECT_NEAR(diameter(ring), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace tap

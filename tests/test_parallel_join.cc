@@ -1,0 +1,211 @@
+// Simultaneous insertion (§4.4, Theorem 6): batches of nodes inserting at
+// overlapping times — with genuinely interleaved message delivery — must
+// leave the network with no Property 1 holes, including the adversarial
+// same-hole and same-prefix-different-hole conflicts of Lemmas 5 and 6.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/tapestry/parallel_join.h"
+#include "test_util.h"
+
+namespace tap {
+namespace {
+
+using test::grow_ring_network;
+using test::make_guid;
+using test::small_params;
+
+ParallelJoinCoordinator::Request req(Location loc, NodeId gw, double t,
+                                     std::optional<NodeId> id = std::nullopt) {
+  ParallelJoinCoordinator::Request r;
+  r.loc = loc;
+  r.gateway = gw;
+  r.start_time = t;
+  r.id = id;
+  return r;
+}
+
+TEST(ParallelJoin, SingleAsyncJoinMatchesInvariants) {
+  auto g = grow_ring_network(64, 120);
+  ParallelJoinCoordinator coord(*g.net, 0.01);
+  const auto outcomes = coord.run({req(64, g.ids[0], 0.0)});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(g.net->contains(outcomes[0].id));
+  EXPECT_FALSE(g.net->node(outcomes[0].id).inserting);
+  g.net->check_property1();
+  g.net->check_backpointer_symmetry();
+}
+
+TEST(ParallelJoin, ConcurrentBatchLeavesNoHoles) {
+  auto g = grow_ring_network(96, 121);
+  ParallelJoinCoordinator coord(*g.net, 0.05);
+  std::vector<ParallelJoinCoordinator::Request> reqs;
+  for (int i = 0; i < 16; ++i)
+    reqs.push_back(req(96 + i, g.ids[static_cast<std::size_t>(i) * 3 %
+                                     g.ids.size()],
+                       0.001 * i));
+  const auto outcomes = coord.run(reqs);
+  EXPECT_EQ(g.net->size(), 96u + 16u);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(g.net->contains(o.id));
+    EXPECT_GE(o.core_time, o.start_time);
+    EXPECT_GE(o.done_time, o.core_time);
+    EXPECT_GT(o.messages, 0u);
+  }
+  g.net->check_property1();
+  g.net->check_backpointer_symmetry();
+  // No pinned entries may survive the batch.
+  for (const NodeId& id : g.net->node_ids()) {
+    const auto& table = g.net->node(id).table();
+    for (unsigned l = 0; l < g.net->params().id.num_digits; ++l)
+      for (unsigned j = 0; j < 16; ++j)
+        EXPECT_TRUE(table.at(l, j).pinned_members().empty());
+  }
+}
+
+TEST(ParallelJoin, SameHoleConflictBothLearnOfEachOther) {
+  // Lemma 5: craft two inserters that fill the *same* hole: same prefix
+  // digits, different tails, where no existing node carries the prefix.
+  auto g = grow_ring_network(64, 122);
+  // Find a 2-digit prefix no live node carries.
+  const IdSpec spec = g.net->params().id;
+  std::optional<Id> free_prefix;
+  Rng probe(9);
+  for (int t = 0; t < 4096 && !free_prefix; ++t) {
+    const Id cand = Id::random(spec, probe);
+    bool taken = false;
+    for (const NodeId& id : g.net->node_ids())
+      if (id.matches_prefix(cand, 2)) taken = true;
+    if (!taken) free_prefix = cand;
+  }
+  ASSERT_TRUE(free_prefix.has_value()) << "no free prefix in a 64-node net";
+  const NodeId n1 = free_prefix->with_digit(7, 1);
+  const NodeId n2 = free_prefix->with_digit(7, 2);
+  ASSERT_FALSE(n1 == n2);
+
+  ParallelJoinCoordinator coord(*g.net, 0.08);
+  coord.run({req(64, g.ids[0], 0.0, n1), req(65, g.ids[5], 0.0001, n2)});
+
+  // Both nodes must know each other (they share >= 2 digits, so each fills
+  // the other's table at the shared-prefix levels).
+  const unsigned gcp = n1.common_prefix_len(n2);
+  for (unsigned l = 0; l <= 2 && l < gcp; ++l) {
+    EXPECT_TRUE(g.net->node(n1).table().at(l, n2.digit(l)).contains(n2))
+        << "n1 missing n2 at level " << l;
+    EXPECT_TRUE(g.net->node(n2).table().at(l, n1.digit(l)).contains(n1))
+        << "n2 missing n1 at level " << l;
+  }
+  g.net->check_property1();
+}
+
+TEST(ParallelJoin, DifferentHolesSamePrefixWatchListCatches) {
+  // Lemma 6: two inserters under the same (existing) prefix β but filling
+  // different digit holes; the watch list / pinned forwarding must connect
+  // them.  Construction: β = an occupied first digit; i, j = two second
+  // digits no existing node carries under β.
+  auto g = grow_ring_network(64, 123);
+  const IdSpec spec = g.net->params().id;
+  const unsigned d0 = g.ids[0].digit(0);  // an occupied first digit
+  std::vector<bool> second_taken(16, false);
+  for (const NodeId& id : g.net->node_ids())
+    if (id.digit(0) == d0) second_taken[id.digit(1)] = true;
+  std::vector<unsigned> free_digits;
+  for (unsigned j = 0; j < 16; ++j)
+    if (!second_taken[j]) free_digits.push_back(j);
+  ASSERT_GE(free_digits.size(), 2u) << "need two free second digits";
+  const unsigned di = free_digits[0];
+  const unsigned dj = free_digits[1];
+
+  Rng tail_rng(10);
+  const NodeId n1 =
+      Id::random(spec, tail_rng).with_digit(0, d0).with_digit(1, di);
+  const NodeId n2 =
+      Id::random(spec, tail_rng).with_digit(0, d0).with_digit(1, dj);
+
+  ParallelJoinCoordinator coord(*g.net, 0.08);
+  const auto outcomes =
+      coord.run({req(64, g.ids[0], 0.0, n1), req(65, g.ids[7], 0.0001, n2)});
+  EXPECT_EQ(outcomes[0].alpha, 1u);
+  EXPECT_EQ(outcomes[1].alpha, 1u);
+
+  // Each must have discovered the other: n2 fills n1's (β, dj) hole at
+  // level 1 and vice versa.
+  EXPECT_TRUE(g.net->node(n1).table().at(1, dj).contains(n2));
+  EXPECT_TRUE(g.net->node(n2).table().at(1, di).contains(n1));
+  g.net->check_property1();
+}
+
+TEST(ParallelJoin, ObjectsAvailableDuringInsertions) {
+  auto g = grow_ring_network(96, 124);
+  Rng rng(11);
+  std::vector<Guid> guids;
+  for (int i = 0; i < 8; ++i) {
+    const Guid guid = make_guid(*g.net, 600 + i);
+    g.net->publish(g.ids[rng.next_u64(g.ids.size())], guid);
+    guids.push_back(guid);
+  }
+  // Interleave lookups with the insertion batch via scheduled events.
+  std::size_t failures = 0;
+  for (int probe_i = 0; probe_i < 40; ++probe_i) {
+    g.net->events().schedule_at(0.01 + 0.02 * probe_i, [&, probe_i] {
+      const Guid& guid = guids[static_cast<std::size_t>(probe_i) % guids.size()];
+      auto ids = g.net->node_ids();
+      Rng local(static_cast<std::uint64_t>(probe_i));
+      const NodeId client = ids[local.next_u64(ids.size())];
+      if (!g.net->locate(client, guid).found) ++failures;
+    });
+  }
+  ParallelJoinCoordinator coord(*g.net, 0.05);
+  std::vector<ParallelJoinCoordinator::Request> reqs;
+  for (int i = 0; i < 12; ++i)
+    reqs.push_back(req(96 + i, g.ids[static_cast<std::size_t>(i) * 5 %
+                                     g.ids.size()],
+                       0.005 * i));
+  coord.run(reqs);
+  EXPECT_EQ(failures, 0u) << "lookups failed while nodes were inserting";
+  g.net->check_property4();
+}
+
+TEST(ParallelJoin, LargeBatchOnSmallCore) {
+  // Stress: 24 simultaneous inserts on a 16-node core.
+  auto g = grow_ring_network(16, 125);
+  ParallelJoinCoordinator coord(*g.net, 0.1);
+  std::vector<ParallelJoinCoordinator::Request> reqs;
+  for (int i = 0; i < 24; ++i)
+    reqs.push_back(req(16 + i, g.ids[static_cast<std::size_t>(i) %
+                                     g.ids.size()],
+                       0.002 * i));
+  coord.run(reqs);
+  EXPECT_EQ(g.net->size(), 40u);
+  g.net->check_property1();
+  g.net->check_backpointer_symmetry();
+  // Root uniqueness across the merged network.
+  for (int obj = 0; obj < 10; ++obj) {
+    const Guid guid = make_guid(*g.net, 1200 + obj);
+    std::set<std::uint64_t> roots;
+    for (const NodeId& src : g.net->node_ids())
+      roots.insert(g.net->route_to_root(src, guid).root.value());
+    EXPECT_EQ(roots.size(), 1u);
+  }
+}
+
+TEST(ParallelJoin, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    auto g = grow_ring_network(32, seed);
+    ParallelJoinCoordinator coord(*g.net, 0.05);
+    std::vector<ParallelJoinCoordinator::Request> reqs;
+    for (int i = 0; i < 6; ++i)
+      reqs.push_back(req(32 + i, g.ids[static_cast<std::size_t>(i) %
+                                       g.ids.size()],
+                         0.001 * i));
+    const auto outcomes = coord.run(reqs);
+    std::vector<std::uint64_t> ids;
+    for (const auto& o : outcomes) ids.push_back(o.id.value());
+    return ids;
+  };
+  EXPECT_EQ(run_once(126), run_once(126));
+}
+
+}  // namespace
+}  // namespace tap

@@ -1,0 +1,254 @@
+// Surrogate routing (§2.3) on statically built (oracle) networks: root
+// uniqueness (Theorem 2), termination, path properties, both routing
+// variants, and the consistency/locality invariants of the static builder.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/stats.h"
+#include "src/metric/analysis.h"
+#include "test_util.h"
+
+namespace tap {
+namespace {
+
+using test::make_guid;
+using test::small_params;
+using test::static_ring_network;
+
+class RoutingModeTest : public ::testing::TestWithParam<RoutingMode> {};
+
+TEST_P(RoutingModeTest, StaticBuildSatisfiesProperties) {
+  auto g = static_ring_network(128, 21, small_params(GetParam()));
+  g.net->check_property1();
+  g.net->check_backpointer_symmetry();
+  EXPECT_DOUBLE_EQ(g.net->property2_quality(), 1.0);
+}
+
+TEST_P(RoutingModeTest, SurrogateRootIsUniqueAcrossAllSources) {
+  // Theorem 2: every source must reach the same root for a given GUID.
+  auto g = static_ring_network(128, 22, small_params(GetParam()));
+  for (int obj = 0; obj < 25; ++obj) {
+    const Guid guid = make_guid(*g.net, 1000 + obj);
+    std::set<std::uint64_t> roots;
+    for (const NodeId& src : g.ids)
+      roots.insert(g.net->route_to_root(src, guid).root.value());
+    EXPECT_EQ(roots.size(), 1u) << "guid " << guid.to_string();
+  }
+}
+
+TEST_P(RoutingModeTest, RoutingToExistingNodeTerminatesThere) {
+  auto g = static_ring_network(128, 23, small_params(GetParam()));
+  for (std::size_t i = 0; i < g.ids.size(); i += 7) {
+    for (std::size_t j = 0; j < g.ids.size(); j += 13) {
+      const RouteResult rr = g.net->route_to_root(g.ids[i], g.ids[j]);
+      EXPECT_EQ(rr.root, g.ids[j]);
+      EXPECT_EQ(rr.surrogate_hops, 0u)
+          << "routing to an existing id never wraps";
+    }
+  }
+}
+
+TEST_P(RoutingModeTest, HopsAreLogarithmic) {
+  auto g = static_ring_network(256, 24, small_params(GetParam()));
+  Rng rng(77);
+  Summary hops;
+  for (int q = 0; q < 200; ++q) {
+    const NodeId src = g.ids[rng.next_u64(g.ids.size())];
+    const Guid guid = make_guid(*g.net, 5000 + q);
+    hops.add(static_cast<double>(g.net->route_to_root(src, guid).hops));
+  }
+  // log_16(256) = 2 digits typically distinguish a node; surrogate steps
+  // add a small constant (§2.3: < 2 in expectation).
+  EXPECT_LE(hops.mean(), 6.0);
+  EXPECT_LE(hops.max(), static_cast<double>(g.net->params().id.num_digits));
+}
+
+TEST_P(RoutingModeTest, PathPrefixMonotone) {
+  // Along a route, each next node never matches the target in fewer levels
+  // than the pattern resolved so far allows; the last node is the root.
+  auto g = static_ring_network(64, 25, small_params(GetParam()));
+  const Guid guid = make_guid(*g.net, 1);
+  const RouteResult rr = g.net->route_to_root(g.ids[0], guid);
+  EXPECT_FALSE(rr.path.empty());
+  EXPECT_EQ(rr.path.front(), g.ids[0]);
+  EXPECT_EQ(rr.path.back(), rr.root);
+  // No node repeats on a route.
+  std::set<std::uint64_t> seen;
+  for (const NodeId& n : rr.path) EXPECT_TRUE(seen.insert(n.value()).second);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, RoutingModeTest,
+                         ::testing::Values(RoutingMode::kTapestryNative,
+                                           RoutingMode::kPrrLike),
+                         [](const auto& ti) {
+                           return ti.param == RoutingMode::kTapestryNative
+                                      ? "native"
+                                      : "prrlike";
+                         });
+
+TEST(Routing, SurrogateExtraHopsSmallOnAverage) {
+  // §2.3: localized routing adds < 2 extra hops in expectation.
+  auto g = static_ring_network(512, 26);
+  Rng rng(88);
+  Summary extra;
+  for (int q = 0; q < 400; ++q) {
+    const NodeId src = g.ids[rng.next_u64(g.ids.size())];
+    const Guid guid = make_guid(*g.net, 9000 + q);
+    extra.add(static_cast<double>(
+        g.net->route_to_root(src, guid).surrogate_hops));
+  }
+  EXPECT_LT(extra.mean(), 2.0);
+}
+
+TEST(Routing, SingleNodeNetworkRootsEverything) {
+  Rng rng(1);
+  RingMetric space(4, rng);
+  Network net(space, small_params());
+  const NodeId only = net.bootstrap(0);
+  for (int i = 0; i < 20; ++i) {
+    const Guid guid = make_guid(net, i);
+    EXPECT_EQ(net.route_to_root(only, guid).root, only);
+    EXPECT_EQ(net.surrogate_root(guid), only);
+  }
+}
+
+TEST(Routing, SurrogateRootAgreesWithRouteToRoot) {
+  auto g = static_ring_network(128, 27);
+  for (int i = 0; i < 50; ++i) {
+    const Guid guid = make_guid(*g.net, 40 + i);
+    EXPECT_EQ(g.net->surrogate_root(guid),
+              g.net->route_to_root(g.ids[i % g.ids.size()], guid).root);
+  }
+}
+
+TEST(Routing, NativeAndPrrLikeCanDisagreeOnRoots) {
+  // The two variants are both valid surrogate schemes but resolve holes
+  // differently; with many GUIDs they should not always pick the same root.
+  auto native = static_ring_network(128, 28,
+                                    small_params(RoutingMode::kTapestryNative));
+  auto prr = static_ring_network(128, 28, small_params(RoutingMode::kPrrLike));
+  ASSERT_EQ(native.ids, prr.ids);
+  int differ = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Guid guid = make_guid(*native.net, 600 + i);
+    if (!(native.net->surrogate_root(guid) == prr.net->surrogate_root(guid)))
+      ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+// ------------------------------------------------------- publish & locate
+
+TEST(PublishLocate, EveryNodeFindsEveryObject) {
+  auto g = static_ring_network(128, 30);
+  Rng rng(5);
+  std::vector<Guid> guids;
+  for (int i = 0; i < 20; ++i) {
+    const Guid guid = make_guid(*g.net, 100 + i);
+    guids.push_back(guid);
+    g.net->publish(g.ids[rng.next_u64(g.ids.size())], guid);
+  }
+  g.net->check_property4();
+  for (const Guid& guid : guids) {
+    for (std::size_t c = 0; c < g.ids.size(); c += 5) {
+      const LocateResult r = g.net->locate(g.ids[c], guid);
+      EXPECT_TRUE(r.found) << guid.to_string();
+    }
+  }
+}
+
+TEST(PublishLocate, MissingObjectIsNotFound) {
+  auto g = static_ring_network(64, 31);
+  const LocateResult r = g.net->locate(g.ids[0], make_guid(*g.net, 999));
+  EXPECT_FALSE(r.found);
+}
+
+TEST(PublishLocate, ServerLocatesItsOwnObjectLocally) {
+  auto g = static_ring_network(64, 32);
+  const Guid guid = make_guid(*g.net, 7);
+  g.net->publish(g.ids[3], guid);
+  const LocateResult r = g.net->locate(g.ids[3], guid);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.server, g.ids[3]);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_DOUBLE_EQ(r.latency, 0.0);
+}
+
+TEST(PublishLocate, QueryResolvesToAReplica) {
+  auto g = static_ring_network(128, 33);
+  const Guid guid = make_guid(*g.net, 8);
+  g.net->publish(g.ids[10], guid);
+  g.net->publish(g.ids[90], guid);
+  for (std::size_t c = 0; c < g.ids.size(); c += 3) {
+    const LocateResult r = g.net->locate(g.ids[c], guid);
+    ASSERT_TRUE(r.found);
+    EXPECT_TRUE(r.server == g.ids[10] || r.server == g.ids[90]);
+  }
+}
+
+TEST(PublishLocate, UnpublishRemovesOneReplica) {
+  auto g = static_ring_network(128, 34);
+  const Guid guid = make_guid(*g.net, 9);
+  g.net->publish(g.ids[10], guid);
+  g.net->publish(g.ids[90], guid);
+  g.net->unpublish(g.ids[10], guid);
+  for (std::size_t c = 0; c < g.ids.size(); c += 7) {
+    const LocateResult r = g.net->locate(g.ids[c], guid);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.server, g.ids[90]);
+  }
+  g.net->unpublish(g.ids[90], guid);
+  EXPECT_FALSE(g.net->locate(g.ids[0], guid).found);
+  EXPECT_EQ(g.net->total_object_pointers(), 0u);
+}
+
+TEST(PublishLocate, PointerPathEndsAtUniqueRoot) {
+  // Theorem 1: the query routed toward the root meets a pointer at the
+  // root in the worst case.
+  auto g = static_ring_network(128, 35);
+  const Guid guid = make_guid(*g.net, 10);
+  g.net->publish(g.ids[5], guid);
+  const NodeId root = g.net->surrogate_root(guid);
+  const auto recs = g.net->node(root).store().find_all(guid);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].server, g.ids[5]);
+}
+
+TEST(PublishLocate, MultipleRootsPublishEverywhere) {
+  TapestryParams p = small_params();
+  p.root_multiplicity = 3;
+  auto g = static_ring_network(128, 36, p);
+  const Guid guid = make_guid(*g.net, 11);
+  g.net->publish(g.ids[7], guid);
+  for (unsigned salt = 0; salt < 3; ++salt) {
+    const NodeId root = g.net->surrogate_root(salted_guid(guid, salt));
+    EXPECT_FALSE(g.net->node(root).store().find_all(salted_guid(guid, salt))
+                     .empty())
+        << "salt " << salt;
+  }
+  // Queries succeed regardless of which root the client draws.
+  for (int i = 0; i < 30; ++i)
+    EXPECT_TRUE(g.net->locate(g.ids[i % g.ids.size()], guid).found);
+}
+
+TEST(PublishLocate, LocateLatencyBoundedByRootTrip) {
+  // Sanity bound: a locate's latency can't exceed the root round trip plus
+  // the server leg by more than the metric diameter scale.
+  auto g = static_ring_network(256, 37);
+  Rng rng(6);
+  const Guid guid = make_guid(*g.net, 12);
+  const NodeId server = g.ids[rng.next_u64(g.ids.size())];
+  g.net->publish(server, guid);
+  for (int q = 0; q < 50; ++q) {
+    const NodeId client = g.ids[rng.next_u64(g.ids.size())];
+    const LocateResult r = g.net->locate(client, guid);
+    ASSERT_TRUE(r.found);
+    // Ring diameter is 0.5; a locate crosses the network a bounded number
+    // of times (root path + server leg).
+    EXPECT_LT(r.latency, 0.5 * (g.net->params().id.num_digits + 2.0));
+  }
+}
+
+}  // namespace
+}  // namespace tap

@@ -1,0 +1,165 @@
+// Space generality for the *core* algorithms: the paper's guarantees are
+// proved for b > c^2, but Tapestry is reported to behave well beyond that
+// (§6.2: "our nearest neighbor algorithm seems to continue to perform well
+// with real network topologies").  Grow full networks over the marginal
+// 2-D torus (c ~= 4, b = c^2), the boundary-affected Euclidean square, the
+// transit-stub Internet model, and the adversarial two-cluster space, and
+// check the hard invariants plus location correctness on each.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/common/stats.h"
+#include "src/metric/euclidean.h"
+#include "src/metric/general.h"
+#include "src/metric/torus.h"
+#include "src/metric/transit_stub.h"
+#include "test_util.h"
+
+namespace tap {
+namespace {
+
+using test::make_guid;
+using test::small_params;
+
+std::unique_ptr<MetricSpace> make_space(const std::string& kind,
+                                        std::size_t n, Rng& rng) {
+  if (kind == "torus") return std::make_unique<Torus2D>(n, rng);
+  if (kind == "euclid") return std::make_unique<Euclidean2D>(n, rng);
+  if (kind == "transit") return std::make_unique<TransitStubMetric>(n, rng);
+  if (kind == "clusters") return std::make_unique<TwoClusterMetric>(n, rng);
+  if (kind == "highdim") return std::make_unique<HighDimEuclidean>(n, 6, rng);
+  ADD_FAILURE() << "unknown space";
+  return nullptr;
+}
+
+class SpaceGrowthTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpaceGrowthTest, GrownNetworkInvariantsHold) {
+  Rng rng(170);
+  auto space = make_space(GetParam(), 128, rng);
+  Network net(*space, small_params(), 170);
+  net.bootstrap(0);
+  for (Location i = 1; i < 96; ++i) net.join(i);
+  net.check_property1();
+  net.check_backpointer_symmetry();
+  // Property 2 quality stays high even where b > c^2 fails: the candidate
+  // unions are digit-complete regardless of the expansion constant.
+  EXPECT_GT(net.property2_quality(), 0.9) << GetParam();
+}
+
+TEST_P(SpaceGrowthTest, DeterministicLocationEverywhere) {
+  Rng rng(171);
+  auto space = make_space(GetParam(), 96, rng);
+  Network net(*space, small_params(), 171);
+  net.bootstrap(0);
+  for (Location i = 1; i < 96; ++i) net.join(i);
+  const auto ids = net.node_ids();
+  Rng wl(1);
+  for (int obj = 0; obj < 10; ++obj) {
+    const Guid guid = make_guid(net, 600 + obj);
+    const NodeId server = ids[wl.next_u64(ids.size())];
+    net.publish(server, guid);
+    for (std::size_t c = 0; c < ids.size(); c += 7) {
+      const LocateResult r = net.locate(ids[c], guid);
+      ASSERT_TRUE(r.found) << GetParam();
+      EXPECT_EQ(r.server, server);
+    }
+  }
+  net.check_property4();
+}
+
+TEST_P(SpaceGrowthTest, RootsUniqueAndChurnSafe) {
+  Rng rng(172);
+  auto space = make_space(GetParam(), 128, rng);
+  Network net(*space, small_params(), 172);
+  net.bootstrap(0);
+  for (Location i = 1; i < 80; ++i) net.join(i);
+  Rng churn(2);
+  for (int round = 0; round < 10; ++round) {
+    if (churn.bernoulli(0.5) && net.size() > 40) {
+      auto ids = net.node_ids();
+      net.leave(ids[churn.next_u64(ids.size())]);
+    } else {
+      net.join(80 + static_cast<Location>(round));
+    }
+  }
+  for (int obj = 0; obj < 8; ++obj) {
+    const Guid guid = make_guid(net, 700 + obj);
+    std::set<std::uint64_t> roots;
+    for (const NodeId& src : net.node_ids())
+      roots.insert(net.route_to_root(src, guid).root.value());
+    EXPECT_EQ(roots.size(), 1u) << GetParam();
+  }
+  net.check_property1();
+}
+
+TEST_P(SpaceGrowthTest, FailureRepairWorks) {
+  Rng rng(173);
+  auto space = make_space(GetParam(), 96, rng);
+  Network net(*space, small_params(), 173);
+  net.bootstrap(0);
+  for (Location i = 1; i < 96; ++i) net.join(i);
+  Rng wl(3);
+  const Guid guid = make_guid(net, 42);
+  {
+    const auto ids = net.node_ids();
+    net.publish(ids[5], guid);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto ids = net.node_ids();
+    NodeId victim = ids[wl.next_u64(ids.size())];
+    if (victim == net.node_ids()[5]) continue;
+    const auto servers = net.servers_of(guid);
+    bool is_server = false;
+    for (const NodeId& s : servers)
+      if (s == victim) is_server = true;
+    if (is_server) continue;
+    net.fail(victim);
+  }
+  net.heartbeat_sweep();
+  net.republish_all();
+  for (const NodeId& c : net.node_ids())
+    EXPECT_TRUE(net.locate(c, guid).found) << GetParam();
+  net.check_property1();
+}
+
+INSTANTIATE_TEST_SUITE_P(Spaces, SpaceGrowthTest,
+                         ::testing::Values("torus", "euclid", "transit",
+                                           "clusters", "highdim"),
+                         [](const auto& ti) { return ti.param; });
+
+TEST(SpaceStretch, TapestryDegradesGracefullyOffTheory) {
+  // §6.3: "when the expansion property does not hold, the routing stretch
+  // may become quite high.  Note, however, that the system will always
+  // find an object after O(log n) hops."  Check both halves on the
+  // adversarial two-cluster space.
+  Rng rng(174);
+  TwoClusterMetric space(128, rng);
+  Network net(space, small_params(), 174);
+  net.bootstrap(0);
+  for (Location i = 1; i < 128; ++i) net.join(i);
+  const auto ids = net.node_ids();
+  Rng wl(4);
+  Summary hops;
+  std::size_t found = 0, total = 0;
+  for (int q = 0; q < 100; ++q) {
+    const Guid guid = make_guid(net, 900 + q);
+    const NodeId server = ids[wl.next_u64(ids.size())];
+    net.publish(server, guid);
+    const NodeId client = ids[wl.next_u64(ids.size())];
+    const LocateResult r = net.locate(client, guid);
+    ++total;
+    if (r.found) {
+      ++found;
+      hops.add(double(r.hops));
+    }
+  }
+  EXPECT_EQ(found, total) << "deterministic location must survive bad spaces";
+  EXPECT_LE(hops.mean(), 2.0 * net.params().id.num_digits)
+      << "hop bound is metric-independent";
+}
+
+}  // namespace
+}  // namespace tap

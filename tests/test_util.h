@@ -1,0 +1,73 @@
+// Shared helpers for the test suite: canonical parameter sets and builders
+// for join-grown and statically built networks over the standard spaces.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metric/euclidean.h"
+#include "src/metric/ring.h"
+#include "src/metric/torus.h"
+#include "src/metric/transit_stub.h"
+#include "src/tapestry/network.h"
+
+namespace tap::test {
+
+inline TapestryParams small_params(RoutingMode mode = RoutingMode::kTapestryNative) {
+  TapestryParams p;
+  p.id = IdSpec{4, 8};  // radix 16, 8 digits
+  p.redundancy = 3;
+  p.routing = mode;
+  return p;
+}
+
+/// A network whose nodes all arrived through the dynamic join protocol.
+struct GrownNetwork {
+  std::unique_ptr<MetricSpace> space;
+  std::unique_ptr<Network> net;
+  std::vector<NodeId> ids;
+};
+
+inline GrownNetwork grow_ring_network(std::size_t n, std::uint64_t seed,
+                                      TapestryParams params) {
+  GrownNetwork g;
+  Rng rng(seed);
+  // 64 spare locations so tests can add nodes beyond the initial n.
+  g.space = std::make_unique<RingMetric>(n + 64, rng);
+  g.net = std::make_unique<Network>(*g.space, params, seed ^ 0xabcdef);
+  g.ids.push_back(g.net->bootstrap(0));
+  for (std::size_t i = 1; i < n; ++i) g.ids.push_back(g.net->join(i));
+  return g;
+}
+
+inline GrownNetwork grow_ring_network(std::size_t n, std::uint64_t seed = 42) {
+  return grow_ring_network(n, seed, small_params());
+}
+
+/// A network built by the static (oracle) constructor — the ground truth.
+inline GrownNetwork static_ring_network(std::size_t n, std::uint64_t seed,
+                                        TapestryParams params) {
+  GrownNetwork g;
+  Rng rng(seed);
+  g.space = std::make_unique<RingMetric>(n + 64, rng);
+  g.net = std::make_unique<Network>(*g.space, params, seed ^ 0xabcdef);
+  for (std::size_t i = 0; i < n; ++i) g.ids.push_back(g.net->insert_static(i));
+  g.net->rebuild_static_tables();
+  return g;
+}
+
+inline GrownNetwork static_ring_network(std::size_t n,
+                                        std::uint64_t seed = 42) {
+  return static_ring_network(n, seed, small_params());
+}
+
+inline Guid make_guid(const Network& net, std::uint64_t raw) {
+  const IdSpec spec = net.params().id;
+  const std::uint64_t mask = spec.total_bits() == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << spec.total_bits()) - 1;
+  return Guid(spec, splitmix64(raw) & mask);
+}
+
+}  // namespace tap::test

@@ -1,0 +1,272 @@
+// tapestry_sim — scenario driver for the Tapestry simulator.
+//
+// Runs a configurable end-to-end scenario (build a network over a chosen
+// metric space, publish a workload, churn it, query it) and prints summary
+// statistics, optionally as CSV for plotting.  Everything the experiment
+// binaries measure is reachable from here with flags, so new parameter
+// studies don't require writing C++.
+//
+// Examples:
+//   tapestry_sim --space=ring --nodes=256 --objects=128 --queries=2000
+//   tapestry_sim --space=transit-stub --nodes=512 --routing=prr --r=2
+//   tapestry_sim --nodes=256 --churn-rounds=50 --fail-prob=0.2 --csv
+//
+// Flags (defaults in brackets):
+//   --space=ring|torus|transit-stub|euclid6d|two-cluster   [ring]
+//   --nodes=N        overlay size                           [256]
+//   --objects=N      published objects                      [nodes/2]
+//   --queries=N      lookup count                           [4*nodes]
+//   --replicas=N     replicas per object                    [1]
+//   --routing=native|prr                                    [native]
+//   --r=N            redundancy (links per slot)            [3]
+//   --roots=N        root multiplicity                      [1]
+//   --retry          retry all roots on a miss (Obs. 1)     [off]
+//   --secondary      PRR secondary publish/search (§2.4)    [off]
+//   --static         build tables with the PRR oracle       [off: dynamic joins]
+//   --churn-rounds=N rounds of join/leave/fail between queries [0]
+//   --fail-prob=P    fraction of churn events that are crashes [0.25]
+//   --seed=N                                                 [1]
+//   --csv            emit a single CSV row instead of the report
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/metric/general.h"
+#include "src/metric/ring.h"
+#include "src/metric/torus.h"
+#include "src/metric/transit_stub.h"
+#include "src/tapestry/network.h"
+
+namespace {
+
+using namespace tap;
+
+struct Options {
+  std::string space = "ring";
+  std::size_t nodes = 256;
+  std::size_t objects = 0;  // 0 => nodes/2
+  std::size_t queries = 0;  // 0 => 4*nodes
+  unsigned replicas = 1;
+  std::string routing = "native";
+  unsigned redundancy = 3;
+  unsigned roots = 1;
+  bool retry = false;
+  bool secondary = false;
+  bool use_static = false;
+  int churn_rounds = 0;
+  double fail_prob = 0.25;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--space", &v)) o.space = v;
+    else if (parse_flag(argv[i], "--nodes", &v)) o.nodes = std::stoul(v);
+    else if (parse_flag(argv[i], "--objects", &v)) o.objects = std::stoul(v);
+    else if (parse_flag(argv[i], "--queries", &v)) o.queries = std::stoul(v);
+    else if (parse_flag(argv[i], "--replicas", &v))
+      o.replicas = static_cast<unsigned>(std::stoul(v));
+    else if (parse_flag(argv[i], "--routing", &v)) o.routing = v;
+    else if (parse_flag(argv[i], "--r", &v))
+      o.redundancy = static_cast<unsigned>(std::stoul(v));
+    else if (parse_flag(argv[i], "--roots", &v))
+      o.roots = static_cast<unsigned>(std::stoul(v));
+    else if (parse_flag(argv[i], "--churn-rounds", &v))
+      o.churn_rounds = std::stoi(v);
+    else if (parse_flag(argv[i], "--fail-prob", &v)) o.fail_prob = std::stod(v);
+    else if (parse_flag(argv[i], "--seed", &v)) o.seed = std::stoull(v);
+    else if (std::strcmp(argv[i], "--retry") == 0) o.retry = true;
+    else if (std::strcmp(argv[i], "--secondary") == 0) o.secondary = true;
+    else if (std::strcmp(argv[i], "--static") == 0) o.use_static = true;
+    else if (std::strcmp(argv[i], "--csv") == 0) o.csv = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s (see file header for usage)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  if (o.objects == 0) o.objects = o.nodes / 2;
+  if (o.queries == 0) o.queries = 4 * o.nodes;
+  return o;
+}
+
+std::unique_ptr<MetricSpace> make_space(const Options& o, Rng& rng) {
+  const std::size_t capacity = 2 * o.nodes + 16;  // headroom for churn joins
+  if (o.space == "ring") return std::make_unique<RingMetric>(capacity, rng);
+  if (o.space == "torus") return std::make_unique<Torus2D>(capacity, rng);
+  if (o.space == "transit-stub")
+    return std::make_unique<TransitStubMetric>(capacity, rng);
+  if (o.space == "euclid6d")
+    return std::make_unique<HighDimEuclidean>(capacity, 6, rng);
+  if (o.space == "two-cluster")
+    return std::make_unique<TwoClusterMetric>(capacity, rng);
+  std::fprintf(stderr, "unknown space: %s\n", o.space.c_str());
+  std::exit(2);
+}
+
+Guid make_guid(const Network& net, std::uint64_t raw) {
+  const IdSpec spec = net.params().id;
+  const std::uint64_t mask = spec.total_bits() == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << spec.total_bits()) - 1;
+  return Guid(spec, splitmix64(raw ^ 0x51a) & mask);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  Rng rng(o.seed);
+  auto space = make_space(o, rng);
+
+  TapestryParams params;
+  params.id = IdSpec{4, 8};
+  params.redundancy = o.redundancy;
+  params.root_multiplicity = o.roots;
+  params.retry_all_roots = o.retry;
+  params.prr_secondary_search = o.secondary;
+  params.routing = o.routing == "prr" ? RoutingMode::kPrrLike
+                                      : RoutingMode::kTapestryNative;
+
+  Network net(*space, params, o.seed);
+  Trace build_trace;
+  if (o.use_static) {
+    for (Location i = 0; i < o.nodes; ++i) net.insert_static(i);
+    net.rebuild_static_tables();
+  } else {
+    net.bootstrap(0);
+    for (Location i = 1; i < o.nodes; ++i)
+      net.join(i, std::nullopt, &build_trace);
+  }
+
+  // Workload.
+  Rng wl(o.seed ^ 0x4c0ad);
+  struct Obj {
+    Guid guid;
+    std::vector<NodeId> servers;
+  };
+  std::vector<Obj> objects;
+  Trace publish_trace;
+  for (std::size_t i = 0; i < o.objects; ++i) {
+    Obj obj{make_guid(net, i), {}};
+    const auto ids = net.node_ids();
+    for (unsigned r = 0; r < o.replicas; ++r) {
+      const NodeId server = ids[wl.next_u64(ids.size())];
+      net.publish(server, obj.guid, &publish_trace);
+      obj.servers.push_back(server);
+    }
+    objects.push_back(std::move(obj));
+  }
+
+  // Optional churn between publication and measurement.
+  std::size_t joins = 0, leaves = 0, fails = 0;
+  Location next_loc = o.nodes;
+  for (int round = 0; round < o.churn_rounds; ++round) {
+    const double dice = wl.next_double();
+    const auto ids = net.node_ids();
+    if (dice < 0.4 && next_loc < space->size()) {
+      net.join(next_loc++);
+      ++joins;
+    } else if (net.size() > o.nodes / 2) {
+      const NodeId victim = ids[wl.next_u64(ids.size())];
+      bool is_server = false;
+      for (const auto& obj : objects)
+        for (const NodeId& s : obj.servers)
+          if (s == victim) is_server = true;
+      if (is_server) continue;
+      if (wl.next_double() < o.fail_prob) {
+        net.fail(victim);
+        ++fails;
+      } else {
+        net.leave(victim);
+        ++leaves;
+      }
+    }
+  }
+  if (fails > 0) {
+    net.heartbeat_sweep();
+    net.republish_all();
+  }
+
+  // Measurement.
+  Summary stretch, hops, latency;
+  std::size_t found = 0;
+  Trace query_trace;
+  for (std::size_t q = 0; q < o.queries; ++q) {
+    const Obj& obj = objects[wl.next_u64(objects.size())];
+    const auto ids = net.node_ids();
+    const NodeId client = ids[wl.next_u64(ids.size())];
+    const LocateResult r = net.locate(client, obj.guid, &query_trace);
+    if (!r.found) continue;
+    ++found;
+    hops.add(double(r.hops));
+    latency.add(r.latency);
+    const double direct = net.distance_to_nearest_replica(client, obj.guid);
+    if (direct > 1e-9 && direct < 1e18) stretch.add(r.latency / direct);
+  }
+  const double quality = net.property2_quality();
+
+  if (o.csv) {
+    std::printf(
+        "space,nodes,objects,queries,replicas,routing,r,roots,churn,"
+        "success,stretch_mean,stretch_p95,hops_mean,latency_mean,"
+        "quality,join_msgs,query_msgs\n");
+    std::printf("%s,%zu,%zu,%zu,%u,%s,%u,%u,%d,%.4f,%.3f,%.3f,%.2f,%.5f,"
+                "%.4f,%.1f,%.1f\n",
+                o.space.c_str(), o.nodes, o.objects, o.queries, o.replicas,
+                o.routing.c_str(), o.redundancy, o.roots, o.churn_rounds,
+                double(found) / double(o.queries),
+                stretch.empty() ? 0.0 : stretch.mean(),
+                stretch.empty() ? 0.0 : stretch.percentile(95),
+                hops.empty() ? 0.0 : hops.mean(),
+                latency.empty() ? 0.0 : latency.mean(), quality,
+                o.use_static || o.nodes < 2
+                    ? 0.0
+                    : double(build_trace.messages()) / double(o.nodes - 1),
+                double(query_trace.messages()) / double(o.queries));
+    return 0;
+  }
+
+  std::printf("tapestry_sim — %zu nodes on %s (%s routing, R=%u, roots=%u%s%s)\n",
+              o.nodes, o.space.c_str(), o.routing.c_str(), o.redundancy,
+              o.roots, o.retry ? ", retry" : "",
+              o.secondary ? ", secondary-search" : "");
+  if (!o.use_static)
+    std::printf("  build:    %.0f msgs/join over %zu joins\n",
+                double(build_trace.messages()) / double(o.nodes - 1),
+                o.nodes - 1);
+  std::printf("  publish:  %zu objects x %u replicas, %.1f msgs each\n",
+              o.objects, o.replicas,
+              double(publish_trace.messages()) /
+                  double(o.objects * o.replicas));
+  if (o.churn_rounds > 0)
+    std::printf("  churn:    %zu joins, %zu leaves, %zu crashes "
+                "(+ heartbeat/republish)\n",
+                joins, leaves, fails);
+  std::printf("  queries:  %zu/%zu found (%.2f%%)\n", found, o.queries,
+              100.0 * double(found) / double(o.queries));
+  if (!hops.empty()) {
+    std::printf("  hops:     %s\n", hops.describe().c_str());
+    std::printf("  latency:  %s\n", latency.describe().c_str());
+    std::printf("  stretch:  %s\n", stretch.describe().c_str());
+  }
+  std::printf("  tables:   Property 2 quality %.2f%%, %.1f entries/node\n",
+              quality * 100.0,
+              double(net.total_table_entries()) / double(net.size()));
+  return 0;
+}
