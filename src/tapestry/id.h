@@ -10,7 +10,6 @@
 // treats an object GUID *as if it were a node-ID* and routes toward it.
 #pragma once
 
-#include <compare>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -36,7 +35,12 @@ struct IdSpec {
     return digit_bits >= 1 && digit_bits <= 8 && num_digits >= 1 &&
            total_bits() <= 64;
   }
-  constexpr bool operator==(const IdSpec&) const noexcept = default;
+  constexpr bool operator==(const IdSpec& o) const noexcept {
+    return digit_bits == o.digit_bits && num_digits == o.num_digits;
+  }
+  constexpr bool operator!=(const IdSpec& o) const noexcept {
+    return !(*this == o);
+  }
 };
 
 /// A digit string in the namespace defined by an IdSpec.  Value type;

@@ -23,44 +23,45 @@
 // of every (prefix, j) that exists, so the new node's table satisfies
 // Property 1 deterministically — the k-list only bounds who is *measured*
 // for the recursion, mirroring the role k plays in the paper's analysis.
-#include "src/tapestry/network.h"
+#include "src/tapestry/maintenance.h"
 
 #include <algorithm>
 
 namespace tap {
 
-NodeId Network::bootstrap(Location loc, std::optional<NodeId> id) {
-  TAP_CHECK(live_count_ == 0, "bootstrap requires an empty network");
+NodeId MaintenanceEngine::bootstrap(Location loc, std::optional<NodeId> id) {
+  TAP_CHECK(reg_.live_count() == 0, "bootstrap requires an empty network");
   NodeId nid = id.has_value() ? *id : Id::random(params_.id, rng_);
-  register_node(nid, loc);
+  reg_.register_node(nid, loc);
   return nid;
 }
 
-NodeId Network::join(Location loc, std::optional<NodeId> id, Trace* trace) {
-  TAP_CHECK(live_count_ > 0, "join requires a non-empty network; bootstrap first");
+NodeId MaintenanceEngine::join(Location loc, std::optional<NodeId> id,
+                               Trace* trace) {
+  TAP_CHECK(reg_.live_count() > 0,
+            "join requires a non-empty network; bootstrap first");
   // Uniformly random live gateway.
-  std::vector<NodeId> ids = node_ids();
+  std::vector<NodeId> ids = reg_.node_ids();
   const NodeId gateway = ids[rng_.next_u64(ids.size())];
   return join_via(gateway, loc, id, trace);
 }
 
-NodeId Network::join_via(NodeId gateway, Location loc,
-                         std::optional<NodeId> id, Trace* trace) {
-  TapestryNode& gw = live(gateway);
-  (void)gw;
-  NodeId nid = id.has_value() ? *id : fresh_node_id();
-  TAP_CHECK(find(nid) == nullptr, "node id already in use");
+NodeId MaintenanceEngine::join_via(NodeId gateway, Location loc,
+                                   std::optional<NodeId> id, Trace* trace) {
+  TAP_CHECK(reg_.is_live(gateway), "gateway must be a live node");
+  NodeId nid = id.has_value() ? *id : reg_.fresh_node_id();
+  TAP_CHECK(reg_.find(nid) == nullptr, "node id already in use");
 
   // 1. ACQUIREPRIMARYSURROGATE: route from the gateway toward the new ID;
   //    the root reached is the surrogate (the node whose ID shares the
   //    longest existing prefix with ours).
-  const RouteResult rr = route_to_root(gateway, nid, trace);
+  const RouteResult rr = router_.route_to_root(gateway, nid, trace);
   const NodeId surrogate_id = rr.root;
 
-  TapestryNode& nn = register_node(nid, loc);
+  TapestryNode& nn = reg_.register_node(nid, loc);
   nn.inserting = true;
   nn.psurrogate = surrogate_id;
-  TapestryNode& sur = live(surrogate_id);
+  TapestryNode& sur = reg_.live(surrogate_id);
   const unsigned alpha = nid.common_prefix_len(sur.id());
 
   // 2. GETPRELIMNEIGHBORTABLE: one bulk RPC for the surrogate's table.
@@ -70,29 +71,31 @@ NodeId Network::join_via(NodeId gateway, Location loc,
   //    new node is excluded from forwarding — it may already appear in
   //    tables updated earlier in the walk.
   std::vector<NodeId> alpha_nodes;
-  multicast(
+  router_.multicast(
       surrogate_id, nid, alpha,
       [&](NodeId y) {
         alpha_nodes.push_back(y);
-        link_and_xfer_root(live(y), nn, trace);
+        link_and_xfer_root(reg_.live(y), nn, trace);
       },
       trace, {nid});
 
   // 4. Build the neighbor table level by level, reusing the multicast
   //    result as the first (level-α) list.  Pointers transferred to the
   //    new node during step 3 are re-checked after its table settles.
-  const auto before = snapshot_pointer_hops(nn);
+  const auto before = dir_.snapshot_pointer_hops(nn);
   acquire_neighbor_table(nn, alpha, std::move(alpha_nodes), trace);
-  reroute_changed_pointers(nn, before, trace);
+  dir_.reroute_changed_pointers(nn, before, trace);
 
   nn.inserting = false;
   nn.psurrogate.reset();
   return nid;
 }
 
-void Network::copy_preliminary_table(TapestryNode& nn, TapestryNode& surrogate,
-                                     unsigned max_level, Trace* trace) {
-  acct(trace, nn, surrogate, 2);  // request + bulk reply
+void MaintenanceEngine::copy_preliminary_table(TapestryNode& nn,
+                                               TapestryNode& surrogate,
+                                               unsigned max_level,
+                                               Trace* trace) {
+  reg_.acct(trace, nn, surrogate, 2);  // request + bulk reply
   // Rows 0..max_level of the surrogate hold nodes sharing the corresponding
   // prefix of the surrogate's ID, which equals ours up to max_level — all
   // valid candidates for the same rows of our table.
@@ -101,7 +104,8 @@ void Network::copy_preliminary_table(TapestryNode& nn, TapestryNode& surrogate,
     for (unsigned j = 0; j < params_.id.radix(); ++j) {
       for (const auto& e : surrogate.table().at(l, j).entries()) {
         if (e.id == nn.id()) continue;
-        if (TapestryNode* cand = find(e.id); cand != nullptr && cand->alive)
+        if (TapestryNode* cand = reg_.find(e.id);
+            cand != nullptr && cand->alive)
           link(nn, l, *cand);
       }
     }
@@ -109,30 +113,32 @@ void Network::copy_preliminary_table(TapestryNode& nn, TapestryNode& surrogate,
   add_to_table_if_closer(nn, surrogate);
 }
 
-void Network::link_and_xfer_root(TapestryNode& host, TapestryNode& nn,
-                                 Trace* trace) {
+void MaintenanceEngine::link_and_xfer_root(TapestryNode& host,
+                                           TapestryNode& nn, Trace* trace) {
   if (host.id() == nn.id()) return;
   // Snapshot next hops, update the table, then re-route any pointer whose
   // path changed (this transfers to the new node the pointers it is now
   // root of, and deposits them along the new paths — §4.2).
-  const auto before = snapshot_pointer_hops(host);
+  const auto before = dir_.snapshot_pointer_hops(host);
   add_to_table_if_closer(host, nn);
-  reroute_changed_pointers(host, before, trace);
+  dir_.reroute_changed_pointers(host, before, trace);
 }
 
-std::vector<NodeId> Network::trim_closest(const TapestryNode& nn,
-                                          std::vector<NodeId> list,
-                                          std::size_t k) const {
+std::vector<NodeId> MaintenanceEngine::trim_closest(const TapestryNode& nn,
+                                                    std::vector<NodeId> list,
+                                                    std::size_t k) const {
   // Dedupe, drop dead nodes and the node itself, order by distance.
   std::sort(list.begin(), list.end());
   list.erase(std::unique(list.begin(), list.end()), list.end());
-  std::erase_if(list, [&](const NodeId& x) {
-    return x == nn.id() || !is_live(x);
-  });
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const NodeId& x) {
+                              return x == nn.id() || !reg_.is_live(x);
+                            }),
+             list.end());
   std::stable_sort(list.begin(), list.end(),
                    [&](const NodeId& a, const NodeId& b) {
-                     const double da = dist_nodes(nn, node(a));
-                     const double db = dist_nodes(nn, node(b));
+                     const double da = reg_.dist(nn, reg_.checked(a));
+                     const double db = reg_.dist(nn, reg_.checked(b));
                      if (da != db) return da < db;
                      return a < b;
                    });
@@ -140,26 +146,26 @@ std::vector<NodeId> Network::trim_closest(const TapestryNode& nn,
   return list;
 }
 
-void Network::build_row_from_list(TapestryNode& nn,
-                                  const std::vector<NodeId>& list,
-                                  unsigned level) {
+void MaintenanceEngine::build_row_from_list(TapestryNode& nn,
+                                            const std::vector<NodeId>& list,
+                                            unsigned level) {
   for (const NodeId& x : list) {
-    if (x == nn.id() || !is_live(x)) continue;
-    TapestryNode& cand = live(x);
+    if (x == nn.id() || !reg_.is_live(x)) continue;
+    TapestryNode& cand = reg_.live(x);
     TAP_ASSERT_MSG(nn.id().common_prefix_len(x) >= level,
                    "candidate does not share the row prefix");
     link(nn, level, cand);
   }
 }
 
-std::vector<NodeId> Network::get_next_list(
+std::vector<NodeId> MaintenanceEngine::get_next_list(
     TapestryNode& nn, const std::vector<NodeId>& list, unsigned level,
     std::unordered_set<std::uint64_t>& contacted, Trace* trace) {
   std::vector<NodeId> candidates;
   for (const NodeId& m : list) {
-    if (!is_live(m)) continue;
-    TapestryNode& member = live(m);
-    acct(trace, nn, member, 2);  // GETFORWARDANDBACKPOINTERS round trip
+    if (!reg_.is_live(m)) continue;
+    TapestryNode& member = reg_.live(m);
+    reg_.acct(trace, nn, member, 2);  // GETFORWARDANDBACKPOINTERS round trip
     for (const NodeId& x : member.table().row_members(level))
       candidates.push_back(x);
     for (const NodeId& x : member.table().backpointers(level))
@@ -169,27 +175,30 @@ std::vector<NodeId> Network::get_next_list(
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
-  std::erase_if(candidates, [&](const NodeId& x) {
-    return x == nn.id() || !is_live(x);
-  });
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](const NodeId& x) {
+                                    return x == nn.id() || !reg_.is_live(x);
+                                  }),
+                   candidates.end());
 
   // Measure the distance to every candidate met for the first time; the
   // contacted node simultaneously checks whether the new node belongs in
   // its own table (ADDTOTABLEIFCLOSER, Theorem 4) and fixes pointer paths.
   for (const NodeId& x : candidates) {
     if (contacted.insert(x.value()).second) {
-      TapestryNode& cand = live(x);
-      acct(trace, nn, cand, 2);  // distance probe round trip
+      TapestryNode& cand = reg_.live(x);
+      reg_.acct(trace, nn, cand, 2);  // distance probe round trip
       link_and_xfer_root(cand, nn, trace);
     }
   }
   return candidates;
 }
 
-void Network::acquire_neighbor_table(TapestryNode& nn, unsigned max_level,
-                                     std::vector<NodeId> initial_list,
-                                     Trace* trace) {
-  const std::size_t k = params_.effective_k(live_count_);
+void MaintenanceEngine::acquire_neighbor_table(TapestryNode& nn,
+                                               unsigned max_level,
+                                               std::vector<NodeId> initial_list,
+                                               Trace* trace) {
+  const std::size_t k = params_.effective_k(reg_.live_count());
   std::unordered_set<std::uint64_t> contacted;
   for (const NodeId& x : initial_list) contacted.insert(x.value());
 
@@ -199,7 +208,8 @@ void Network::acquire_neighbor_table(TapestryNode& nn, unsigned max_level,
   std::vector<NodeId> list = trim_closest(nn, std::move(initial_list), k);
 
   for (unsigned level = max_level; level-- > 0;) {
-    std::vector<NodeId> candidates = get_next_list(nn, list, level, contacted, trace);
+    std::vector<NodeId> candidates =
+        get_next_list(nn, list, level, contacted, trace);
     build_row_from_list(nn, candidates, level);
     list = trim_closest(nn, std::move(candidates), k);
   }

@@ -1,205 +1,30 @@
-// Node deletion (paper §5).
+// Voluntary delete (paper §5.1, Figure 12): the departing node notifies
+// every backpointer holder, attaching replacement candidates for the slot
+// it is vacating (the secondaries of its own-digit slot at that level —
+// nodes sharing one more digit of its ID); holders re-route object pointers
+// whose paths crossed the leaver; objects the leaver *served* are withdrawn
+// (the application layer would migrate the data; the overlay's duty is
+// pointer hygiene); objects the leaver *rooted* migrate to their new
+// surrogates as a side effect of the holders' pointer re-routing.
 //
-// Voluntary delete (§5.1, Figure 12): the departing node notifies every
-// backpointer holder, attaching replacement candidates for the slot it is
-// vacating (the secondaries of its own-digit slot at that level — nodes
-// sharing one more digit of its ID); holders re-route object pointers whose
-// paths crossed the leaver; objects the leaver *served* are withdrawn (the
-// application layer would migrate the data; the overlay's duty is pointer
-// hygiene); objects the leaver *rooted* migrate to their new surrogates as
-// a side effect of the holders' pointer re-routing.
-//
-// Involuntary delete (§5.2): nothing happens at failure time.  Every later
-// operation that trips over the corpse repairs lazily: the discovering node
-// removes the corpse from its slots, promotes secondaries, hunts a
-// replacement when a slot empties (local search first, prefix multicast as
-// the fallback), and re-routes its affected object pointers.  Objects
-// rooted at the corpse stay unavailable until soft-state republish
-// re-deposits them along live paths — the behaviour the churn experiment
-// (E7) quantifies.
-#include "src/tapestry/network.h"
+// The involuntary-delete path (§5.2) — fail(), lazy repair, the heartbeat
+// sweep — lives in maintenance.cc.
+#include "src/tapestry/maintenance.h"
 
 #include <algorithm>
 
 namespace tap {
 
-void Network::fail(NodeId id) {
-  TapestryNode& n = live(id);
-  n.alive = false;
-  --live_count_;
-  // The tombstone keeps its table, store and backpointers: last-hop chains
-  // crossing the corpse stay traversable for DELETEPOINTERSBACKWARD, and
-  // lazy repair discovers the corpse exactly where a live system would —
-  // by failing to talk to it.
-}
-
-std::optional<NodeId> Network::live_primary_repair(TapestryNode& at,
-                                                   unsigned level,
-                                                   unsigned digit,
-                                                   Trace* trace,
-                                                   const ExcludeSet* exclude) {
-  for (;;) {
-    // The primary for this step is the closest member not being routed
-    // around (Figure 10's "as if the new node had not yet entered").
-    std::optional<NodeId> prim;
-    for (const auto& e : at.table().at(level, digit).entries()) {
-      if (exclude != nullptr && exclude->count(e.id.value()) != 0) continue;
-      prim = e.id;
-      break;
-    }
-    if (!prim.has_value()) return std::nullopt;
-    if (*prim == at.id()) return prim;
-    TapestryNode* p = find(*prim);
-    TAP_ASSERT(p != nullptr);
-    if (p->alive) return prim;
-    // Dead primary: the probe that discovered it cost one (unanswered)
-    // message; then repair.
-    acct(trace, at, *p, 1);
-    purge_dead_neighbor(at, *prim, trace);
-  }
-}
-
-void Network::purge_dead_neighbor(TapestryNode& at, NodeId dead,
-                                  Trace* trace) {
-  const auto before = snapshot_pointer_hops(at);
-  const TapestryNode& corpse = node(dead);
-  (void)corpse;
-  const unsigned gcp = at.id().common_prefix_len(dead);
-  const unsigned digits = params_.id.num_digits;
-  for (unsigned l = 0; l <= gcp && l < digits; ++l) {
-    const unsigned digit = dead.digit(l);
-    unlink(at, l, dead);
-    if (at.table().at(l, digit).empty()) {
-      // A hole appeared; Property 1 obliges us to find a replacement or
-      // establish that none exists (§5.2).
-      if (auto rep = find_replacement(at, l, digit, trace); rep.has_value())
-        link(at, l, live(*rep));
-    }
-    at.table().remove_backpointer(l, dead);
-  }
-  reroute_changed_pointers(at, before, trace);
-}
-
-std::optional<NodeId> Network::find_replacement(TapestryNode& at,
-                                                unsigned level, unsigned digit,
-                                                Trace* trace) {
-  // Simple local search first: ask the remaining level-`level` contacts
-  // (row members and backpointer holders — all of whom share our length-
-  // `level` prefix) for their own entry in that slot.
-  std::optional<NodeId> best;
-  double best_dist = 0.0;
-  auto offer = [&](const NodeId& cand) {
-    if (cand == at.id() || !is_live(cand)) return;
-    const double d = dist_nodes(at, node(cand));
-    if (!best.has_value() || d < best_dist ||
-        (d == best_dist && cand < *best)) {
-      best = cand;
-      best_dist = d;
-    }
-  };
-
-  std::vector<NodeId> peers = at.table().row_members(level);
-  for (const NodeId& b : at.table().backpointers(level)) peers.push_back(b);
-  std::sort(peers.begin(), peers.end());
-  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
-  for (const NodeId& peer : peers) {
-    if (peer == at.id() || !is_live(peer)) continue;
-    TapestryNode& p = live(peer);
-    acct(trace, at, p, 2);  // ask for its (level, digit) entries
-    for (const auto& e : p.table().at(level, digit).entries()) offer(e.id);
-  }
-  if (best.has_value()) return best;
-
-  // Fallback: acknowledged multicast over our length-`level` prefix,
-  // collecting any node carrying `digit` at that position.  Expensive but
-  // rare — it only runs when the local search came up empty.
-  multicast(
-      at.id(), at.id(), level,
-      [&](NodeId y) {
-        if (node(y).id().digit(level) == digit) offer(y);
-      },
-      trace, {});
-  return best;
-}
-
-void Network::heartbeat_sweep(Trace* trace) {
-  const unsigned digits = params_.id.num_digits;
-  const unsigned radix = params_.id.radix();
-
-  // Pass 1: heartbeat probes.  Each node pings its table members; a failed
-  // ping triggers the same lazy repair a failed routing step would.
-  for (auto& n : nodes_) {
-    if (!n->alive) continue;
-    bool again = true;
-    while (again) {
-      again = false;
-      for (unsigned l = 0; l < digits && !again; ++l) {
-        for (unsigned j = 0; j < radix && !again; ++j) {
-          for (const auto& e : n->table().at(l, j).entries()) {
-            if (e.id == n->id()) continue;
-            const TapestryNode* other = find(e.id);
-            TAP_ASSERT(other != nullptr);
-            acct(trace, *n, *other, 1);  // heartbeat probe
-            if (!other->alive) {
-              purge_dead_neighbor(*n, e.id, trace);
-              again = true;  // iterators invalidated; rescan this node
-              break;
-            }
-          }
-        }
-      }
-    }
-  }
-
-  // Pass 2..k: purge-time replacement searches can miss while other tables
-  // are still dirty; retry emptied slots until nothing changes.  A memo of
-  // prefixes established (this sweep) to have no live node avoids
-  // re-multicasting for genuinely empty digit classes.
-  std::unordered_set<std::uint64_t> known_empty;
-  auto slot_key = [&](const TapestryNode& n, unsigned l, unsigned j) {
-    return (n.id().prefix_value(l) << params_.id.digit_bits | j) |
-           (static_cast<std::uint64_t>(l + 1) << 56);
-  };
-  for (int round = 0; round < 4; ++round) {
-    bool changed = false;
-    for (auto& n : nodes_) {
-      if (!n->alive) continue;
-      for (unsigned l = 0; l < digits; ++l) {
-        for (unsigned j = 0; j < radix; ++j) {
-          if (!n->table().at(l, j).empty()) continue;
-          const std::uint64_t key = slot_key(*n, l, j);
-          if (known_empty.count(key) != 0) continue;
-          const auto before = snapshot_pointer_hops(*n);
-          if (auto rep = find_replacement(*n, l, j, trace); rep.has_value()) {
-            link(*n, l, live(*rep));
-            reroute_changed_pointers(*n, before, trace);
-            changed = true;
-          } else {
-            known_empty.insert(key);
-          }
-        }
-      }
-    }
-    if (!changed) break;
-    known_empty.clear();  // new links may make old conclusions stale
-  }
-}
-
-void Network::leave(NodeId id, Trace* trace) {
-  TapestryNode& a = live(id);
+void MaintenanceEngine::leave(NodeId id, Trace* trace) {
+  TapestryNode& a = reg_.live(id);
 
   // 0. Withdraw replicas this node serves (walks the publish paths while
   //    the node still routes normally).
-  std::vector<Guid> served;
-  for (const auto& [guid, servers] : registry_)
-    if (std::find(servers.begin(), servers.end(), id) != servers.end())
-      served.push_back(guid);
-  for (const Guid& g : served) unpublish(id, g, trace);
+  for (const Guid& g : dir_.guids_served_by(id)) dir_.unpublish(id, g, trace);
 
   // From here on the node is gone for routing purposes: repairs and
   // replacement searches must not hand it back out.
-  a.alive = false;
-  --live_count_;
+  reg_.mark_dead(a);
 
   // 1. Notify every backpointer holder, level by level, with replacement
   //    candidates: the secondaries of our own-digit slot at that level
@@ -209,27 +34,27 @@ void Network::leave(NodeId id, Trace* trace) {
   for (unsigned l = 0; l < digits; ++l) {
     std::vector<NodeId> hints;
     for (const auto& e : a.table().at(l, a.id().digit(l)).entries())
-      if (!(e.id == id) && is_live(e.id)) hints.push_back(e.id);
+      if (!(e.id == id) && reg_.is_live(e.id)) hints.push_back(e.id);
 
     const std::vector<NodeId> holders(a.table().backpointers(l).begin(),
                                       a.table().backpointers(l).end());
     for (const NodeId& holder : holders) {
-      if (!is_live(holder)) continue;
-      TapestryNode& b = live(holder);
-      acct(trace, a, b, 1);  // LEAVINGNETWORK notification with hints
-      const auto before = snapshot_pointer_hops(b);
+      if (!reg_.is_live(holder)) continue;
+      TapestryNode& b = reg_.live(holder);
+      reg_.acct(trace, a, b, 1);  // LEAVINGNETWORK notification with hints
+      const auto before = dir_.snapshot_pointer_hops(b);
       unlink(b, l, id);
       for (const NodeId& h : hints)
-        if (!(h == holder) && is_live(h)) link(b, l, live(h));
+        if (!(h == holder) && reg_.is_live(h)) link(b, l, reg_.live(h));
       if (b.table().at(l, id.digit(l)).empty()) {
         if (auto rep = find_replacement(b, l, id.digit(l), trace);
             rep.has_value())
-          link(b, l, live(*rep));
+          link(b, l, reg_.live(*rep));
       }
       // Re-route local pointers that used to travel through the leaver —
       // including those the leaver *rooted*, which now flow onward to
       // their new surrogate roots.
-      reroute_changed_pointers(b, before, trace);
+      dir_.reroute_changed_pointers(b, before, trace);
     }
   }
 
@@ -240,8 +65,8 @@ void Network::leave(NodeId id, Trace* trace) {
       const auto members = a.table().at(l, j).entries();  // copy
       for (const auto& e : members) {
         if (e.id == id) continue;
-        if (TapestryNode* other = find(e.id); other != nullptr) {
-          acct(trace, a, *other, 1);
+        if (TapestryNode* other = reg_.find(e.id); other != nullptr) {
+          reg_.acct(trace, a, *other, 1);
           other->table().remove_backpointer(l, id);
         }
         a.table().at(l, j).remove(e.id);

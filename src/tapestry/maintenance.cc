@@ -1,0 +1,268 @@
+// Table-link coherence, fail-stop + lazy repair (§5.2), the heartbeat
+// sweep, and the continual-optimization heuristics (§6.4).  Insertion lives
+// in join.cc, voluntary departure in leave.cc, the static oracle builder in
+// static_build.cc — all methods of MaintenanceEngine.
+#include "src/tapestry/maintenance.h"
+
+#include <algorithm>
+
+namespace tap {
+
+MaintenanceEngine::MaintenanceEngine(NodeRegistry& registry, Router& router,
+                                     ObjectDirectory& directory,
+                                     const TapestryParams& params, Rng& rng)
+    : reg_(registry), router_(router), dir_(directory), params_(params),
+      rng_(rng) {}
+
+// ---------------------------------------------------------------------
+// Table-link coherence
+// ---------------------------------------------------------------------
+
+bool MaintenanceEngine::link(TapestryNode& owner, unsigned level,
+                             TapestryNode& nbr) {
+  TAP_ASSERT(!(owner.id() == nbr.id()));
+  TAP_ASSERT_MSG(owner.id().matches_prefix(nbr.id(), level),
+                 "neighbor does not share the slot's prefix");
+  const unsigned digit = nbr.id().digit(level);
+  auto res =
+      owner.table().at(level, digit).consider(nbr.id(), reg_.dist(owner, nbr));
+  if (res.evicted.has_value()) {
+    if (TapestryNode* ev = reg_.find(*res.evicted); ev != nullptr)
+      ev->table().remove_backpointer(level, owner.id());
+  }
+  if (res.inserted) nbr.table().add_backpointer(level, owner.id());
+  return res.inserted;
+}
+
+void MaintenanceEngine::unlink(TapestryNode& owner, unsigned level,
+                               NodeId nbr) {
+  if (nbr == owner.id()) return;  // never drop self-entries
+  if (owner.table().at(level, nbr.digit(level)).remove(nbr)) {
+    if (TapestryNode* n = reg_.find(nbr); n != nullptr)
+      n->table().remove_backpointer(level, owner.id());
+  }
+}
+
+bool MaintenanceEngine::add_to_table_if_closer(TapestryNode& host,
+                                               TapestryNode& cand) {
+  if (host.id() == cand.id()) return false;
+  const unsigned gcp = host.id().common_prefix_len(cand.id());
+  bool any = false;
+  for (unsigned l = 0; l <= gcp && l < params_.id.num_digits; ++l)
+    any = link(host, l, cand) || any;
+  return any;
+}
+
+// ---------------------------------------------------------------------
+// Fail-stop and lazy repair (§5.2)
+// ---------------------------------------------------------------------
+
+void MaintenanceEngine::fail(NodeId id) {
+  reg_.mark_dead(reg_.live(id));
+  // The tombstone keeps its table, store and backpointers: last-hop chains
+  // crossing the corpse stay traversable for DELETEPOINTERSBACKWARD, and
+  // lazy repair discovers the corpse exactly where a live system would —
+  // by failing to talk to it.
+}
+
+void MaintenanceEngine::purge_dead_neighbor(TapestryNode& at, NodeId dead,
+                                            Trace* trace) {
+  const auto before = dir_.snapshot_pointer_hops(at);
+  const unsigned gcp = at.id().common_prefix_len(dead);
+  const unsigned digits = params_.id.num_digits;
+  for (unsigned l = 0; l <= gcp && l < digits; ++l) {
+    const unsigned digit = dead.digit(l);
+    unlink(at, l, dead);
+    if (at.table().at(l, digit).empty()) {
+      // A hole appeared; Property 1 obliges us to find a replacement or
+      // establish that none exists (§5.2).
+      if (auto rep = find_replacement(at, l, digit, trace); rep.has_value())
+        link(at, l, reg_.live(*rep));
+    }
+    at.table().remove_backpointer(l, dead);
+  }
+  dir_.reroute_changed_pointers(at, before, trace);
+}
+
+std::optional<NodeId> MaintenanceEngine::find_replacement(TapestryNode& at,
+                                                          unsigned level,
+                                                          unsigned digit,
+                                                          Trace* trace) {
+  // Simple local search first: ask the remaining level-`level` contacts
+  // (row members and backpointer holders — all of whom share our length-
+  // `level` prefix) for their own entry in that slot.
+  std::optional<NodeId> best;
+  double best_dist = 0.0;
+  auto offer = [&](const NodeId& cand) {
+    if (cand == at.id() || !reg_.is_live(cand)) return;
+    const double d = reg_.dist(at, reg_.checked(cand));
+    if (!best.has_value() || d < best_dist ||
+        (d == best_dist && cand < *best)) {
+      best = cand;
+      best_dist = d;
+    }
+  };
+
+  std::vector<NodeId> peers = at.table().row_members(level);
+  for (const NodeId& b : at.table().backpointers(level)) peers.push_back(b);
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  for (const NodeId& peer : peers) {
+    if (peer == at.id() || !reg_.is_live(peer)) continue;
+    TapestryNode& p = reg_.live(peer);
+    reg_.acct(trace, at, p, 2);  // ask for its (level, digit) entries
+    for (const auto& e : p.table().at(level, digit).entries()) offer(e.id);
+  }
+  if (best.has_value()) return best;
+
+  // Fallback: acknowledged multicast over our length-`level` prefix,
+  // collecting any node carrying `digit` at that position.  Expensive but
+  // rare — it only runs when the local search came up empty.
+  router_.multicast(
+      at.id(), at.id(), level,
+      [&](NodeId y) {
+        if (reg_.checked(y).id().digit(level) == digit) offer(y);
+      },
+      trace, {});
+  return best;
+}
+
+void MaintenanceEngine::heartbeat_sweep(Trace* trace) {
+  const unsigned digits = params_.id.num_digits;
+  const unsigned radix = params_.id.radix();
+
+  // Pass 1: heartbeat probes.  Each node pings its table members; a failed
+  // ping triggers the same lazy repair a failed routing step would.
+  for (const auto& n : reg_.nodes()) {
+    if (!n->alive) continue;
+    bool again = true;
+    while (again) {
+      again = false;
+      for (unsigned l = 0; l < digits && !again; ++l) {
+        for (unsigned j = 0; j < radix && !again; ++j) {
+          for (const auto& e : n->table().at(l, j).entries()) {
+            if (e.id == n->id()) continue;
+            const TapestryNode* other = reg_.find(e.id);
+            TAP_ASSERT(other != nullptr);
+            reg_.acct(trace, *n, *other, 1);  // heartbeat probe
+            if (!other->alive) {
+              purge_dead_neighbor(*n, e.id, trace);
+              again = true;  // iterators invalidated; rescan this node
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 2..k: purge-time replacement searches can miss while other tables
+  // are still dirty; retry emptied slots until nothing changes.  A memo of
+  // prefixes established (this sweep) to have no live node avoids
+  // re-multicasting for genuinely empty digit classes.
+  std::unordered_set<std::uint64_t> known_empty;
+  auto slot_key = [&](const TapestryNode& n, unsigned l, unsigned j) {
+    return (n.id().prefix_value(l) << params_.id.digit_bits | j) |
+           (static_cast<std::uint64_t>(l + 1) << 56);
+  };
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    for (const auto& n : reg_.nodes()) {
+      if (!n->alive) continue;
+      for (unsigned l = 0; l < digits; ++l) {
+        for (unsigned j = 0; j < radix; ++j) {
+          if (!n->table().at(l, j).empty()) continue;
+          const std::uint64_t key = slot_key(*n, l, j);
+          if (known_empty.count(key) != 0) continue;
+          const auto before = dir_.snapshot_pointer_hops(*n);
+          if (auto rep = find_replacement(*n, l, j, trace); rep.has_value()) {
+            link(*n, l, reg_.live(*rep));
+            dir_.reroute_changed_pointers(*n, before, trace);
+            changed = true;
+          } else {
+            known_empty.insert(key);
+          }
+        }
+      }
+    }
+    if (!changed) break;
+    known_empty.clear();  // new links may make old conclusions stale
+  }
+}
+
+// ---------------------------------------------------------------------
+// Continual optimization (§6.4)
+// ---------------------------------------------------------------------
+
+void MaintenanceEngine::relocate(NodeId id, Location loc) {
+  TapestryNode& n = reg_.live(id);
+  TAP_CHECK(loc < reg_.space().size(), "location outside the metric space");
+  n.set_location(loc);
+  // Deliberately no table fix-up: stored distances are now stale, exactly
+  // the drift the §6.4 heuristics are designed to absorb.
+}
+
+void MaintenanceEngine::optimize_primaries(NodeId id, Trace* trace) {
+  TapestryNode& n = reg_.live(id);
+  const auto before = dir_.snapshot_pointer_hops(n);
+  const unsigned digits = params_.id.num_digits;
+  for (unsigned l = 0; l < digits; ++l) {
+    for (unsigned j = 0; j < params_.id.radix(); ++j) {
+      // Re-measure every member and re-rank; consider() re-sorts in place.
+      auto members = n.table().at(l, j).entries();  // copy: we mutate below
+      for (const auto& e : members) {
+        if (e.id == n.id()) continue;
+        const TapestryNode* other = reg_.find(e.id);
+        if (other == nullptr || !other->alive) {
+          unlink(n, l, e.id);
+          continue;
+        }
+        reg_.acct(trace, n, *other, 2);  // distance probe
+        n.table().at(l, j).consider(e.id, reg_.dist(n, *other));
+      }
+    }
+  }
+  dir_.reroute_changed_pointers(n, before, trace);
+}
+
+void MaintenanceEngine::optimize_gossip(NodeId id, Trace* trace) {
+  TapestryNode& n = reg_.live(id);
+  const auto before = dir_.snapshot_pointer_hops(n);
+  const unsigned digits = params_.id.num_digits;
+  for (unsigned l = 0; l < digits; ++l) {
+    // Ask each level-l neighbor for its level-l row; adopt closer members
+    // (the "local sharing of information" heuristic).
+    const auto peers = n.table().row_members(l);
+    for (const NodeId& m : peers) {
+      if (m == n.id() || !reg_.is_live(m)) continue;
+      TapestryNode& member = reg_.live(m);
+      reg_.acct(trace, n, member, 2);  // row exchange
+      for (const NodeId& x : member.table().row_members(l)) {
+        if (x == n.id() || !reg_.is_live(x)) continue;
+        link(n, l, reg_.live(x));
+      }
+    }
+  }
+  dir_.reroute_changed_pointers(n, before, trace);
+}
+
+void MaintenanceEngine::rebuild_neighbor_table(NodeId id, Trace* trace) {
+  TapestryNode& n = reg_.live(id);
+  const auto before = dir_.snapshot_pointer_hops(n);
+  // Deepest level at which anyone shares our prefix; the multicast over
+  // that prefix regenerates the first list exactly as at insertion time.
+  unsigned max_level = 0;
+  for (unsigned l = 0; l < params_.id.num_digits; ++l)
+    if (n.table().row_has_other(l)) max_level = l;
+  std::vector<NodeId> list;
+  router_.multicast(
+      id, n.id(), max_level,
+      [&](NodeId y) {
+        if (!(y == id)) list.push_back(y);
+      },
+      trace, {id});
+  acquire_neighbor_table(n, max_level, std::move(list), trace);
+  dir_.reroute_changed_pointers(n, before, trace);
+}
+
+}  // namespace tap

@@ -1,0 +1,110 @@
+// MaintenanceEngine: everything that changes the routing mesh.
+//
+// Membership — dynamic insertion (§3-§4), voluntary delete (§5.1),
+// fail-stop plus lazy repair (§5.2), the periodic heartbeat sweep — and the
+// continual-optimization heuristics of §6.4, plus the low-level table-link
+// coherence primitives (link / unlink / ADDTOTABLEIFCLOSER) every mutation
+// funnels through so forward links and backpointers stay mirrored.
+//
+// The engine implements the Router's RepairHandler interface: when a
+// routing walk discovers a corpse, the purge (secondary promotion, slot
+// replacement hunt, pointer re-route) happens here.  Pointer re-routing is
+// delegated to the ObjectDirectory so Property 4 survives table churn.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/tapestry/object_directory.h"
+#include "src/tapestry/registry.h"
+#include "src/tapestry/router.h"
+
+namespace tap {
+
+class MaintenanceEngine final : public RepairHandler {
+ public:
+  MaintenanceEngine(NodeRegistry& registry, Router& router,
+                    ObjectDirectory& directory, const TapestryParams& params,
+                    Rng& rng);
+
+  // --- membership (§3-§5) ---
+  /// Creates the first node of the overlay.  `id` defaults to random.
+  NodeId bootstrap(Location loc, std::optional<NodeId> id = std::nullopt);
+  /// Full dynamic insertion (Figure 7) via a uniformly random live gateway.
+  NodeId join(Location loc, std::optional<NodeId> id = std::nullopt,
+              Trace* trace = nullptr);
+  /// Full dynamic insertion via a specific gateway node.
+  NodeId join_via(NodeId gateway, Location loc,
+                  std::optional<NodeId> id = std::nullopt,
+                  Trace* trace = nullptr);
+  /// Voluntary departure (§5.1): notifies backpointer holders with
+  /// replacement hints, re-roots object pointers, then disconnects.
+  void leave(NodeId node, Trace* trace = nullptr);
+  /// Involuntary fail-stop (§5.2): the node simply stops responding.
+  void fail(NodeId node);
+  /// Soft-state heartbeat maintenance (§5.2, §6.5): probe table entries,
+  /// purge corpses, then hunt replacements for emptied slots to fixpoint.
+  void heartbeat_sweep(Trace* trace = nullptr);
+
+  // --- failure repair (§5.2) ---
+  void purge_dead_neighbor(TapestryNode& at, NodeId dead,
+                           Trace* trace) override;
+  std::optional<NodeId> find_replacement(TapestryNode& at, unsigned level,
+                                         unsigned digit, Trace* trace);
+
+  // --- table-link coherence ---
+  /// owner.table slot (level, nbr.digit(level)) considers nbr; keeps
+  /// backpointers coherent on insert and evict.  Returns true if inserted.
+  bool link(TapestryNode& owner, unsigned level, TapestryNode& nbr);
+  /// Removes nbr from owner's slot at `level` (if present).  NodeId is
+  /// taken by value: callers often pass ids that live inside the very
+  /// containers these routines mutate.
+  void unlink(TapestryNode& owner, unsigned level, NodeId nbr);
+  /// Offers `cand` to every slot of `host` it qualifies for (all levels
+  /// l <= common prefix).  The paper's ADDTOTABLEIFCLOSER.
+  bool add_to_table_if_closer(TapestryNode& host, TapestryNode& cand);
+
+  // --- continual optimization (§6.4) ---
+  /// Moves a node to a new underlay location (network drift model).
+  /// Tables are NOT fixed up — that is what the heuristics below are for.
+  void relocate(NodeId node, Location loc);
+  /// Heuristic 1: re-rank every neighbor set of `node` by current distance.
+  void optimize_primaries(NodeId node, Trace* trace = nullptr);
+  /// Heuristic 4: ask each level-l neighbor for its level-l row and adopt
+  /// closer members (the gossip scheme of §6.4 / Pastry / Tapestry [37]).
+  void optimize_gossip(NodeId node, Trace* trace = nullptr);
+  /// Heuristic 2: rerun the full nearest-neighbor table construction.
+  void rebuild_neighbor_table(NodeId node, Trace* trace = nullptr);
+
+  // --- oracle construction (static PRR preprocessing) ---
+  /// Rebuilds every live node's table from global knowledge (Property 1+2
+  /// by construction).
+  void rebuild_static_tables();
+
+  // --- join internals (§3-§4), shared with ParallelJoinCoordinator ---
+  void copy_preliminary_table(TapestryNode& nn, TapestryNode& surrogate,
+                              unsigned max_level, Trace* trace);
+  void link_and_xfer_root(TapestryNode& host, TapestryNode& nn, Trace* trace);
+  void acquire_neighbor_table(TapestryNode& nn, unsigned max_level,
+                              std::vector<NodeId> initial_list, Trace* trace);
+
+ private:
+  std::vector<NodeId> get_next_list(
+      TapestryNode& nn, const std::vector<NodeId>& list, unsigned level,
+      std::unordered_set<std::uint64_t>& contacted, Trace* trace);
+  void build_row_from_list(TapestryNode& nn, const std::vector<NodeId>& list,
+                           unsigned level);
+  [[nodiscard]] std::vector<NodeId> trim_closest(const TapestryNode& nn,
+                                                 std::vector<NodeId> list,
+                                                 std::size_t k) const;
+
+  NodeRegistry& reg_;
+  Router& router_;
+  ObjectDirectory& dir_;
+  const TapestryParams& params_;
+  Rng& rng_;
+};
+
+}  // namespace tap

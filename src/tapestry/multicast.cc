@@ -14,29 +14,18 @@
 //
 // The event-driven variant with pinned pointers and watch lists used by
 // *simultaneous* insertion (§4.4, Figure 11) lives in parallel_join.cc.
-#include "src/tapestry/network.h"
+#include "src/tapestry/router.h"
 
 #include <algorithm>
 
 namespace tap {
 
-namespace {
-
-struct McContext {
-  const std::function<void(NodeId)>* visit;
-  MulticastStats* stats;
-  Trace* trace;
-  const std::vector<NodeId>* exclude;
-};
-
-}  // namespace
-
-MulticastStats Network::multicast(NodeId start, const Id& pattern,
-                                  unsigned prefix_len,
-                                  const std::function<void(NodeId)>& visit,
-                                  Trace* trace,
-                                  const std::vector<NodeId>& exclude) {
-  TapestryNode& s = live(start);
+MulticastStats Router::multicast(NodeId start, const Id& pattern,
+                                 unsigned prefix_len,
+                                 const std::function<void(NodeId)>& visit,
+                                 Trace* trace,
+                                 const std::vector<NodeId>& exclude) {
+  TapestryNode& s = reg_.live(start);
   TAP_CHECK(pattern.valid() && pattern.spec() == params_.id,
             "pattern does not match the network's IdSpec");
   TAP_CHECK(prefix_len <= params_.id.num_digits, "prefix too long");
@@ -44,7 +33,6 @@ MulticastStats Network::multicast(NodeId start, const Id& pattern,
             "multicast must start at a node carrying the prefix");
 
   MulticastStats stats;
-  McContext ctx{&visit, &stats, trace, &exclude};
 
   auto excluded = [&](const NodeId& id) {
     return std::find(exclude.begin(), exclude.end(), id) != exclude.end();
@@ -63,12 +51,12 @@ MulticastStats Network::multicast(NodeId start, const Id& pattern,
     if (l < digits) {
       for (unsigned j = 0; j < radix && only; ++j)
         for (const auto& e : cur.table().at(l, j).entries())
-          if (!(e.id == cur.id()) && is_live(e.id) && !excluded(e.id))
+          if (!(e.id == cur.id()) && reg_.is_live(e.id) && !excluded(e.id))
             only = false;
     }
     if (l >= digits || only) {
-      (*ctx.visit)(cur.id());
-      ++ctx.stats->reached;
+      visit(cur.id());
+      ++stats.reached;
       return 0.0;
     }
 
@@ -83,8 +71,8 @@ MulticastStats Network::multicast(NodeId start, const Id& pattern,
           child = &cur;
           break;
         }
-        if (is_live(e.id)) {
-          child = &live(e.id);
+        if (reg_.is_live(e.id)) {
+          child = &reg_.live(e.id);
           break;
         }
       }
@@ -93,14 +81,14 @@ MulticastStats Network::multicast(NodeId start, const Id& pattern,
         // Self-message: no network cost, continue at the next level.
         completion = std::max(completion, mc(cur, l + 1));
       } else {
-        const double d = dist_nodes(cur, *child);
-        ctx.stats->messages += 2;  // forward + acknowledgment
-        ctx.stats->traffic += 2.0 * d;
-        if (ctx.trace != nullptr) {
-          ctx.trace->hop(d);
-          ctx.trace->hop(d);
+        const double d = reg_.dist(cur, *child);
+        stats.messages += 2;  // forward + acknowledgment
+        stats.traffic += 2.0 * d;
+        if (trace != nullptr) {
+          trace->hop(d);
+          trace->hop(d);
         }
-        TapestryNode& c = live(child->id());
+        TapestryNode& c = reg_.live(child->id());
         completion = std::max(completion, d + mc(c, l + 1) + d);
       }
     }

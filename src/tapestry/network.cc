@@ -1,452 +1,34 @@
-// Core Network plumbing: node registry, table-link coherence, object
-// publication/location (§2.2), soft state (§6.5), invariant checks.
+// Facade wiring plus the global invariant checks (Properties 1 and 2,
+// backpointer symmetry) that read every table at once — oracle views no
+// single subsystem owns.
 #include "src/tapestry/network.h"
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace tap {
 
 Network::Network(const MetricSpace& space, TapestryParams params,
                  std::uint64_t seed)
-    : space_(space), params_(params), rng_(seed) {
+    : space_(space),
+      params_(params),
+      rng_(seed),
+      registry_(space_, params_, rng_),
+      router_(registry_, params_),
+      directory_(registry_, router_, params_, events_, rng_),
+      maintenance_(registry_, router_, directory_, params_, rng_) {
   TAP_CHECK(params_.id.valid(), "invalid IdSpec");
   TAP_CHECK(params_.redundancy >= 1, "redundancy must be >= 1");
   TAP_CHECK(params_.root_multiplicity >= 1, "need at least one root");
+  router_.bind_repair(&maintenance_);
 }
 
-// ---------------------------------------------------------------------
-// Registry
-// ---------------------------------------------------------------------
-
-TapestryNode* Network::find(const NodeId& id) {
-  auto it = index_.find(id);
-  return it == index_.end() ? nullptr : nodes_[it->second].get();
-}
-
-const TapestryNode* Network::find(const NodeId& id) const {
-  auto it = index_.find(id);
-  return it == index_.end() ? nullptr : nodes_[it->second].get();
-}
-
-TapestryNode& Network::checked(const NodeId& id) {
-  TapestryNode* n = find(id);
-  TAP_CHECK(n != nullptr, "unknown node " + id.to_string());
-  return *n;
-}
-
-TapestryNode& Network::live(const NodeId& id) {
-  TapestryNode& n = checked(id);
-  TAP_CHECK(n.alive, "node " + id.to_string() + " is not alive");
-  return n;
-}
-
-bool Network::is_live(const NodeId& id) const {
-  const TapestryNode* n = find(id);
-  return n != nullptr && n->alive;
-}
-
-bool Network::contains(const NodeId& id) const { return is_live(id); }
-
-TapestryNode& Network::register_node(NodeId id, Location loc) {
-  TAP_CHECK(id.valid() && id.spec() == params_.id,
-            "node id does not match the network's IdSpec");
-  TAP_CHECK(find(id) == nullptr, "duplicate node id " + id.to_string());
-  TAP_CHECK(loc < space_.size(), "location outside the metric space");
-  nodes_.push_back(std::make_unique<TapestryNode>(id, loc, params_));
-  index_.emplace(id, nodes_.size() - 1);
-  ++live_count_;
-  return *nodes_.back();
-}
-
-std::vector<NodeId> Network::node_ids() const {
-  std::vector<NodeId> ids;
-  ids.reserve(live_count_);
-  for (const auto& n : nodes_)
-    if (n->alive) ids.push_back(n->id());
-  return ids;
-}
-
-TapestryNode& Network::node(const NodeId& id) { return checked(id); }
-
-const TapestryNode& Network::node(const NodeId& id) const {
-  const TapestryNode* n = find(id);
-  TAP_CHECK(n != nullptr, "unknown node " + id.to_string());
-  return *n;
-}
-
-double Network::distance(const NodeId& a, const NodeId& b) const {
-  return space_.distance(node(a).location(), node(b).location());
-}
-
-double Network::dist_nodes(const TapestryNode& a,
-                           const TapestryNode& b) const {
-  return space_.distance(a.location(), b.location());
-}
-
-void Network::acct(Trace* trace, const TapestryNode& a, const TapestryNode& b,
-                   std::size_t msgs) const {
-  if (trace == nullptr) return;
-  const double d = dist_nodes(a, b);
-  for (std::size_t i = 0; i < msgs; ++i) trace->hop(d);
-}
-
-NodeId Network::random_node_id(Rng& rng) const {
-  return Id::random(params_.id, rng);
-}
-
-NodeId Network::fresh_node_id() {
-  for (int attempt = 0; attempt < 1024; ++attempt) {
-    NodeId id = Id::random(params_.id, rng_);
-    if (find(id) == nullptr) return id;
-  }
-  TAP_CHECK(false, "identifier namespace exhausted");
-}
-
-std::size_t Network::total_table_entries() const {
-  std::size_t n = 0;
-  for (const auto& node : nodes_)
-    if (node->alive) n += node->table().total_entries();
-  return n;
-}
-
-std::size_t Network::total_object_pointers() const {
-  std::size_t n = 0;
-  for (const auto& node : nodes_)
-    if (node->alive) n += node->store().size();
-  return n;
-}
-
-// ---------------------------------------------------------------------
-// Table maintenance: link coherence
-// ---------------------------------------------------------------------
-
-bool Network::link(TapestryNode& owner, unsigned level, TapestryNode& nbr) {
-  TAP_ASSERT(!(owner.id() == nbr.id()));
-  TAP_ASSERT_MSG(owner.id().matches_prefix(nbr.id(), level),
-                 "neighbor does not share the slot's prefix");
-  const unsigned digit = nbr.id().digit(level);
-  auto res =
-      owner.table().at(level, digit).consider(nbr.id(), dist_nodes(owner, nbr));
-  if (res.evicted.has_value()) {
-    if (TapestryNode* ev = find(*res.evicted); ev != nullptr)
-      ev->table().remove_backpointer(level, owner.id());
-  }
-  if (res.inserted) nbr.table().add_backpointer(level, owner.id());
-  return res.inserted;
-}
-
-void Network::unlink(TapestryNode& owner, unsigned level, NodeId nbr) {
-  if (nbr == owner.id()) return;  // never drop self-entries
-  if (owner.table().at(level, nbr.digit(level)).remove(nbr)) {
-    if (TapestryNode* n = find(nbr); n != nullptr)
-      n->table().remove_backpointer(level, owner.id());
-  }
-}
-
-bool Network::add_to_table_if_closer(TapestryNode& host, TapestryNode& cand) {
-  if (host.id() == cand.id()) return false;
-  const unsigned gcp = host.id().common_prefix_len(cand.id());
-  bool any = false;
-  for (unsigned l = 0; l <= gcp && l < params_.id.num_digits; ++l)
-    any = link(host, l, cand) || any;
-  return any;
-}
-
-// ---------------------------------------------------------------------
-// Objects: publish / locate / unpublish (§2.2) and soft state (§6.5)
-// ---------------------------------------------------------------------
-
-void Network::publish_one(TapestryNode& server, const Guid& salted,
-                          Trace* trace) {
-  const double expires = events_.now() + params_.pointer_ttl;
-  RouteState state;
-  TapestryNode* cur = &server;
-  std::optional<NodeId> last_hop;  // none at the server itself
-  for (;;) {
-    cur->store().upsert(salted, PointerRecord{server.id(), last_hop,
-                                              state.level, state.past_hole,
-                                              expires});
-    auto next = route_step(*cur, salted, state, trace);
-    if (!next.has_value()) break;  // cur is the root
-    // §2.4 PRR variant: also deposit on the secondaries of the slot being
-    // routed through ("equivalent to publishing on all the secondary
-    // neighbors"); queries under the same flag probe those secondaries.
-    if (params_.prr_secondary_search && state.level >= 1) {
-      const unsigned slot_level = state.level - 1;
-      const unsigned digit = next->digit(slot_level);
-      const auto members = cur->table().at(slot_level, digit).entries();
-      for (const auto& member : members) {
-        if (member.id == *next || member.id == cur->id()) continue;
-        TapestryNode* m = find(member.id);
-        if (m == nullptr || !m->alive) continue;
-        acct(trace, *cur, *m, 1);
-        m->store().upsert(salted,
-                          PointerRecord{server.id(), cur->id(), state.level,
-                                        state.past_hole, expires});
-      }
-    }
-    TapestryNode& nxt = live(*next);
-    acct(trace, *cur, nxt);
-    last_hop = cur->id();
-    cur = &nxt;
-  }
-}
-
-void Network::publish(NodeId server, const Guid& guid, Trace* trace) {
-  TapestryNode& s = live(server);
-  TAP_CHECK(guid.valid() && guid.spec() == params_.id,
-            "guid does not match the network's IdSpec");
-  for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
-    publish_one(s, salted_guid(guid, salt), trace);
-  auto& servers = registry_[guid];
-  if (std::find(servers.begin(), servers.end(), server) == servers.end())
-    servers.push_back(server);
-}
-
-void Network::unpublish_one(TapestryNode& server, const Guid& salted,
-                            Trace* trace) {
-  RouteState state;
-  TapestryNode* cur = &server;
-  for (;;) {
-    cur->store().remove(salted, server.id());
-    auto next = route_step(*cur, salted, state, trace);
-    if (!next.has_value()) break;
-    if (params_.prr_secondary_search && state.level >= 1) {
-      // Withdraw the secondary-deposited copies symmetrically.
-      const unsigned slot_level = state.level - 1;
-      const unsigned digit = next->digit(slot_level);
-      const auto members = cur->table().at(slot_level, digit).entries();
-      for (const auto& member : members) {
-        if (member.id == *next || member.id == cur->id()) continue;
-        if (TapestryNode* m = find(member.id); m != nullptr) {
-          acct(trace, *cur, *m, 1);
-          m->store().remove(salted, server.id());
-        }
-      }
-    }
-    TapestryNode& nxt = live(*next);
-    acct(trace, *cur, nxt);
-    cur = &nxt;
-  }
-}
-
-void Network::unpublish(NodeId server, const Guid& guid, Trace* trace) {
-  TapestryNode& s = checked(server);
-  for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
-    unpublish_one(s, salted_guid(guid, salt), trace);
-  auto it = registry_.find(guid);
-  if (it != registry_.end()) {
-    auto& servers = it->second;
-    servers.erase(std::remove(servers.begin(), servers.end(), server),
-                  servers.end());
-    if (servers.empty()) registry_.erase(it);
-  }
-}
-
-std::optional<PointerRecord> Network::pick_live_replica(
-    TapestryNode& holder, const Guid& target,
-    const TapestryNode& relative_to) {
-  auto records = holder.store().find_live(target, events_.now());
-  // Prefer the replica closest to the reference node (§2.2); prune
-  // pointers to dead servers as we discover them (lazy soft-state decay).
-  std::sort(records.begin(), records.end(),
-            [&](const PointerRecord& a, const PointerRecord& b) {
-              const double da = distance(relative_to.id(), a.server);
-              const double db = distance(relative_to.id(), b.server);
-              if (da != db) return da < db;
-              return a.server < b.server;
-            });
-  for (const auto& rec : records) {
-    if (is_live(rec.server)) return rec;
-    holder.store().remove(target, rec.server);
-  }
-  return std::nullopt;
-}
-
-LocateResult Network::locate_attempt(TapestryNode& client, const Guid& target,
-                                     Trace* trace) {
-  LocateResult res;
-  Trace local(false);
-  Trace* t = trace != nullptr ? trace : &local;
-  const std::size_t msgs0 = t->messages();
-  const double lat0 = t->latency();
-
-  auto resolve = [&](TapestryNode& holder, const PointerRecord& rec) {
-    res.found = true;
-    res.pointer_node = holder.id();
-    res.server = rec.server;
-    // Forward the query along neighbor links to the replica.
-    if (!(rec.server == holder.id())) {
-      RouteResult leg = route_to_root(holder.id(), rec.server, t);
-      TAP_ASSERT_MSG(leg.root == rec.server,
-                     "exact-id routing must terminate at the server");
-    }
-    res.hops = t->messages() - msgs0;
-    res.latency = t->latency() - lat0;
-  };
-
-  TapestryNode* cur = &client;
-  RouteState state;
-  std::unordered_set<std::uint64_t> visited;  // loop guard (§4.3)
-  ExcludeSet excluded;  // inserting nodes we were bounced off (Figure 10)
-  for (;;) {
-    // Check the current node for a pointer before routing further.
-    if (auto rec = pick_live_replica(*cur, target, *cur); rec.has_value()) {
-      resolve(*cur, *rec);
-      return res;
-    }
-
-    if (!visited.insert(cur->id().value()).second) break;  // loop -> miss
-
-    const unsigned level_before = state.level;
-    auto next = route_step(*cur, target, state, t,
-                           excluded.empty() ? nullptr : &excluded);
-    if (next.has_value()) {
-      // §2.4 PRR variant: before taking the hop, probe the *secondary*
-      // members of the slot being routed through for pointers (the
-      // primary is about to be visited anyway).
-      if (params_.prr_secondary_search) {
-        TAP_ASSERT(state.level >= 1);
-        const unsigned slot_level =
-            state.level - 1 >= level_before ? state.level - 1 : level_before;
-        const unsigned digit = next->digit(slot_level);
-        // Copy: probing may prune dead members.
-        const auto members = cur->table().at(slot_level, digit).entries();
-        for (const auto& member : members) {
-          if (member.id == *next || member.id == cur->id()) continue;
-          TapestryNode* m = find(member.id);
-          if (m == nullptr || !m->alive) continue;
-          acct(t, *cur, *m, 2);  // probe round trip
-          if (auto rec = pick_live_replica(*m, target, *cur);
-              rec.has_value()) {
-            resolve(*m, *rec);
-            return res;
-          }
-        }
-      }
-      TapestryNode& nxt = live(*next);
-      acct(t, *cur, nxt);
-      cur = &nxt;
-      continue;
-    }
-
-    // cur is the root and has no pointer.  If cur is still inserting, the
-    // pointer may not have been transferred yet: send the request back out
-    // at the hole level to the surrogate, which routes it as if the new
-    // node had not yet entered the network (Figure 10).
-    if (cur->inserting && cur->psurrogate.has_value() &&
-        is_live(*cur->psurrogate)) {
-      excluded.insert(cur->id().value());
-      TapestryNode& sur = live(*cur->psurrogate);
-      acct(t, *cur, sur);
-      // Resume at the level of the hole the inserting node fills.  The
-      // re-route may legally revisit earlier nodes; termination is
-      // guaranteed because each bounce permanently excludes one more
-      // inserting node.
-      state.level = cur->id().common_prefix_len(sur.id());
-      visited.clear();
-      cur = &sur;
-      continue;
-    }
-    break;  // definitive miss
-  }
-
-  res.hops = t->messages() - msgs0;
-  res.latency = t->latency() - lat0;
-  return res;
-}
-
-LocateResult Network::locate(NodeId client, const Guid& guid, Trace* trace) {
-  TapestryNode& c = live(client);
-  TAP_CHECK(guid.valid() && guid.spec() == params_.id,
-            "guid does not match the network's IdSpec");
-  // "At the beginning of the query, we select a root randomly from R_psi."
-  const unsigned first = params_.root_multiplicity == 1
-                             ? 0
-                             : static_cast<unsigned>(
-                                   rng_.next_u64(params_.root_multiplicity));
-  // Observation 1: when enabled, a miss retries the remaining independent
-  // root names, accumulating cost; the first hit wins.
-  const unsigned attempts =
-      params_.retry_all_roots ? params_.root_multiplicity : 1;
-  Trace local(false);
-  Trace* t = trace != nullptr ? trace : &local;
-  LocateResult res;
-  double spent_latency = 0.0;
-  std::size_t spent_hops = 0;
-  for (unsigned a = 0; a < attempts; ++a) {
-    const unsigned salt = (first + a) % params_.root_multiplicity;
-    res = locate_attempt(c, salted_guid(guid, salt), t);
-    if (res.found) {
-      res.hops += spent_hops;
-      res.latency += spent_latency;
-      return res;
-    }
-    spent_hops += res.hops;
-    spent_latency += res.latency;
-  }
-  res.hops = spent_hops;
-  res.latency = spent_latency;
-  return res;
-}
-
-void Network::republish_server(NodeId server, Trace* trace) {
-  if (!is_live(server)) return;
-  for (const auto& [guid, servers] : registry_) {
-    if (std::find(servers.begin(), servers.end(), server) != servers.end()) {
-      TapestryNode& s = live(server);
-      for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
-        publish_one(s, salted_guid(guid, salt), trace);
-    }
-  }
-}
-
-void Network::republish_all(Trace* trace) {
-  for (const auto& [guid, servers] : registry_) {
-    for (const NodeId& server : servers) {
-      if (!is_live(server)) continue;
-      TapestryNode& s = live(server);
-      for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
-        publish_one(s, salted_guid(guid, salt), trace);
-    }
-  }
-}
-
-void Network::expire_pointers() {
-  const double now = events_.now();
-  for (const auto& n : nodes_)
-    if (n->alive) n->store().remove_expired(now);
-}
-
-// ---------------------------------------------------------------------
-// Ground truth / oracle accessors
-// ---------------------------------------------------------------------
-
-std::vector<NodeId> Network::servers_of(const Guid& guid) const {
-  std::vector<NodeId> out;
-  auto it = registry_.find(guid);
-  if (it == registry_.end()) return out;
-  for (const NodeId& s : it->second)
-    if (is_live(s)) out.push_back(s);
-  return out;
-}
-
-std::vector<std::pair<Guid, NodeId>> Network::published() const {
-  std::vector<std::pair<Guid, NodeId>> out;
-  for (const auto& [guid, servers] : registry_)
-    for (const NodeId& s : servers) out.emplace_back(guid, s);
-  return out;
-}
-
-double Network::distance_to_nearest_replica(const NodeId& client,
-                                            const Guid& guid) const {
-  double best = std::numeric_limits<double>::infinity();
-  auto it = registry_.find(guid);
-  if (it == registry_.end()) return best;
-  for (const NodeId& s : it->second)
-    if (is_live(s)) best = std::min(best, distance(client, s));
-  return best;
+NodeId Network::insert_static(Location loc, std::optional<NodeId> id) {
+  NodeId nid = id.has_value() ? *id : registry_.fresh_node_id();
+  registry_.register_node(nid, loc);
+  return nid;
 }
 
 // ---------------------------------------------------------------------
@@ -458,19 +40,19 @@ void Network::check_property1() const {
   // (len, prefix value).
   const unsigned digits = params_.id.num_digits;
   std::vector<std::unordered_set<std::uint64_t>> exists(digits + 1);
-  for (const auto& n : nodes_) {
+  for (const auto& n : registry_.nodes()) {
     if (!n->alive) continue;
     for (unsigned len = 1; len <= digits; ++len)
       exists[len].insert(n->id().prefix_value(len));
   }
-  for (const auto& n : nodes_) {
+  for (const auto& n : registry_.nodes()) {
     if (!n->alive) continue;
     for (unsigned l = 0; l < digits; ++l) {
       for (unsigned j = 0; j < params_.id.radix(); ++j) {
         const auto& set = n->table().at(l, j);
         bool has_live = false;
         for (const auto& e : set.entries())
-          if (is_live(e.id)) has_live = true;
+          if (registry_.is_live(e.id)) has_live = true;
         if (has_live) continue;
         const std::uint64_t want =
             (n->id().prefix_value(l) << params_.id.digit_bits) | j;
@@ -492,13 +74,13 @@ double Network::property2_quality() const {
   auto key = [&](unsigned len, std::uint64_t prefix) {
     return (static_cast<std::uint64_t>(len) << 56) | prefix;
   };
-  for (const auto& n : nodes_) {
+  for (const auto& n : registry_.nodes()) {
     if (!n->alive) continue;
     for (unsigned len = 1; len <= digits; ++len)
       buckets[key(len, n->id().prefix_value(len))].push_back(n.get());
   }
   std::size_t slots = 0, optimal = 0;
-  for (const auto& n : nodes_) {
+  for (const auto& n : registry_.nodes()) {
     if (!n->alive) continue;
     for (unsigned l = 0; l < digits; ++l) {
       for (unsigned j = 0; j < radix; ++j) {
@@ -509,11 +91,11 @@ double Network::property2_quality() const {
         const auto& cands = it->second;
         double best = std::numeric_limits<double>::infinity();
         for (const TapestryNode* c : cands)
-          best = std::min(best, dist_nodes(*n, *c));
+          best = std::min(best, registry_.dist(*n, *c));
         ++slots;
         const auto prim = n->table().primary(l, j);
-        if (prim.has_value() && is_live(*prim) &&
-            dist_nodes(*n, node(*prim)) <= best + 1e-12)
+        if (prim.has_value() && registry_.is_live(*prim) &&
+            registry_.dist(*n, registry_.checked(*prim)) <= best + 1e-12)
           ++optimal;
       }
     }
@@ -522,42 +104,15 @@ double Network::property2_quality() const {
                                 static_cast<double>(slots);
 }
 
-void Network::check_property4() {
-  const double now = events_.now();
-  for (const auto& [guid, servers] : registry_) {
-    for (const NodeId& server : servers) {
-      if (!is_live(server)) continue;
-      for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt) {
-        const Guid target = salted_guid(guid, salt);
-        RouteState state;
-        TapestryNode* cur = &live(server);
-        for (;;) {
-          const auto recs = cur->store().find_live(target, now);
-          bool has = false;
-          for (const auto& r : recs)
-            if (r.server == server) has = true;
-          TAP_CHECK(has, "Property 4 violated: node " + cur->id().to_string() +
-                             " on the publish path of " + target.to_string() +
-                             " (server " + server.to_string() +
-                             ") lacks the pointer");
-          auto next = route_step(*cur, target, state, nullptr);
-          if (!next.has_value()) break;
-          cur = &live(*next);
-        }
-      }
-    }
-  }
-}
-
 void Network::check_backpointer_symmetry() const {
   const unsigned digits = params_.id.num_digits;
-  for (const auto& n : nodes_) {
+  for (const auto& n : registry_.nodes()) {
     if (!n->alive) continue;
     for (unsigned l = 0; l < digits; ++l) {
       for (unsigned j = 0; j < params_.id.radix(); ++j) {
         for (const auto& e : n->table().at(l, j).entries()) {
           if (e.id == n->id()) continue;
-          const TapestryNode* other = find(e.id);
+          const TapestryNode* other = registry_.find(e.id);
           TAP_CHECK(other != nullptr, "table entry references unknown node");
           TAP_CHECK(other->table().backpointers(l).count(n->id()) == 1,
                     "missing backpointer: " + e.id.to_string() +
@@ -567,7 +122,7 @@ void Network::check_backpointer_symmetry() const {
       }
       // Converse: every backpointer corresponds to a forward link.
       for (const NodeId& holder : n->table().backpointers(l)) {
-        const TapestryNode* h = find(holder);
+        const TapestryNode* h = registry_.find(holder);
         TAP_CHECK(h != nullptr, "backpointer references unknown node");
         TAP_CHECK(h->table().at(l, n->id().digit(l)).contains(n->id()),
                   "stale backpointer: " + holder.to_string() +

@@ -1,13 +1,20 @@
-// Network: the Tapestry overlay simulator — registry of nodes plus every
-// distributed algorithm of the paper, instrumented for cost accounting.
+// Network: facade over the Tapestry overlay simulator's four subsystems.
+//
+//   NodeRegistry      node storage, id index, liveness, distances/accounting
+//   Router            surrogate routing (§2.3) + acknowledged multicast (§4.1)
+//   ObjectDirectory   publish/locate/unpublish (§2.2), pointer reroute (§4.2),
+//                     soft state (§6.5)
+//   MaintenanceEngine join/leave/fail/heartbeat (§3-§5), table coherence,
+//                     continual optimization (§6.4), static oracle builder
 //
 // In a deployment each public method below is an RPC handler (or a chain of
-// them) running *on* the named nodes; here they are methods of one object
-// so that the simulator can account costs and check invariants, but every
-// inter-node touch goes through Trace::hop with the metric distance between
-// the endpoints, and no algorithm ever reads state its real counterpart
-// could not.  The exceptions — oracle accessors used only by tests and
-// benchmark ground truth — are grouped at the bottom and named accordingly.
+// them) running *on* the named nodes; here the subsystems are layers of one
+// simulator object so costs can be accounted and invariants checked, but
+// every inter-node touch goes through Trace::hop with the metric distance
+// between the endpoints, and no algorithm ever reads state its real
+// counterpart could not.  The exceptions — oracle accessors used only by
+// tests and benchmark ground truth — are grouped at the bottom and named
+// accordingly.
 //
 // Method -> paper map:
 //   route_to_root / route_step   §2.3 surrogate routing (both variants)
@@ -25,51 +32,22 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/metric/metric_space.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/trace.h"
+#include "src/tapestry/maintenance.h"
 #include "src/tapestry/node.h"
+#include "src/tapestry/object_directory.h"
 #include "src/tapestry/params.h"
+#include "src/tapestry/registry.h"
+#include "src/tapestry/route_types.h"
+#include "src/tapestry/router.h"
 
 namespace tap {
-
-/// Outcome of routing toward a root (surrogate routing, §2.3).
-struct RouteResult {
-  NodeId root{};
-  std::size_t hops = 0;            ///< network hops (self-advances excluded)
-  std::size_t surrogate_hops = 0;  ///< hops taken at/after the first hole
-  double latency = 0.0;
-  std::vector<NodeId> path{};      ///< distinct nodes visited, source first
-};
-
-/// Outcome of an object location query (§2.2).
-struct LocateResult {
-  bool found = false;
-  NodeId server{};        ///< replica the query resolved to
-  NodeId pointer_node{};  ///< node at which the object pointer was found
-  std::size_t hops = 0;   ///< total application-level hops
-  double latency = 0.0;   ///< total distance traveled by the query
-};
-
-/// Cost profile of one acknowledged multicast (§4.1).
-struct MulticastStats {
-  std::size_t reached = 0;
-  std::size_t messages = 0;  ///< forwards + acknowledgments
-  double traffic = 0.0;      ///< summed distance over all messages
-  double completion = 0.0;   ///< longest forward+ack chain (completion time)
-};
-
-/// Mutable routing cursor: the digit position being resolved and, for the
-/// PRR-like variant, whether a hole has been passed (§2.3).
-struct RouteState {
-  unsigned level = 0;
-  bool past_hole = false;
-};
 
 class Network {
  public:
@@ -82,28 +60,55 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   // ------------------------------------------------------------------
+  // Subsystems.  The facade methods below cover the common surface; the
+  // coordinators (ParallelJoinCoordinator, LocalityManager) and tests that
+  // need a layer's full interface reach it here.
+  // ------------------------------------------------------------------
+  [[nodiscard]] NodeRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const NodeRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] Router& router() noexcept { return router_; }
+  [[nodiscard]] const Router& router() const noexcept { return router_; }
+  [[nodiscard]] ObjectDirectory& directory() noexcept { return directory_; }
+  [[nodiscard]] const ObjectDirectory& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] MaintenanceEngine& maintenance() noexcept {
+    return maintenance_;
+  }
+
+  // ------------------------------------------------------------------
   // Membership
   // ------------------------------------------------------------------
 
   /// Creates the first node of the overlay.  `id` defaults to random.
-  NodeId bootstrap(Location loc, std::optional<NodeId> id = std::nullopt);
+  NodeId bootstrap(Location loc, std::optional<NodeId> id = std::nullopt) {
+    return maintenance_.bootstrap(loc, id);
+  }
 
   /// Full dynamic insertion (Figure 7) via a uniformly random live gateway.
   NodeId join(Location loc, std::optional<NodeId> id = std::nullopt,
-              Trace* trace = nullptr);
+              Trace* trace = nullptr) {
+    return maintenance_.join(loc, id, trace);
+  }
 
   /// Full dynamic insertion via a specific gateway node.
   NodeId join_via(NodeId gateway, Location loc,
                   std::optional<NodeId> id = std::nullopt,
-                  Trace* trace = nullptr);
+                  Trace* trace = nullptr) {
+    return maintenance_.join_via(gateway, loc, id, trace);
+  }
 
   /// Voluntary departure (§5.1): notifies backpointer holders with
   /// replacement hints, re-roots object pointers, then disconnects.
-  void leave(NodeId node, Trace* trace = nullptr);
+  void leave(NodeId node, Trace* trace = nullptr) {
+    maintenance_.leave(node, trace);
+  }
 
   /// Involuntary fail-stop (§5.2): the node simply stops responding; the
   /// rest of the network repairs lazily as it discovers the corpse.
-  void fail(NodeId node);
+  void fail(NodeId node) { maintenance_.fail(node); }
 
   // ------------------------------------------------------------------
   // Objects
@@ -112,32 +117,42 @@ class Network {
   /// Publishes `guid` stored at `server`: routes a publish message toward
   /// each root in the root set, depositing an object pointer at every hop
   /// (§2.2, Figure 2).  Re-publishing refreshes soft state.
-  void publish(NodeId server, const Guid& guid, Trace* trace = nullptr);
+  void publish(NodeId server, const Guid& guid, Trace* trace = nullptr) {
+    directory_.publish(server, guid, trace);
+  }
 
   /// Removes the replica mapping (guid -> server) along its root paths.
-  void unpublish(NodeId server, const Guid& guid, Trace* trace = nullptr);
+  void unpublish(NodeId server, const Guid& guid, Trace* trace = nullptr) {
+    directory_.unpublish(server, guid, trace);
+  }
 
   /// Routes a query from `client` toward a (randomly chosen) root until an
   /// object pointer is found, then on to the closest replica (§2.2,
   /// Figure 3).
-  LocateResult locate(NodeId client, const Guid& guid, Trace* trace = nullptr);
+  LocateResult locate(NodeId client, const Guid& guid, Trace* trace = nullptr) {
+    return directory_.locate(client, guid, trace);
+  }
 
   /// Soft state (§6.5): re-publishes every (guid, server) pair currently
   /// registered, refreshing pointer expiry deadlines.
-  void republish_all(Trace* trace = nullptr);
+  void republish_all(Trace* trace = nullptr) {
+    directory_.republish_all(trace);
+  }
 
   /// Republishes the objects stored at one server (its periodic timer).
-  void republish_server(NodeId server, Trace* trace = nullptr);
+  void republish_server(NodeId server, Trace* trace = nullptr) {
+    directory_.republish_server(server, trace);
+  }
 
   /// Drops expired pointers everywhere (driven by the event clock).
-  void expire_pointers();
+  void expire_pointers() { directory_.expire_pointers(); }
 
   /// Soft-state heartbeat maintenance (§5.2, §6.5): every node probes its
   /// table entries, purging corpses it discovers, then slots emptied by
-  /// failures hunt replacements until a fixpoint.  This is the periodic
-  /// beacon pass a deployed Tapestry runs continuously; the churn
-  /// experiments invoke it at each maintenance boundary.
-  void heartbeat_sweep(Trace* trace = nullptr);
+  /// failures hunt replacements until a fixpoint.
+  void heartbeat_sweep(Trace* trace = nullptr) {
+    maintenance_.heartbeat_sweep(trace);
+  }
 
   // ------------------------------------------------------------------
   // Routing primitives
@@ -146,20 +161,24 @@ class Network {
   /// Surrogate-routes from `from` toward `target` (a GUID or node-ID) and
   /// returns the root reached (§2.3).  Repairs dead links lazily en route.
   RouteResult route_to_root(NodeId from, const Id& target,
-                            Trace* trace = nullptr);
+                            Trace* trace = nullptr) {
+    return router_.route_to_root(from, target, trace);
+  }
 
-  /// One routing decision at node `at` given cursor `state`: returns the
-  /// next (different) node and advances the cursor past any self-matching
-  /// levels, or nullopt when `at` is the root.  Pure peek — never repairs;
-  /// dead primaries are skipped in favor of live members.
+  /// One routing decision at node `at` given cursor `state`.  Pure peek —
+  /// never repairs; dead primaries are skipped in favor of live members.
   [[nodiscard]] std::optional<NodeId> route_step_peek(const NodeId& at,
                                                       const Id& target,
-                                                      RouteState& state) const;
+                                                      RouteState& state) const {
+    return router_.route_step_peek(at, target, state);
+  }
 
   /// The unique surrogate root for `target` (Theorem 2), computed from an
   /// arbitrary start without cost accounting.  Oracle-flavored convenience
   /// used by tests and the general-metric comparisons.
-  [[nodiscard]] NodeId surrogate_root(const Id& target) const;
+  [[nodiscard]] NodeId surrogate_root(const Id& target) const {
+    return router_.surrogate_root(target);
+  }
 
   /// Acknowledged multicast (Figure 8): applies `visit` exactly once on
   /// every live node whose ID starts with the first `prefix_len` digits of
@@ -169,7 +188,10 @@ class Network {
                            unsigned prefix_len,
                            const std::function<void(NodeId)>& visit,
                            Trace* trace = nullptr,
-                           const std::vector<NodeId>& exclude = {});
+                           const std::vector<NodeId>& exclude = {}) {
+    return router_.multicast(start, pattern, prefix_len, visit, trace,
+                             exclude);
+  }
 
   // ------------------------------------------------------------------
   // Continual optimization (§6.4)
@@ -177,30 +199,48 @@ class Network {
 
   /// Moves a node to a new underlay location (network drift model).
   /// Tables are NOT fixed up — that is what the heuristics below are for.
-  void relocate(NodeId node, Location loc);
+  void relocate(NodeId node, Location loc) { maintenance_.relocate(node, loc); }
 
   /// Heuristic 1: re-rank every neighbor set of `node` by current distance
   /// (re-choosing primaries among the R links).
-  void optimize_primaries(NodeId node, Trace* trace = nullptr);
+  void optimize_primaries(NodeId node, Trace* trace = nullptr) {
+    maintenance_.optimize_primaries(node, trace);
+  }
 
   /// Heuristic 4: ask each level-l neighbor for its level-l row and adopt
   /// closer members (the gossip scheme of §6.4 / Pastry / Tapestry [37]).
-  void optimize_gossip(NodeId node, Trace* trace = nullptr);
+  void optimize_gossip(NodeId node, Trace* trace = nullptr) {
+    maintenance_.optimize_gossip(node, trace);
+  }
 
   /// Heuristic 2: rerun the full nearest-neighbor table construction for
   /// an existing node.
-  void rebuild_neighbor_table(NodeId node, Trace* trace = nullptr);
+  void rebuild_neighbor_table(NodeId node, Trace* trace = nullptr) {
+    maintenance_.rebuild_neighbor_table(node, trace);
+  }
 
   // ------------------------------------------------------------------
   // Introspection
   // ------------------------------------------------------------------
 
-  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
-  [[nodiscard]] bool contains(const NodeId& id) const;
-  [[nodiscard]] std::vector<NodeId> node_ids() const;  ///< live nodes
-  [[nodiscard]] TapestryNode& node(const NodeId& id);
-  [[nodiscard]] const TapestryNode& node(const NodeId& id) const;
-  [[nodiscard]] double distance(const NodeId& a, const NodeId& b) const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return registry_.live_count();
+  }
+  [[nodiscard]] bool contains(const NodeId& id) const {
+    return registry_.is_live(id);
+  }
+  [[nodiscard]] std::vector<NodeId> node_ids() const {  ///< live nodes
+    return registry_.node_ids();
+  }
+  [[nodiscard]] TapestryNode& node(const NodeId& id) {
+    return registry_.checked(id);
+  }
+  [[nodiscard]] const TapestryNode& node(const NodeId& id) const {
+    return registry_.checked(id);
+  }
+  [[nodiscard]] double distance(const NodeId& a, const NodeId& b) const {
+    return registry_.distance(a, b);
+  }
   [[nodiscard]] const MetricSpace& space() const noexcept { return space_; }
   [[nodiscard]] const TapestryParams& params() const noexcept {
     return params_;
@@ -208,25 +248,39 @@ class Network {
   [[nodiscard]] EventQueue& events() noexcept { return events_; }
   [[nodiscard]] double now() const noexcept { return events_.now(); }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
-  [[nodiscard]] NodeId random_node_id(Rng& rng) const;
-  [[nodiscard]] NodeId fresh_node_id();  ///< random, unused id
+  [[nodiscard]] NodeId random_node_id(Rng& rng) const {
+    return registry_.random_node_id(rng);
+  }
+  [[nodiscard]] NodeId fresh_node_id() {  ///< random, unused id
+    return registry_.fresh_node_id();
+  }
 
   /// Total routing-table links over live nodes (Table 1 "space").
-  [[nodiscard]] std::size_t total_table_entries() const;
+  [[nodiscard]] std::size_t total_table_entries() const {
+    return registry_.total_table_entries();
+  }
   /// Total object-pointer records over live nodes.
-  [[nodiscard]] std::size_t total_object_pointers() const;
+  [[nodiscard]] std::size_t total_object_pointers() const {
+    return registry_.total_object_pointers();
+  }
 
   // ------------------------------------------------------------------
   // Ground truth / oracle accessors (tests and benches only)
   // ------------------------------------------------------------------
 
   /// Registered replica servers of a (base) guid, live ones only.
-  [[nodiscard]] std::vector<NodeId> servers_of(const Guid& guid) const;
+  [[nodiscard]] std::vector<NodeId> servers_of(const Guid& guid) const {
+    return directory_.servers_of(guid);
+  }
   /// All registered (guid, server) pairs, including dead servers.
-  [[nodiscard]] std::vector<std::pair<Guid, NodeId>> published() const;
+  [[nodiscard]] std::vector<std::pair<Guid, NodeId>> published() const {
+    return directory_.published();
+  }
   /// Distance from client to the nearest live replica (stretch denominator).
   [[nodiscard]] double distance_to_nearest_replica(const NodeId& client,
-                                                   const Guid& guid) const;
+                                                   const Guid& guid) const {
+    return directory_.distance_to_nearest_replica(client, guid);
+  }
 
   /// Oracle membership: registers a node without running the join
   /// protocol.  Pair with rebuild_static_tables() — this is the paper's
@@ -234,7 +288,7 @@ class Network {
   NodeId insert_static(Location loc, std::optional<NodeId> id = std::nullopt);
   /// Rebuilds every live node's table from global knowledge (Property 1+2
   /// by construction).
-  void rebuild_static_tables();
+  void rebuild_static_tables() { maintenance_.rebuild_static_tables(); }
 
   // ------------------------------------------------------------------
   // Invariant checks (throw tap::CheckError on violation)
@@ -248,126 +302,22 @@ class Network {
   [[nodiscard]] double property2_quality() const;
   /// Property 4: every node on each (server -> root) publish path holds
   /// the pointer.  Non-const because walking routes may prune dead links.
-  void check_property4();
+  void check_property4() { directory_.check_property4(); }
   /// Forward links and backpointers mirror each other exactly.
   void check_backpointer_symmetry() const;
 
  private:
-  friend class ParallelJoinCoordinator;  // event-driven insertion (§4.4)
-
-  // --- registry internals ---
-  TapestryNode* find(const NodeId& id);
-  const TapestryNode* find(const NodeId& id) const;
-  TapestryNode& checked(const NodeId& id);          // must exist
-  TapestryNode& live(const NodeId& id);             // must exist and be alive
-  [[nodiscard]] bool is_live(const NodeId& id) const;
-  TapestryNode& register_node(NodeId id, Location loc);
-  double dist_nodes(const TapestryNode& a, const TapestryNode& b) const;
-  void acct(Trace* trace, const TapestryNode& a, const TapestryNode& b,
-            std::size_t msgs = 1) const;
-
-  // --- table maintenance ---
-  /// owner.table slot (level, nbr.digit(level)) considers nbr; keeps
-  /// backpointers coherent on insert and evict.  Returns true if inserted.
-  bool link(TapestryNode& owner, unsigned level, TapestryNode& nbr);
-  /// Removes nbr from owner's slot at `level` (if present).  NodeId is
-  /// taken by value: callers often pass ids that live inside the very
-  /// containers these routines mutate.
-  void unlink(TapestryNode& owner, unsigned level, NodeId nbr);
-  /// Offers `cand` to every slot of `host` it qualifies for (all levels
-  /// l <= common prefix).  The paper's ADDTOTABLEIFCLOSER.
-  bool add_to_table_if_closer(TapestryNode& host, TapestryNode& cand);
-
-  // --- routing internals ---
-  /// Node-ids to route around, e.g. "as if the new node had not yet
-  /// entered the network" during insertion (Figure 10).
-  using ExcludeSet = std::unordered_set<std::uint64_t>;
-  /// Scans row `level` of `at` for the slot serving `desired` under the
-  /// configured routing mode.  Returns the chosen digit or nullopt if the
-  /// whole row is empty (cannot happen while self-entries are intact).
-  [[nodiscard]] std::optional<unsigned> select_slot(
-      const TapestryNode& at, unsigned level, unsigned desired,
-      bool& past_hole, const ExcludeSet* exclude = nullptr) const;
-  /// Live primary of a slot with lazy repair: prunes dead members it
-  /// trips over (§5.2) and, if the slot empties, hunts a replacement.
-  std::optional<NodeId> live_primary_repair(TapestryNode& at, unsigned level,
-                                            unsigned digit, Trace* trace,
-                                            const ExcludeSet* exclude = nullptr);
-  /// Mutating route step with lazy repair.
-  std::optional<NodeId> route_step(TapestryNode& at, const Id& target,
-                                   RouteState& state, Trace* trace,
-                                   const ExcludeSet* exclude = nullptr);
-
-  // --- failure repair (§5.2) ---
-  void purge_dead_neighbor(TapestryNode& at, NodeId dead, Trace* trace);
-  std::optional<NodeId> find_replacement(TapestryNode& at, unsigned level,
-                                         unsigned digit, Trace* trace);
-
-  // --- pointer maintenance (§4.2, Figure 9) ---
-  struct PendingReroute {
-    Guid guid{};
-    PointerRecord record{};
-    std::optional<NodeId> next_hop{};  ///< hop at snapshot time
-  };
-  /// Snapshot the records of `at` whose next hop will change if tables
-  /// change; used around table mutations.
-  [[nodiscard]] std::vector<PendingReroute> snapshot_pointer_hops(
-      const TapestryNode& at) const;
-  /// Re-push the affected records along the new paths (OPTIMIZEOBJECTPTRS).
-  void reroute_changed_pointers(TapestryNode& at,
-                                const std::vector<PendingReroute>& before,
-                                Trace* trace);
-  void optimize_pointer(TapestryNode& from, const Guid& guid,
-                        const PointerRecord& record, Trace* trace);
-  void delete_backward(const NodeId& start, const Guid& guid,
-                       const NodeId& server, const NodeId& changed,
-                       Trace* trace);
-  [[nodiscard]] std::optional<NodeId> pointer_next_hop(
-      const TapestryNode& at, const Guid& guid,
-      const PointerRecord& record) const;
-
-  // --- join internals (§3-§4) ---
-  void copy_preliminary_table(TapestryNode& nn, TapestryNode& surrogate,
-                              unsigned max_level, Trace* trace);
-  void link_and_xfer_root(TapestryNode& host, TapestryNode& nn, Trace* trace);
-  void acquire_neighbor_table(TapestryNode& nn, unsigned max_level,
-                              std::vector<NodeId> initial_list, Trace* trace);
-  std::vector<NodeId> get_next_list(TapestryNode& nn,
-                                    const std::vector<NodeId>& list,
-                                    unsigned level,
-                                    std::unordered_set<std::uint64_t>& contacted,
-                                    Trace* trace);
-  void build_row_from_list(TapestryNode& nn, const std::vector<NodeId>& list,
-                           unsigned level);
-  [[nodiscard]] std::vector<NodeId> trim_closest(const TapestryNode& nn,
-                                                 std::vector<NodeId> list,
-                                                 std::size_t k) const;
-
-  // --- publish/locate internals ---
-  void publish_one(TapestryNode& server, const Guid& salted, Trace* trace);
-  void unpublish_one(TapestryNode& server, const Guid& salted, Trace* trace);
-  /// One query attempt toward one (salted) root name.
-  LocateResult locate_attempt(TapestryNode& client, const Guid& target,
-                              Trace* trace);
-  /// Picks the closest live replica among records; prunes dead-server
-  /// records it trips over.  Returns nullopt when none is live.
-  std::optional<PointerRecord> pick_live_replica(TapestryNode& holder,
-                                                 const Guid& target,
-                                                 const TapestryNode& relative_to);
-
   const MetricSpace& space_;
   TapestryParams params_;
   Rng rng_;
   EventQueue events_;
 
-  std::vector<std::unique_ptr<TapestryNode>> nodes_;
-  std::unordered_map<Id, std::size_t> index_;  // id -> nodes_ index
-  std::size_t live_count_ = 0;
-
-  // Ground-truth replica registry: base guid -> servers.  Drives
-  // republish_all and the test oracles; the routing algorithms never read
-  // it.
-  std::unordered_map<Guid, std::vector<NodeId>> registry_;
+  // Construction order matters: each layer takes references to the ones
+  // above it; the router's repair hook is bound in the constructor body.
+  NodeRegistry registry_;
+  Router router_;
+  ObjectDirectory directory_;
+  MaintenanceEngine maintenance_;
 };
 
 }  // namespace tap

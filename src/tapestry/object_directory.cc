@@ -1,0 +1,481 @@
+// Object publication / location (§2.2), soft state (§6.5), and the
+// object-pointer redistribution of §4.2 (Figure 9).
+//
+// Redistribution: when the routing mesh changes the expected path from some
+// object to its root (a closer primary was adopted, a node vanished, a new
+// node filled a hole), the node whose forward route changed pushes the
+// object pointer up the *new* path.  Where the new path meets the old one —
+// detected by finding an existing record whose last-hop differs — a delete
+// message walks the old path backward via the stored last-hop links,
+// removing the outdated pointers (DELETEPOINTERSBACKWARD).  This keeps
+// Property 4 without republish-from-scratch traffic; plain soft-state
+// republish remains as the backstop (§6.5).
+#include "src/tapestry/object_directory.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tap {
+
+ObjectDirectory::ObjectDirectory(NodeRegistry& registry, Router& router,
+                                 const TapestryParams& params,
+                                 EventQueue& events, Rng& rng)
+    : reg_(registry), router_(router), params_(params), events_(events),
+      rng_(rng) {}
+
+// ---------------------------------------------------------------------
+// Publish / unpublish
+// ---------------------------------------------------------------------
+
+void ObjectDirectory::publish_one(TapestryNode& server, const Guid& salted,
+                                  Trace* trace) {
+  const double expires = events_.now() + params_.pointer_ttl;
+  RouteState state;
+  TapestryNode* cur = &server;
+  std::optional<NodeId> last_hop;  // none at the server itself
+  for (;;) {
+    cur->store().upsert(salted, PointerRecord{server.id(), last_hop,
+                                              state.level, state.past_hole,
+                                              expires});
+    auto next = router_.route_step(*cur, salted, state, trace);
+    if (!next.has_value()) break;  // cur is the root
+    // §2.4 PRR variant: also deposit on the secondaries of the slot being
+    // routed through ("equivalent to publishing on all the secondary
+    // neighbors"); queries under the same flag probe those secondaries.
+    if (params_.prr_secondary_search && state.level >= 1) {
+      const unsigned slot_level = state.level - 1;
+      const unsigned digit = next->digit(slot_level);
+      const auto members = cur->table().at(slot_level, digit).entries();
+      for (const auto& member : members) {
+        if (member.id == *next || member.id == cur->id()) continue;
+        TapestryNode* m = reg_.find(member.id);
+        if (m == nullptr || !m->alive) continue;
+        reg_.acct(trace, *cur, *m, 1);
+        m->store().upsert(salted,
+                          PointerRecord{server.id(), cur->id(), state.level,
+                                        state.past_hole, expires});
+      }
+    }
+    TapestryNode& nxt = reg_.live(*next);
+    reg_.acct(trace, *cur, nxt);
+    last_hop = cur->id();
+    cur = &nxt;
+  }
+}
+
+void ObjectDirectory::publish(NodeId server, const Guid& guid, Trace* trace) {
+  TapestryNode& s = reg_.live(server);
+  TAP_CHECK(guid.valid() && guid.spec() == params_.id,
+            "guid does not match the network's IdSpec");
+  for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
+    publish_one(s, salted_guid(guid, salt), trace);
+  auto& servers = replicas_[guid];
+  if (std::find(servers.begin(), servers.end(), server) == servers.end())
+    servers.push_back(server);
+}
+
+void ObjectDirectory::unpublish_one(TapestryNode& server, const Guid& salted,
+                                    Trace* trace) {
+  RouteState state;
+  TapestryNode* cur = &server;
+  for (;;) {
+    cur->store().remove(salted, server.id());
+    auto next = router_.route_step(*cur, salted, state, trace);
+    if (!next.has_value()) break;
+    if (params_.prr_secondary_search && state.level >= 1) {
+      // Withdraw the secondary-deposited copies symmetrically.
+      const unsigned slot_level = state.level - 1;
+      const unsigned digit = next->digit(slot_level);
+      const auto members = cur->table().at(slot_level, digit).entries();
+      for (const auto& member : members) {
+        if (member.id == *next || member.id == cur->id()) continue;
+        if (TapestryNode* m = reg_.find(member.id); m != nullptr) {
+          reg_.acct(trace, *cur, *m, 1);
+          m->store().remove(salted, server.id());
+        }
+      }
+    }
+    TapestryNode& nxt = reg_.live(*next);
+    reg_.acct(trace, *cur, nxt);
+    cur = &nxt;
+  }
+}
+
+void ObjectDirectory::unpublish(NodeId server, const Guid& guid,
+                                Trace* trace) {
+  TapestryNode& s = reg_.checked(server);
+  for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
+    unpublish_one(s, salted_guid(guid, salt), trace);
+  auto it = replicas_.find(guid);
+  if (it != replicas_.end()) {
+    auto& servers = it->second;
+    servers.erase(std::remove(servers.begin(), servers.end(), server),
+                  servers.end());
+    if (servers.empty()) replicas_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Locate
+// ---------------------------------------------------------------------
+
+std::optional<PointerRecord> ObjectDirectory::pick_live_replica(
+    TapestryNode& holder, const Guid& target,
+    const TapestryNode& relative_to) {
+  auto records = holder.store().find_live(target, events_.now());
+  // Prefer the replica closest to the reference node (§2.2); prune
+  // pointers to dead servers as we discover them (lazy soft-state decay).
+  std::sort(records.begin(), records.end(),
+            [&](const PointerRecord& a, const PointerRecord& b) {
+              const double da = reg_.distance(relative_to.id(), a.server);
+              const double db = reg_.distance(relative_to.id(), b.server);
+              if (da != db) return da < db;
+              return a.server < b.server;
+            });
+  for (const auto& rec : records) {
+    if (reg_.is_live(rec.server)) return rec;
+    holder.store().remove(target, rec.server);
+  }
+  return std::nullopt;
+}
+
+LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
+                                             const Guid& target,
+                                             Trace* trace) {
+  LocateResult res;
+  Trace local(false);
+  Trace* t = trace != nullptr ? trace : &local;
+  const std::size_t msgs0 = t->messages();
+  const double lat0 = t->latency();
+
+  auto resolve = [&](TapestryNode& holder, const PointerRecord& rec) {
+    res.found = true;
+    res.pointer_node = holder.id();
+    res.server = rec.server;
+    // Forward the query along neighbor links to the replica.
+    if (!(rec.server == holder.id())) {
+      RouteResult leg = router_.route_to_root(holder.id(), rec.server, t);
+      TAP_ASSERT_MSG(leg.root == rec.server,
+                     "exact-id routing must terminate at the server");
+    }
+    res.hops = t->messages() - msgs0;
+    res.latency = t->latency() - lat0;
+  };
+
+  TapestryNode* cur = &client;
+  RouteState state;
+  std::unordered_set<std::uint64_t> visited;  // loop guard (§4.3)
+  Router::ExcludeSet excluded;  // inserting nodes we bounced off (Figure 10)
+  for (;;) {
+    // Check the current node for a pointer before routing further.
+    if (auto rec = pick_live_replica(*cur, target, *cur); rec.has_value()) {
+      resolve(*cur, *rec);
+      return res;
+    }
+
+    if (!visited.insert(cur->id().value()).second) break;  // loop -> miss
+
+    const unsigned level_before = state.level;
+    auto next = router_.route_step(*cur, target, state, t,
+                                   excluded.empty() ? nullptr : &excluded);
+    if (next.has_value()) {
+      // §2.4 PRR variant: before taking the hop, probe the *secondary*
+      // members of the slot being routed through for pointers (the
+      // primary is about to be visited anyway).
+      if (params_.prr_secondary_search) {
+        TAP_ASSERT(state.level >= 1);
+        const unsigned slot_level =
+            state.level - 1 >= level_before ? state.level - 1 : level_before;
+        const unsigned digit = next->digit(slot_level);
+        // Copy: probing may prune dead members.
+        const auto members = cur->table().at(slot_level, digit).entries();
+        for (const auto& member : members) {
+          if (member.id == *next || member.id == cur->id()) continue;
+          TapestryNode* m = reg_.find(member.id);
+          if (m == nullptr || !m->alive) continue;
+          reg_.acct(t, *cur, *m, 2);  // probe round trip
+          if (auto rec = pick_live_replica(*m, target, *cur);
+              rec.has_value()) {
+            resolve(*m, *rec);
+            return res;
+          }
+        }
+      }
+      TapestryNode& nxt = reg_.live(*next);
+      reg_.acct(t, *cur, nxt);
+      cur = &nxt;
+      continue;
+    }
+
+    // cur is the root and has no pointer.  If cur is still inserting, the
+    // pointer may not have been transferred yet: send the request back out
+    // at the hole level to the surrogate, which routes it as if the new
+    // node had not yet entered the network (Figure 10).
+    if (cur->inserting && cur->psurrogate.has_value() &&
+        reg_.is_live(*cur->psurrogate)) {
+      excluded.insert(cur->id().value());
+      TapestryNode& sur = reg_.live(*cur->psurrogate);
+      reg_.acct(t, *cur, sur);
+      // Resume at the level of the hole the inserting node fills.  The
+      // re-route may legally revisit earlier nodes; termination is
+      // guaranteed because each bounce permanently excludes one more
+      // inserting node.
+      state.level = cur->id().common_prefix_len(sur.id());
+      visited.clear();
+      cur = &sur;
+      continue;
+    }
+    break;  // definitive miss
+  }
+
+  res.hops = t->messages() - msgs0;
+  res.latency = t->latency() - lat0;
+  return res;
+}
+
+LocateResult ObjectDirectory::locate(NodeId client, const Guid& guid,
+                                     Trace* trace) {
+  TapestryNode& c = reg_.live(client);
+  TAP_CHECK(guid.valid() && guid.spec() == params_.id,
+            "guid does not match the network's IdSpec");
+  // "At the beginning of the query, we select a root randomly from R_psi."
+  const unsigned first = params_.root_multiplicity == 1
+                             ? 0
+                             : static_cast<unsigned>(
+                                   rng_.next_u64(params_.root_multiplicity));
+  // Observation 1: when enabled, a miss retries the remaining independent
+  // root names, accumulating cost; the first hit wins.
+  const unsigned attempts =
+      params_.retry_all_roots ? params_.root_multiplicity : 1;
+  Trace local(false);
+  Trace* t = trace != nullptr ? trace : &local;
+  LocateResult res;
+  double spent_latency = 0.0;
+  std::size_t spent_hops = 0;
+  for (unsigned a = 0; a < attempts; ++a) {
+    const unsigned salt = (first + a) % params_.root_multiplicity;
+    res = locate_attempt(c, salted_guid(guid, salt), t);
+    if (res.found) {
+      res.hops += spent_hops;
+      res.latency += spent_latency;
+      return res;
+    }
+    spent_hops += res.hops;
+    spent_latency += res.latency;
+  }
+  res.hops = spent_hops;
+  res.latency = spent_latency;
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// Soft state (§6.5)
+// ---------------------------------------------------------------------
+
+void ObjectDirectory::republish_server(NodeId server, Trace* trace) {
+  if (!reg_.is_live(server)) return;
+  for (const auto& [guid, servers] : replicas_) {
+    if (std::find(servers.begin(), servers.end(), server) != servers.end()) {
+      TapestryNode& s = reg_.live(server);
+      for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
+        publish_one(s, salted_guid(guid, salt), trace);
+    }
+  }
+}
+
+void ObjectDirectory::republish_all(Trace* trace) {
+  for (const auto& [guid, servers] : replicas_) {
+    for (const NodeId& server : servers) {
+      if (!reg_.is_live(server)) continue;
+      TapestryNode& s = reg_.live(server);
+      for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
+        publish_one(s, salted_guid(guid, salt), trace);
+    }
+  }
+}
+
+void ObjectDirectory::expire_pointers() {
+  const double now = events_.now();
+  for (const auto& n : reg_.nodes())
+    if (n->alive) n->store().remove_expired(now);
+}
+
+// ---------------------------------------------------------------------
+// Pointer maintenance (§4.2, Figure 9)
+// ---------------------------------------------------------------------
+
+std::optional<NodeId> ObjectDirectory::pointer_next_hop(
+    const TapestryNode& at, const Guid& guid,
+    const PointerRecord& record) const {
+  // Raw table walk: selection ignores liveness, exactly as the node itself
+  // would route before discovering a corpse.  Deterministic in the table
+  // contents, which is what "did the path change" must compare.
+  RouteState state{record.level, record.past_hole};
+  const unsigned digits = params_.id.num_digits;
+  while (state.level < digits) {
+    auto j = router_.select_slot(at, state.level, guid.digit(state.level),
+                                 state.past_hole);
+    TAP_ASSERT_MSG(j.has_value(), "routing row with no filled slot");
+    const auto prim = at.table().at(state.level, *j).primary();
+    TAP_ASSERT(prim.has_value());
+    ++state.level;
+    if (!(*prim == at.id())) return prim;
+  }
+  return std::nullopt;
+}
+
+std::vector<ObjectDirectory::PendingReroute>
+ObjectDirectory::snapshot_pointer_hops(const TapestryNode& at) const {
+  std::vector<PendingReroute> out;
+  for (const auto& [guid, rec] : at.store().snapshot())
+    out.push_back(PendingReroute{guid, rec, pointer_next_hop(at, guid, rec)});
+  return out;
+}
+
+void ObjectDirectory::reroute_changed_pointers(
+    TapestryNode& at, const std::vector<PendingReroute>& before,
+    Trace* trace) {
+  for (const auto& p : before) {
+    // The record may have been refreshed or dropped meanwhile; re-read.
+    const PointerRecord* current = at.store().find(p.guid, p.record.server);
+    if (current == nullptr) continue;
+    const auto now_hop = pointer_next_hop(at, p.guid, *current);
+    if (now_hop == p.next_hop) continue;
+    optimize_pointer(at, p.guid, *current, trace);
+  }
+}
+
+void ObjectDirectory::optimize_pointer(TapestryNode& from, const Guid& guid,
+                                       const PointerRecord& record,
+                                       Trace* trace) {
+  const NodeId changed = from.id();
+  RouteState state{record.level, record.past_hole};
+  TapestryNode* prev = &from;
+  auto step = router_.route_step(from, guid, state, trace);
+  while (step.has_value()) {
+    TapestryNode& v = reg_.live(*step);
+    reg_.acct(trace, *prev, v);
+    const PointerRecord* existing = v.store().find(guid, record.server);
+    const std::optional<NodeId> old_sender =
+        existing != nullptr ? existing->last_hop : std::nullopt;
+    v.store().upsert(guid,
+                     PointerRecord{record.server, prev->id(), state.level,
+                                   state.past_hole, record.expires_at});
+    if (existing != nullptr && old_sender.has_value() &&
+        !(*old_sender == prev->id())) {
+      // Converged onto the old path: above here nothing changed.  Prune the
+      // outdated branch backward along last-hop links.
+      if (!(*old_sender == changed))
+        delete_backward(*old_sender, guid, record.server, changed, trace);
+      return;
+    }
+    prev = &v;
+    step = router_.route_step(v, guid, state, trace);
+  }
+}
+
+void ObjectDirectory::delete_backward(const NodeId& start, const Guid& guid,
+                                      const NodeId& server,
+                                      const NodeId& changed, Trace* trace) {
+  // Two passes.  The paper's delete message walks the *changed node's* old
+  // branch backward via last-hop links; but a record's last hop may belong
+  // to a different deposit (the server's own publish path), in which case
+  // walking blindly would destroy live pointers — including, ultimately,
+  // the server's own record.  So first confirm that the chain actually
+  // leads back to the changed node; only then delete it.  Unconfirmed
+  // chains are left to soft-state expiry (§6.5) — under-deletion is safe,
+  // over-deletion breaks Property 4.
+  std::vector<NodeId> chain;
+  bool confirmed = false;
+  NodeId cur = start;
+  for (unsigned i = 0; i <= params_.id.num_digits + 1; ++i) {
+    if (cur == changed) {
+      confirmed = true;
+      break;
+    }
+    TapestryNode* w = reg_.find(cur);
+    if (w == nullptr) break;
+    const PointerRecord* rec = w->store().find(guid, server);
+    if (rec == nullptr) break;
+    if (!rec->last_hop.has_value()) break;  // reached the server's record
+    chain.push_back(cur);
+    cur = *rec->last_hop;
+  }
+  if (!confirmed) return;
+  const TapestryNode* prev = nullptr;
+  for (const NodeId& id : chain) {
+    TapestryNode* w = reg_.find(id);
+    TAP_ASSERT(w != nullptr);
+    w->store().remove(guid, server);
+    if (prev != nullptr) reg_.acct(trace, *prev, *w);
+    prev = w;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Ground truth / oracle accessors
+// ---------------------------------------------------------------------
+
+std::vector<NodeId> ObjectDirectory::servers_of(const Guid& guid) const {
+  std::vector<NodeId> out;
+  auto it = replicas_.find(guid);
+  if (it == replicas_.end()) return out;
+  for (const NodeId& s : it->second)
+    if (reg_.is_live(s)) out.push_back(s);
+  return out;
+}
+
+std::vector<std::pair<Guid, NodeId>> ObjectDirectory::published() const {
+  std::vector<std::pair<Guid, NodeId>> out;
+  for (const auto& [guid, servers] : replicas_)
+    for (const NodeId& s : servers) out.emplace_back(guid, s);
+  return out;
+}
+
+std::vector<Guid> ObjectDirectory::guids_served_by(
+    const NodeId& server) const {
+  std::vector<Guid> out;
+  for (const auto& [guid, servers] : replicas_)
+    if (std::find(servers.begin(), servers.end(), server) != servers.end())
+      out.push_back(guid);
+  return out;
+}
+
+double ObjectDirectory::distance_to_nearest_replica(const NodeId& client,
+                                                    const Guid& guid) const {
+  double best = std::numeric_limits<double>::infinity();
+  auto it = replicas_.find(guid);
+  if (it == replicas_.end()) return best;
+  for (const NodeId& s : it->second)
+    if (reg_.is_live(s)) best = std::min(best, reg_.distance(client, s));
+  return best;
+}
+
+void ObjectDirectory::check_property4() {
+  const double now = events_.now();
+  for (const auto& [guid, servers] : replicas_) {
+    for (const NodeId& server : servers) {
+      if (!reg_.is_live(server)) continue;
+      for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt) {
+        const Guid target = salted_guid(guid, salt);
+        RouteState state;
+        TapestryNode* cur = &reg_.live(server);
+        for (;;) {
+          const auto recs = cur->store().find_live(target, now);
+          bool has = false;
+          for (const auto& r : recs)
+            if (r.server == server) has = true;
+          TAP_CHECK(has, "Property 4 violated: node " + cur->id().to_string() +
+                             " on the publish path of " + target.to_string() +
+                             " (server " + server.to_string() +
+                             ") lacks the pointer");
+          auto next = router_.route_step(*cur, target, state, nullptr);
+          if (!next.has_value()) break;
+          cur = &reg_.live(*next);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tap

@@ -1,0 +1,103 @@
+// ObjectDirectory: object publication, location and pointer maintenance.
+//
+// Covers the paper's object layer: publish / locate / unpublish (§2.2),
+// object-pointer redistribution when the routing mesh changes (§4.2,
+// Figure 9), and soft-state republish/expiry (§6.5).  It also owns the
+// ground-truth replica registry (base guid -> servers) that drives
+// republish_all and the test oracles; the routing algorithms never read it.
+//
+// The directory routes through the Router (so publishes and queries pay
+// real routing costs and trigger the same lazy repair) and stores pointers
+// in the per-node ObjectStores held by the registry.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/tapestry/registry.h"
+#include "src/tapestry/router.h"
+
+namespace tap {
+
+class ObjectDirectory {
+ public:
+  /// A pointer record paired with its next hop at snapshot time; used to
+  /// detect path changes around table mutations (§4.2).
+  struct PendingReroute {
+    Guid guid{};
+    PointerRecord record{};
+    std::optional<NodeId> next_hop{};  ///< hop at snapshot time
+  };
+
+  ObjectDirectory(NodeRegistry& registry, Router& router,
+                  const TapestryParams& params, EventQueue& events, Rng& rng);
+
+  // --- publication and location (§2.2) ---
+  void publish(NodeId server, const Guid& guid, Trace* trace = nullptr);
+  void unpublish(NodeId server, const Guid& guid, Trace* trace = nullptr);
+  LocateResult locate(NodeId client, const Guid& guid, Trace* trace = nullptr);
+
+  // --- soft state (§6.5) ---
+  void republish_all(Trace* trace = nullptr);
+  void republish_server(NodeId server, Trace* trace = nullptr);
+  void expire_pointers();
+
+  // --- pointer maintenance (§4.2, Figure 9) ---
+  /// Snapshot the records of `at` whose next hop will change if tables
+  /// change; used around table mutations.
+  [[nodiscard]] std::vector<PendingReroute> snapshot_pointer_hops(
+      const TapestryNode& at) const;
+  /// Re-push the affected records along the new paths (OPTIMIZEOBJECTPTRS).
+  void reroute_changed_pointers(TapestryNode& at,
+                                const std::vector<PendingReroute>& before,
+                                Trace* trace);
+  void optimize_pointer(TapestryNode& from, const Guid& guid,
+                        const PointerRecord& record, Trace* trace);
+  void delete_backward(const NodeId& start, const Guid& guid,
+                       const NodeId& server, const NodeId& changed,
+                       Trace* trace);
+  [[nodiscard]] std::optional<NodeId> pointer_next_hop(
+      const TapestryNode& at, const Guid& guid,
+      const PointerRecord& record) const;
+
+  // --- ground truth / oracle accessors (tests and benches only) ---
+  /// Registered replica servers of a (base) guid, live ones only.
+  [[nodiscard]] std::vector<NodeId> servers_of(const Guid& guid) const;
+  /// All registered (guid, server) pairs, including dead servers.
+  [[nodiscard]] std::vector<std::pair<Guid, NodeId>> published() const;
+  /// Base guids whose replica registry lists `server` (dead or alive).
+  [[nodiscard]] std::vector<Guid> guids_served_by(const NodeId& server) const;
+  /// Distance from client to the nearest live replica (stretch denominator).
+  [[nodiscard]] double distance_to_nearest_replica(const NodeId& client,
+                                                   const Guid& guid) const;
+
+  /// Property 4: every node on each (server -> root) publish path holds
+  /// the pointer.  Non-const because walking routes may prune dead links.
+  void check_property4();
+
+ private:
+  void publish_one(TapestryNode& server, const Guid& salted, Trace* trace);
+  void unpublish_one(TapestryNode& server, const Guid& salted, Trace* trace);
+  /// One query attempt toward one (salted) root name.
+  LocateResult locate_attempt(TapestryNode& client, const Guid& target,
+                              Trace* trace);
+  /// Picks the closest live replica among records; prunes dead-server
+  /// records it trips over.  Returns nullopt when none is live.
+  std::optional<PointerRecord> pick_live_replica(
+      TapestryNode& holder, const Guid& target,
+      const TapestryNode& relative_to);
+
+  NodeRegistry& reg_;
+  Router& router_;
+  const TapestryParams& params_;
+  EventQueue& events_;
+  Rng& rng_;
+
+  // Ground-truth replica registry: base guid -> servers.
+  std::unordered_map<Guid, std::vector<NodeId>> replicas_;
+};
+
+}  // namespace tap

@@ -62,10 +62,10 @@ void ParallelJoinCoordinator::start_join(std::size_t index,
     sur = *ps;
   }
 
-  TapestryNode& nn = net_.register_node(nid, req.loc);
+  TapestryNode& nn = net_.registry().register_node(nid, req.loc);
   nn.inserting = true;
   nn.psurrogate = sur;
-  TapestryNode& surrogate = net_.live(sur);
+  TapestryNode& surrogate = net_.registry().live(sur);
   const unsigned alpha = nid.common_prefix_len(sur);
 
   s.nn = nid;
@@ -80,7 +80,7 @@ void ParallelJoinCoordinator::start_join(std::size_t index,
   out.start_time = net_.events().now();
 
   // 2. Preliminary table copy from the surrogate.
-  net_.copy_preliminary_table(nn, surrogate, alpha, &s.trace);
+  net_.maintenance().copy_preliminary_table(nn, surrogate, alpha, &s.trace);
 
   // 3. Watch list: every slot the new node still knows no one for.
   WatchList watch;
@@ -115,7 +115,7 @@ void ParallelJoinCoordinator::check_watch_list(std::size_t session_idx,
                                                TapestryNode& at,
                                                WatchList& watch) {
   Session& s = sessions_[session_idx];
-  TapestryNode& nn = net_.live(s.nn);
+  TapestryNode& nn = net_.registry().live(s.nn);
   const unsigned gcp = at.id().common_prefix_len(nn.id());
   for (unsigned l = 0; l < watch.missing.size() && l <= gcp; ++l) {
     if (watch.missing[l] == 0) continue;
@@ -125,12 +125,12 @@ void ParallelJoinCoordinator::check_watch_list(std::size_t session_idx,
       // entries share prefix nn[0..l)·j because l <= gcp.
       for (const auto& e : at.table().at(l, j).entries()) {
         if (e.id == nn.id()) continue;
-        TapestryNode* filler = net_.find(e.id);
+        TapestryNode* filler = net_.registry().find(e.id);
         if (filler == nullptr || !filler->alive) continue;
         // Report the filler to the inserting node (one message) and mark
         // the watch slot found before forwarding onward.
         s.trace.hop(net_.distance(at.id(), nn.id()));
-        net_.link(nn, l, *filler);
+        net_.maintenance().link(nn, l, *filler);
         watch.missing[l] &= ~(std::uint32_t{1} << j);
         break;
       }
@@ -154,26 +154,26 @@ void ParallelJoinCoordinator::handle_multicast(std::size_t session_idx,
     return;
   }
 
-  TapestryNode& nn = net_.live(s.nn);
+  TapestryNode& nn = net_.registry().live(s.nn);
 
   // Watch list service (Figure 11 line 1).  Fillers reported to the
   // inserter change its table, so its pointer paths are re-checked.
-  const auto nn_before = net_.snapshot_pointer_hops(nn);
+  const auto nn_before = net_.directory().snapshot_pointer_hops(nn);
   check_watch_list(session_idx, at, watch);
-  net_.reroute_changed_pointers(nn, nn_before, &s.trace);
+  net_.directory().reroute_changed_pointers(nn, nn_before, &s.trace);
 
   // Pin the inserting node into the slot it fills (§4.4) and adopt it
   // wherever it improves this node's table; both change this node's
   // forward routes, so pointer paths are snapshotted around the pair.
-  const auto at_before = net_.snapshot_pointer_hops(at);
+  const auto at_before = net_.directory().snapshot_pointer_hops(at);
   if (s.pinned_at.insert(at_id.value()).second) {
     at.table()
         .at(s.alpha, s.hole_digit)
         .pin(nn.id(), net_.distance(at_id, nn.id()));
     nn.table().add_backpointer(s.alpha, at_id);
   }
-  net_.add_to_table_if_closer(at, nn);
-  net_.reroute_changed_pointers(at, at_before, &s.trace);
+  net_.maintenance().add_to_table_if_closer(at, nn);
+  net_.directory().reroute_changed_pointers(at, at_before, &s.trace);
 
   const unsigned digits = net_.params().id.num_digits;
   const unsigned radix = net_.params().id.radix();
@@ -198,7 +198,7 @@ void ParallelJoinCoordinator::handle_multicast(std::size_t session_idx,
           unpinned_taken = true;  // the self-message continues below
           continue;
         }
-        TapestryNode* m = net_.find(e.id);
+        TapestryNode* m = net_.registry().find(e.id);
         if (m == nullptr || !m->alive) continue;
         row_has_other = true;
         if (e.pinned) {
@@ -222,7 +222,7 @@ void ParallelJoinCoordinator::handle_multicast(std::size_t session_idx,
   for (const auto& e : at.table().at(s.alpha, s.hole_digit).entries()) {
     if (e.id == s.nn || e.id == at_id) continue;
     if (s.processed.count(e.id.value()) != 0) continue;
-    TapestryNode* m = net_.find(e.id);
+    TapestryNode* m = net_.registry().find(e.id);
     if (m == nullptr || !m->alive) continue;
     children.push_back({e.id, s.alpha + 1});
   }
@@ -273,7 +273,7 @@ void ParallelJoinCoordinator::release_pin(std::size_t session_idx,
   std::vector<NodeId> evicted;
   net_.node(at).table().at(s.alpha, s.hole_digit).unpin(s.nn, evicted);
   for (const NodeId& ev : evicted)
-    if (TapestryNode* n = net_.find(ev); n != nullptr)
+    if (TapestryNode* n = net_.registry().find(ev); n != nullptr)
       n->table().remove_backpointer(s.alpha, at);
 }
 
@@ -294,10 +294,10 @@ void ParallelJoinCoordinator::finish_multicast(std::size_t session_idx) {
   // with the synchronous nearest-neighbor descent (one logical batch of
   // RPCs at this instant).  The descent rewrites the new node's table, so
   // any pointers already transferred to it are re-checked afterwards.
-  TapestryNode& nn = net_.live(s.nn);
-  const auto before = net_.snapshot_pointer_hops(nn);
-  net_.acquire_neighbor_table(nn, s.alpha, s.visited, &s.trace);
-  net_.reroute_changed_pointers(nn, before, &s.trace);
+  TapestryNode& nn = net_.registry().live(s.nn);
+  const auto before = net_.directory().snapshot_pointer_hops(nn);
+  net_.maintenance().acquire_neighbor_table(nn, s.alpha, s.visited, &s.trace);
+  net_.directory().reroute_changed_pointers(nn, before, &s.trace);
   nn.inserting = false;
   nn.psurrogate.reset();
   outcomes_[session_idx].done_time = net_.events().now();

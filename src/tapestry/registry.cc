@@ -1,0 +1,108 @@
+#include "src/tapestry/registry.h"
+
+namespace tap {
+
+NodeRegistry::NodeRegistry(const MetricSpace& space,
+                           const TapestryParams& params, Rng& rng)
+    : space_(space), params_(params), rng_(rng) {}
+
+TapestryNode* NodeRegistry::find(const NodeId& id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : nodes_[it->second].get();
+}
+
+const TapestryNode* NodeRegistry::find(const NodeId& id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : nodes_[it->second].get();
+}
+
+TapestryNode& NodeRegistry::checked(const NodeId& id) {
+  TapestryNode* n = find(id);
+  TAP_CHECK(n != nullptr, "unknown node " + id.to_string());
+  return *n;
+}
+
+const TapestryNode& NodeRegistry::checked(const NodeId& id) const {
+  const TapestryNode* n = find(id);
+  TAP_CHECK(n != nullptr, "unknown node " + id.to_string());
+  return *n;
+}
+
+TapestryNode& NodeRegistry::live(const NodeId& id) {
+  TapestryNode& n = checked(id);
+  TAP_CHECK(n.alive, "node " + id.to_string() + " is not alive");
+  return n;
+}
+
+bool NodeRegistry::is_live(const NodeId& id) const {
+  const TapestryNode* n = find(id);
+  return n != nullptr && n->alive;
+}
+
+TapestryNode& NodeRegistry::register_node(NodeId id, Location loc) {
+  TAP_CHECK(id.valid() && id.spec() == params_.id,
+            "node id does not match the network's IdSpec");
+  TAP_CHECK(find(id) == nullptr, "duplicate node id " + id.to_string());
+  TAP_CHECK(loc < space_.size(), "location outside the metric space");
+  nodes_.push_back(std::make_unique<TapestryNode>(id, loc, params_));
+  index_.emplace(id, nodes_.size() - 1);
+  ++live_count_;
+  return *nodes_.back();
+}
+
+void NodeRegistry::mark_dead(TapestryNode& node) {
+  TAP_CHECK(node.alive, "node " + node.id().to_string() + " is already dead");
+  node.alive = false;
+  --live_count_;
+}
+
+std::vector<NodeId> NodeRegistry::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(live_count_);
+  for (const auto& n : nodes_)
+    if (n->alive) ids.push_back(n->id());
+  return ids;
+}
+
+double NodeRegistry::distance(const NodeId& a, const NodeId& b) const {
+  return space_.distance(checked(a).location(), checked(b).location());
+}
+
+double NodeRegistry::dist(const TapestryNode& a, const TapestryNode& b) const {
+  return space_.distance(a.location(), b.location());
+}
+
+void NodeRegistry::acct(Trace* trace, const TapestryNode& a,
+                        const TapestryNode& b, std::size_t msgs) const {
+  if (trace == nullptr) return;
+  const double d = dist(a, b);
+  for (std::size_t i = 0; i < msgs; ++i) trace->hop(d);
+}
+
+NodeId NodeRegistry::random_node_id(Rng& rng) const {
+  return Id::random(params_.id, rng);
+}
+
+NodeId NodeRegistry::fresh_node_id() {
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    NodeId id = Id::random(params_.id, rng_);
+    if (find(id) == nullptr) return id;
+  }
+  TAP_CHECK(false, "identifier namespace exhausted");
+}
+
+std::size_t NodeRegistry::total_table_entries() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (node->alive) n += node->table().total_entries();
+  return n;
+}
+
+std::size_t NodeRegistry::total_object_pointers() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (node->alive) n += node->store().size();
+  return n;
+}
+
+}  // namespace tap

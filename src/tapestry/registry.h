@@ -1,0 +1,91 @@
+// NodeRegistry: node storage and identity for the overlay simulator.
+//
+// Owns every TapestryNode ever registered (dead nodes stay allocated as
+// tombstones so lazy repair can discover them), the id -> node index, the
+// live count, and the metric-space distance/cost-accounting helpers every
+// other subsystem routes through.  The registry knows nothing about the
+// distributed algorithms — it is the "hardware" the Router, ObjectDirectory
+// and MaintenanceEngine run on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/metric/metric_space.h"
+#include "src/sim/trace.h"
+#include "src/tapestry/node.h"
+#include "src/tapestry/params.h"
+
+namespace tap {
+
+class NodeRegistry {
+ public:
+  /// `params` and `rng` must outlive the registry (both live on Network).
+  NodeRegistry(const MetricSpace& space, const TapestryParams& params,
+               Rng& rng);
+
+  NodeRegistry(const NodeRegistry&) = delete;
+  NodeRegistry& operator=(const NodeRegistry&) = delete;
+
+  // --- lookup ---
+  [[nodiscard]] TapestryNode* find(const NodeId& id);
+  [[nodiscard]] const TapestryNode* find(const NodeId& id) const;
+  /// Node that must exist (alive or tombstone); throws CheckError otherwise.
+  [[nodiscard]] TapestryNode& checked(const NodeId& id);
+  [[nodiscard]] const TapestryNode& checked(const NodeId& id) const;
+  /// Node that must exist and be alive; throws CheckError otherwise.
+  [[nodiscard]] TapestryNode& live(const NodeId& id);
+  [[nodiscard]] bool is_live(const NodeId& id) const;
+
+  // --- membership bookkeeping ---
+  TapestryNode& register_node(NodeId id, Location loc);
+  /// Marks an alive node dead (tombstone); the caller owns protocol duties.
+  void mark_dead(TapestryNode& node);
+
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_count_; }
+  [[nodiscard]] std::vector<NodeId> node_ids() const;  ///< live nodes
+
+  /// Every node ever registered, tombstones included, in insertion order.
+  /// The container is registry-owned; callers may mutate the *nodes* (the
+  /// simulator's algorithms do) but never the vector itself.
+  [[nodiscard]] const std::vector<std::unique_ptr<TapestryNode>>& nodes()
+      const noexcept {
+    return nodes_;
+  }
+
+  // --- distances and cost accounting ---
+  [[nodiscard]] double distance(const NodeId& a, const NodeId& b) const;
+  [[nodiscard]] double dist(const TapestryNode& a,
+                            const TapestryNode& b) const;
+  /// Books `msgs` messages of distance dist(a, b) against `trace` (no-op on
+  /// nullptr) — the single choke point for inter-node cost accounting.
+  void acct(Trace* trace, const TapestryNode& a, const TapestryNode& b,
+            std::size_t msgs = 1) const;
+
+  // --- identifiers ---
+  [[nodiscard]] NodeId random_node_id(Rng& rng) const;
+  [[nodiscard]] NodeId fresh_node_id();  ///< random, unused id
+
+  // --- aggregate accounting (Table 1 "space") ---
+  [[nodiscard]] std::size_t total_table_entries() const;
+  [[nodiscard]] std::size_t total_object_pointers() const;
+
+  [[nodiscard]] const MetricSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const TapestryParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  const MetricSpace& space_;
+  const TapestryParams& params_;
+  Rng& rng_;
+
+  std::vector<std::unique_ptr<TapestryNode>> nodes_;
+  std::unordered_map<Id, std::size_t> index_;  // id -> nodes_ index
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace tap

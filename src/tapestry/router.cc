@@ -15,7 +15,7 @@
 // the only node left at and above the current level, every remaining
 // selection is a self-advance and the walk ends with the node as root.
 // Theorem 2 (root uniqueness) is exercised by tests/test_routing.cc.
-#include "src/tapestry/network.h"
+#include "src/tapestry/router.h"
 
 namespace tap {
 
@@ -34,10 +34,13 @@ unsigned leading_bit_match(unsigned a, unsigned b, unsigned bits) {
 
 }  // namespace
 
-std::optional<unsigned> Network::select_slot(const TapestryNode& at,
-                                             unsigned level, unsigned desired,
-                                             bool& past_hole,
-                                             const ExcludeSet* exclude) const {
+Router::Router(NodeRegistry& registry, const TapestryParams& params)
+    : reg_(registry), params_(params) {}
+
+std::optional<unsigned> Router::select_slot(const TapestryNode& at,
+                                            unsigned level, unsigned desired,
+                                            bool& past_hole,
+                                            const ExcludeSet* exclude) const {
   const unsigned radix = params_.id.radix();
   auto filled = [&](unsigned j) {
     const auto& entries = at.table().at(level, j).entries();
@@ -67,7 +70,8 @@ std::optional<unsigned> Network::select_slot(const TapestryNode& at,
     unsigned best_score = 0;
     for (unsigned j = 0; j < radix; ++j) {
       if (!filled(j)) continue;
-      const unsigned score = leading_bit_match(j, desired, params_.id.digit_bits);
+      const unsigned score =
+          leading_bit_match(j, desired, params_.id.digit_bits);
       if (!best.has_value() || score > best_score ||
           (score == best_score && j > *best)) {
         best = j;
@@ -82,9 +86,35 @@ std::optional<unsigned> Network::select_slot(const TapestryNode& at,
   return std::nullopt;
 }
 
-std::optional<NodeId> Network::route_step(TapestryNode& at, const Id& target,
-                                          RouteState& state, Trace* trace,
-                                          const ExcludeSet* exclude) {
+std::optional<NodeId> Router::live_primary_repair(TapestryNode& at,
+                                                  unsigned level,
+                                                  unsigned digit, Trace* trace,
+                                                  const ExcludeSet* exclude) {
+  for (;;) {
+    // The primary for this step is the closest member not being routed
+    // around (Figure 10's "as if the new node had not yet entered").
+    std::optional<NodeId> prim;
+    for (const auto& e : at.table().at(level, digit).entries()) {
+      if (exclude != nullptr && exclude->count(e.id.value()) != 0) continue;
+      prim = e.id;
+      break;
+    }
+    if (!prim.has_value()) return std::nullopt;
+    if (*prim == at.id()) return prim;
+    TapestryNode* p = reg_.find(*prim);
+    TAP_ASSERT(p != nullptr);
+    if (p->alive) return prim;
+    // Dead primary: the probe that discovered it cost one (unanswered)
+    // message; then repair.
+    reg_.acct(trace, at, *p, 1);
+    TAP_ASSERT_MSG(repair_ != nullptr, "router has no repair handler bound");
+    repair_->purge_dead_neighbor(at, *prim, trace);
+  }
+}
+
+std::optional<NodeId> Router::route_step(TapestryNode& at, const Id& target,
+                                         RouteState& state, Trace* trace,
+                                         const ExcludeSet* exclude) {
   TAP_ASSERT(target.valid() && target.spec() == params_.id);
   const unsigned digits = params_.id.num_digits;
   while (state.level < digits) {
@@ -106,10 +136,10 @@ std::optional<NodeId> Network::route_step(TapestryNode& at, const Id& target,
   return std::nullopt;  // `at` is the root
 }
 
-std::optional<NodeId> Network::route_step_peek(const NodeId& at,
-                                               const Id& target,
-                                               RouteState& state) const {
-  const TapestryNode& n = node(at);
+std::optional<NodeId> Router::route_step_peek(const NodeId& at,
+                                              const Id& target,
+                                              RouteState& state) const {
+  const TapestryNode& n = reg_.checked(at);
   const unsigned digits = params_.id.num_digits;
   const unsigned radix = params_.id.radix();
   unsigned level = state.level;
@@ -120,7 +150,7 @@ std::optional<NodeId> Network::route_step_peek(const NodeId& at,
     std::vector<NodeId> live_prim(radix);
     for (unsigned j = 0; j < radix; ++j) {
       for (const auto& e : n.table().at(level, j).entries()) {
-        if (is_live(e.id)) {
+        if (reg_.is_live(e.id)) {
           live_filled[j] = true;
           live_prim[j] = e.id;
           break;  // entries are distance-sorted; first live is primary
@@ -171,9 +201,9 @@ std::optional<NodeId> Network::route_step_peek(const NodeId& at,
   return std::nullopt;
 }
 
-RouteResult Network::route_to_root(NodeId from, const Id& target,
-                                   Trace* trace) {
-  TapestryNode* cur = &live(from);
+RouteResult Router::route_to_root(NodeId from, const Id& target,
+                                  Trace* trace) {
+  TapestryNode* cur = &reg_.live(from);
   RouteResult res;
   res.path.push_back(from);
   RouteState state;
@@ -183,9 +213,9 @@ RouteResult Network::route_to_root(NodeId from, const Id& target,
       res.root = cur->id();
       return res;
     }
-    TapestryNode& nxt = live(*next);
-    acct(trace, *cur, nxt);
-    res.latency += dist_nodes(*cur, nxt);
+    TapestryNode& nxt = reg_.live(*next);
+    reg_.acct(trace, *cur, nxt);
+    res.latency += reg_.dist(*cur, nxt);
     ++res.hops;
     if (state.past_hole) ++res.surrogate_hops;
     res.path.push_back(nxt.id());
@@ -193,10 +223,10 @@ RouteResult Network::route_to_root(NodeId from, const Id& target,
   }
 }
 
-NodeId Network::surrogate_root(const Id& target) const {
-  TAP_CHECK(live_count_ > 0, "surrogate_root on empty network");
+NodeId Router::surrogate_root(const Id& target) const {
+  TAP_CHECK(reg_.live_count() > 0, "surrogate_root on empty network");
   const TapestryNode* start = nullptr;
-  for (const auto& n : nodes_) {
+  for (const auto& n : reg_.nodes()) {
     if (n->alive) {
       start = n.get();
       break;

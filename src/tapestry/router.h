@@ -1,0 +1,101 @@
+// Router: localized surrogate routing (§2.3), both published variants, and
+// the acknowledged multicast primitive (§4.1) built on the routing mesh.
+//
+// The router reads and (for lazy repair, §5.2) mutates routing tables but
+// owns no state of its own beyond references: every routing decision is a
+// function of the current node's table, exactly as in a deployment.  When a
+// mutating walk trips over a corpse it hands the repair to the
+// RepairHandler (implemented by MaintenanceEngine) — routing decides, the
+// maintenance layer fixes; the narrow interface keeps the dependency cycle
+// routing -> repair -> pointer-reroute -> routing explicit and one-way per
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/tapestry/registry.h"
+#include "src/tapestry/route_types.h"
+
+namespace tap {
+
+/// What the Router needs from the maintenance layer: purge one discovered
+/// corpse from one node's table (promoting secondaries, hunting slot
+/// replacements, re-routing affected object pointers).
+class RepairHandler {
+ public:
+  virtual ~RepairHandler() = default;
+  virtual void purge_dead_neighbor(TapestryNode& at, NodeId dead,
+                                   Trace* trace) = 0;
+};
+
+class Router {
+ public:
+  /// Node-ids to route around, e.g. "as if the new node had not yet
+  /// entered the network" during insertion (Figure 10).
+  using ExcludeSet = std::unordered_set<std::uint64_t>;
+
+  Router(NodeRegistry& registry, const TapestryParams& params);
+
+  /// Wires the lazy-repair callback; must be called before any mutating
+  /// walk can encounter a corpse.
+  void bind_repair(RepairHandler* repair) noexcept { repair_ = repair; }
+
+  /// Scans row `level` of `at` for the slot serving `desired` under the
+  /// configured routing mode.  Returns the chosen digit or nullopt if the
+  /// whole row is empty (cannot happen while self-entries are intact).
+  [[nodiscard]] std::optional<unsigned> select_slot(
+      const TapestryNode& at, unsigned level, unsigned desired,
+      bool& past_hole, const ExcludeSet* exclude = nullptr) const;
+
+  /// Mutating route step with lazy repair.
+  std::optional<NodeId> route_step(TapestryNode& at, const Id& target,
+                                   RouteState& state, Trace* trace,
+                                   const ExcludeSet* exclude = nullptr);
+
+  /// One routing decision at node `at` given cursor `state`: returns the
+  /// next (different) node and advances the cursor past any self-matching
+  /// levels, or nullopt when `at` is the root.  Pure peek — never repairs;
+  /// dead primaries are skipped in favor of live members.
+  [[nodiscard]] std::optional<NodeId> route_step_peek(const NodeId& at,
+                                                      const Id& target,
+                                                      RouteState& state) const;
+
+  /// Surrogate-routes from `from` toward `target` (a GUID or node-ID) and
+  /// returns the root reached (§2.3).  Repairs dead links lazily en route.
+  RouteResult route_to_root(NodeId from, const Id& target,
+                            Trace* trace = nullptr);
+
+  /// The unique surrogate root for `target` (Theorem 2), computed from an
+  /// arbitrary start without cost accounting.  Oracle-flavored convenience
+  /// used by tests and the general-metric comparisons.
+  [[nodiscard]] NodeId surrogate_root(const Id& target) const;
+
+  /// Acknowledged multicast (Figure 8): applies `visit` exactly once on
+  /// every live node whose ID starts with the first `prefix_len` digits of
+  /// `pattern`.  `start` must carry that prefix.  Nodes in `exclude` are
+  /// neither forwarded to nor visited.
+  MulticastStats multicast(NodeId start, const Id& pattern,
+                           unsigned prefix_len,
+                           const std::function<void(NodeId)>& visit,
+                           Trace* trace = nullptr,
+                           const std::vector<NodeId>& exclude = {});
+
+ private:
+  /// Live primary of a slot with lazy repair: prunes dead members it
+  /// trips over (§5.2) and, if the slot empties, hunts a replacement.
+  /// Private so the mutating-repair entry points stay at route_step /
+  /// route_to_root, which re-select after a slot empties.
+  std::optional<NodeId> live_primary_repair(
+      TapestryNode& at, unsigned level, unsigned digit, Trace* trace,
+      const ExcludeSet* exclude = nullptr);
+
+  NodeRegistry& reg_;
+  const TapestryParams& params_;
+  RepairHandler* repair_ = nullptr;
+};
+
+}  // namespace tap

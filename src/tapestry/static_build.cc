@@ -4,24 +4,18 @@
 // able to build the network from static data").  Tests compare dynamically
 // grown networks against this ground truth; benchmarks use it to stand up
 // large overlays quickly when insertion cost is not what is being measured.
-#include "src/tapestry/network.h"
+#include "src/tapestry/maintenance.h"
 
 #include <unordered_map>
 
 namespace tap {
 
-NodeId Network::insert_static(Location loc, std::optional<NodeId> id) {
-  NodeId nid = id.has_value() ? *id : fresh_node_id();
-  register_node(nid, loc);
-  return nid;
-}
-
-void Network::rebuild_static_tables() {
+void MaintenanceEngine::rebuild_static_tables() {
   const unsigned digits = params_.id.num_digits;
   const unsigned bits = params_.id.digit_bits;
 
   // Fresh tables (drops any dynamically accumulated state).
-  for (auto& n : nodes_) {
+  for (const auto& n : reg_.nodes()) {
     if (!n->alive) continue;
     n->table() = RoutingTable(params_.id, n->id(), params_.redundancy);
   }
@@ -31,7 +25,7 @@ void Network::rebuild_static_tables() {
     return (static_cast<std::uint64_t>(len) << 56) | prefix;
   };
   std::unordered_map<std::uint64_t, std::vector<TapestryNode*>> buckets;
-  for (auto& n : nodes_) {
+  for (const auto& n : reg_.nodes()) {
     if (!n->alive) continue;
     for (unsigned len = 1; len <= digits; ++len)
       buckets[key(len, n->id().prefix_value(len))].push_back(n.get());
@@ -40,7 +34,7 @@ void Network::rebuild_static_tables() {
   // Every slot considers every qualifying node; NeighborSet retains the R
   // closest, which is Property 2 by construction, and no slot with
   // candidates stays empty, which is Property 1.
-  for (auto& n : nodes_) {
+  for (const auto& n : reg_.nodes()) {
     if (!n->alive) continue;
     for (unsigned l = 0; l < digits; ++l) {
       const std::uint64_t base = n->id().prefix_value(l) << bits;

@@ -1,0 +1,168 @@
+// Seam tests for the layered subsystems behind the Network facade:
+// Router's pure peek vs the mutating repair walk, and NodeRegistry's
+// liveness/index bookkeeping across join, leave and fail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tests/test_util.h"
+
+namespace tap {
+namespace {
+
+using test::grow_ring_network;
+using test::make_guid;
+using test::small_params;
+using test::static_ring_network;
+
+// On a static (fully repaired, all-live) network the non-mutating
+// route_step_peek must take exactly the hops the mutating route_step
+// takes, for both routing variants, and neither may touch a table.
+TEST(RouterSeam, PeekAgreesWithMutatingStepOnStaticNetwork) {
+  for (const RoutingMode mode :
+       {RoutingMode::kTapestryNative, RoutingMode::kPrrLike}) {
+    auto g = static_ring_network(96, 7, small_params(mode));
+    Rng rng(99);
+    for (int q = 0; q < 64; ++q) {
+      const Guid target = make_guid(*g.net, 0x1000 + q);
+      const NodeId from = g.ids[rng.next_u64(g.ids.size())];
+
+      RouteState peek_state;
+      std::vector<NodeId> peek_path{from};
+      NodeId cur = from;
+      while (auto next = g.net->route_step_peek(cur, target, peek_state)) {
+        peek_path.push_back(*next);
+        cur = *next;
+      }
+
+      const std::size_t entries_before = g.net->total_table_entries();
+      RouteState walk_state;
+      std::vector<NodeId> walk_path{from};
+      TapestryNode* at = &g.net->node(from);
+      for (;;) {
+        auto next =
+            g.net->router().route_step(*at, target, walk_state, nullptr);
+        if (!next.has_value()) break;
+        walk_path.push_back(*next);
+        at = &g.net->node(*next);
+      }
+
+      EXPECT_EQ(peek_path, walk_path) << "mode " << static_cast<int>(mode);
+      EXPECT_EQ(g.net->total_table_entries(), entries_before)
+          << "route_step mutated tables on an all-live network";
+      EXPECT_EQ(g.net->surrogate_root(target), walk_path.back());
+    }
+  }
+}
+
+// The peek must also agree with the repaired walk after failures: run the
+// mutating walk first (repairing en route), then check the peek retraces it.
+TEST(RouterSeam, PeekMatchesWalkAfterLazyRepair) {
+  auto g = grow_ring_network(80, 11);
+  Rng rng(5);
+  // Fail a handful of nodes, then let a sweep repair the mesh.
+  for (int i = 0; i < 8; ++i) {
+    const auto ids = g.net->node_ids();
+    g.net->fail(ids[rng.next_u64(ids.size())]);
+  }
+  g.net->heartbeat_sweep();
+  for (int q = 0; q < 32; ++q) {
+    const Guid target = make_guid(*g.net, 0x9000 + q);
+    const NodeId from = g.net->node_ids()[0];
+    const RouteResult walked = g.net->route_to_root(from, target);
+    RouteState peek_state;
+    NodeId cur = from;
+    while (auto next = g.net->route_step_peek(cur, target, peek_state))
+      cur = *next;
+    EXPECT_EQ(cur, walked.root);
+  }
+}
+
+TEST(RegistrySeam, JoinLeaveFailKeepLivenessAndIndexConsistent) {
+  auto g = grow_ring_network(48, 21);
+  NodeRegistry& reg = g.net->registry();
+
+  const std::size_t initial = reg.live_count();
+  ASSERT_EQ(initial, 48u);
+  ASSERT_EQ(g.net->size(), initial);
+
+  // Every registered id must resolve through the index to a node carrying
+  // that id, and node_ids() must agree with the alive flags.
+  auto check_index = [&]() {
+    std::size_t alive = 0;
+    for (const auto& n : reg.nodes()) {
+      const TapestryNode* found = reg.find(n->id());
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found, n.get()) << "index resolves to the wrong node";
+      if (n->alive) ++alive;
+    }
+    EXPECT_EQ(alive, reg.live_count());
+    const auto ids = reg.node_ids();
+    EXPECT_EQ(ids.size(), reg.live_count());
+    for (const NodeId& id : ids) EXPECT_TRUE(reg.is_live(id));
+  };
+  check_index();
+
+  // Leave: the node stays indexed as a tombstone but drops out of the live
+  // view; live() rejects it, checked() still resolves it.
+  const NodeId leaver = g.ids[3];
+  g.net->leave(leaver);
+  EXPECT_FALSE(reg.is_live(leaver));
+  EXPECT_FALSE(g.net->contains(leaver));
+  EXPECT_EQ(reg.live_count(), initial - 1);
+  EXPECT_NO_THROW((void)reg.checked(leaver));
+  EXPECT_THROW((void)reg.live(leaver), CheckError);
+  check_index();
+
+  // Fail: same bookkeeping, tombstone keeps its table for lazy repair.
+  const NodeId victim = g.ids[7];
+  const std::size_t victim_links = g.net->node(victim).table().total_entries();
+  g.net->fail(victim);
+  EXPECT_FALSE(reg.is_live(victim));
+  EXPECT_EQ(reg.live_count(), initial - 2);
+  EXPECT_EQ(g.net->node(victim).table().total_entries(), victim_links);
+  EXPECT_THROW(g.net->fail(victim), CheckError);  // double-fail rejected
+  check_index();
+
+  // Join after churn: fresh node is live, indexed, and unique.
+  const NodeId joined = g.net->join(50);
+  EXPECT_TRUE(reg.is_live(joined));
+  EXPECT_EQ(reg.live_count(), initial - 1);
+  EXPECT_THROW(reg.register_node(joined, 51), CheckError);  // duplicate id
+  check_index();
+
+  // Dead ids never appear in node_ids().
+  const auto ids = reg.node_ids();
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), leaver), ids.end());
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), victim), ids.end());
+}
+
+TEST(RegistrySeam, FreshNodeIdAvoidsTombstones) {
+  auto g = grow_ring_network(16, 31);
+  NodeRegistry& reg = g.net->registry();
+  g.net->fail(g.ids[1]);
+  std::unordered_set<std::uint64_t> taken;
+  for (const auto& n : reg.nodes()) taken.insert(n->id().value());
+  for (int i = 0; i < 256; ++i)
+    EXPECT_EQ(taken.count(reg.fresh_node_id().value()), 0u);
+}
+
+// The facade and the subsystems must expose the same objects: mutating via
+// a subsystem is visible through the facade (no hidden copies).
+TEST(FacadeSeam, SubsystemsShareStateWithFacade) {
+  auto g = grow_ring_network(32, 17);
+  const Guid guid = make_guid(*g.net, 0xfeed);
+  g.net->directory().publish(g.ids[0], guid);
+  const auto servers = g.net->servers_of(guid);
+  ASSERT_EQ(servers.size(), 1u);
+  EXPECT_EQ(servers[0], g.ids[0]);
+  const LocateResult r = g.net->locate(g.ids[5], guid);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.server, g.ids[0]);
+  g.net->directory().unpublish(g.ids[0], guid);
+  EXPECT_TRUE(g.net->servers_of(guid).empty());
+}
+
+}  // namespace
+}  // namespace tap

@@ -121,8 +121,9 @@ TEST(TransitStub, IntraStubDistancesAreSmall) {
   TransitStubMetric ts(256, rng);
   for (Location a = 0; a < ts.size(); ++a) {
     for (Location b = a + 1; b < ts.size(); ++b) {
-      if (ts.same_stub(a, b))
+      if (ts.same_stub(a, b)) {
         EXPECT_LE(ts.distance(a, b), ts.max_intra_stub_distance());
+      }
     }
   }
 }
