@@ -8,10 +8,13 @@
 //   * shorter republish intervals buy higher availability at higher
 //     maintenance traffic — the soft-state trade-off.
 //
-// Setup: event-driven churn (Poisson joins/leaves/failures) over a 256-node
-// network with 128 objects; lookups sampled continuously; a maintenance
-// timer fires the heartbeat sweep + republish at the configured interval.
+// Setup: a ChurnDriver scenario (Poisson joins/leaves/failures, continuous
+// lookups) over a 256-node network with 128 objects, fully event-driven:
+// publishes and queries decompose per hop on the EventQueue, republish /
+// expiry / heartbeat run as subsystem timers at the configured interval,
+// so queries genuinely interleave with repairs (the regime §6.5 assumes).
 #include "bench_util.h"
+#include "src/sim/churn_driver.h"
 #include "src/sim/thread_pool.h"
 
 namespace tap::bench {
@@ -19,9 +22,9 @@ namespace {
 
 struct Result {
   double republish_interval;
-  double availability_all;     // success rate over the whole run
-  double availability_fail;    // success rate in windows after failures
-  double maintenance_msgs;     // republish+sweep traffic per interval
+  double availability_all;   // success rate over the whole run
+  double availability_fail;  // success rate in windows after failures
+  double maintenance_msgs;   // republish+sweep traffic per unit time
   std::size_t lookups;
 };
 
@@ -32,99 +35,34 @@ Result run(double interval, std::uint64_t seed) {
   params.pointer_ttl = 2.0 * interval;
   auto net = grow(*space, 256, params, seed);
 
-  std::vector<Location> free_locs;
-  for (std::size_t i = 256; i < 512; ++i) free_locs.push_back(i);
+  ChurnScenario sc;
+  sc.horizon = 40.0;
+  sc.epoch = 5.0;
+  // The pre-driver loop drew one churn event per exponential(2.0) with a
+  // 0.4 / 0.3 / 0.3 join/leave/fail split; the same mix as rates:
+  sc.join_rate = 0.8;
+  sc.leave_rate = 0.6;
+  sc.fail_rate = 0.6;
+  sc.min_nodes = 128;
+  sc.query_rate = 20.0;  // one lookup per 0.05 time units
+  sc.post_failure_window = interval;
+  sc.objects = 128;
+  sc.replicas = 1;
+  sc.republish_interval = interval;
+  sc.expiry_interval = interval;
+  sc.heartbeat_interval = interval;
+  sc.seed = seed;
 
-  // Objects with their live servers (mirror of ground truth).
-  struct Obj {
-    Guid guid;
-    NodeId server;
-    bool alive = true;
-  };
-  std::vector<Obj> objects;
-  Rng wl(seed ^ 0x0b1ec7);
-  {
-    const auto ids = net->node_ids();
-    for (int i = 0; i < 128; ++i) {
-      Obj o{bench_guid(*net, 500 + i), ids[wl.next_u64(ids.size())], true};
-      net->publish(o.server, o.guid);
-      objects.push_back(o);
-    }
-  }
-
-  const double horizon = 40.0;
-  double last_failure = -1e9;
-  std::size_t ok_all = 0, total_all = 0, ok_fail = 0, total_fail = 0;
-  Trace maintenance;
-  std::size_t maintenance_rounds = 0;
-
-  double next_churn = 0.5;
-  double next_lookup = 0.05;
-  double next_maint = interval;
-  auto& q = net->events();
-  while (q.now() < horizon) {
-    const double t =
-        std::min(std::min(next_churn, next_lookup), next_maint);
-    q.run_until(t);
-    if (t == next_churn) {
-      next_churn += rng.exponential(2.0);
-      const double dice = rng.next_double();
-      const auto ids = net->node_ids();
-      if (dice < 0.4 && !free_locs.empty()) {
-        net->join(free_locs.back());
-        free_locs.pop_back();
-      } else if (dice < 0.7 && net->size() > 128) {
-        // Voluntary departure of a non-server node.
-        NodeId victim = ids[rng.next_u64(ids.size())];
-        bool is_server = false;
-        for (const Obj& o : objects)
-          if (o.alive && o.server == victim) is_server = true;
-        if (!is_server) {
-          free_locs.push_back(net->node(victim).location());
-          net->leave(victim);
-        }
-      } else if (net->size() > 128) {
-        // Involuntary failure: any node, including servers.
-        NodeId victim = ids[rng.next_u64(ids.size())];
-        net->fail(victim);
-        for (Obj& o : objects)
-          if (o.server == victim) o.alive = false;
-        last_failure = q.now();
-      }
-    } else if (t == next_lookup) {
-      next_lookup += 0.05;
-      const auto ids = net->node_ids();
-      const Obj& o = objects[wl.next_u64(objects.size())];
-      if (!o.alive) continue;
-      const bool found =
-          net->locate(ids[wl.next_u64(ids.size())], o.guid).found;
-      ++total_all;
-      if (found) ++ok_all;
-      if (q.now() - last_failure < interval) {
-        ++total_fail;
-        if (found) ++ok_fail;
-      }
-    } else {
-      next_maint += interval;
-      ++maintenance_rounds;
-      net->heartbeat_sweep(&maintenance);
-      net->expire_pointers();
-      net->republish_all(&maintenance);
-    }
-  }
+  ChurnDriver driver(*net, sc);
+  const ChurnReport rep = driver.run();
 
   Result r;
   r.republish_interval = interval;
-  r.availability_all = total_all ? double(ok_all) / total_all : 1.0;
-  r.availability_fail = total_fail ? double(ok_fail) / total_fail : 1.0;
-  // Per simulated time unit, so intervals are comparable: sparser rounds
-  // are individually heavier (more corpses accumulate) but cheaper per
-  // unit time.
+  r.availability_all = rep.availability();
+  r.availability_fail = rep.availability_post_failure();
   r.maintenance_msgs =
-      maintenance_rounds
-          ? double(maintenance.messages()) / (maintenance_rounds * interval)
-          : 0.0;
-  r.lookups = total_all;
+      static_cast<double>(rep.maintenance_msgs) / sc.horizon;
+  r.lookups = rep.queries;
   return r;
 }
 
@@ -157,6 +95,9 @@ int main() {
       "\nreading guide: overall availability stays high for every\n"
       "interval (voluntary churn never interrupts service); the\n"
       "post-failure window column degrades as the republish interval\n"
-      "grows — the paper's soft-state trade-off made quantitative.\n");
+      "grows — the paper's soft-state trade-off made quantitative.\n"
+      "queries and repairs interleave per-hop on the event queue; the\n"
+      "serialized engine of the pre-driver bench is still available via\n"
+      "tapestry_sim --scenario=churn --engine=sync.\n");
   return 0;
 }

@@ -1,19 +1,22 @@
 // Dynamic membership under fire — the paper's headline property: "objects
 // remain available, even as the network changes."
 //
-// Simulates a day in the life of a deployed overlay: nodes join through
-// the full insertion protocol, leave gracefully, and crash without
-// warning, while a population of objects is continuously queried.  Soft-
-// state maintenance (heartbeat sweep + republish, §6.5) runs on a timer on
-// the embedded event queue.  The demo prints an availability timeline and
-// the per-phase maintenance cost.
+// Simulates a day in the life of a deployed overlay on the event-driven
+// churn engine: nodes join through the full insertion protocol, leave
+// gracefully, and crash without warning, while a population of objects is
+// continuously queried.  Publishes and lookups decompose into one event
+// per routing hop, and soft-state maintenance (republish + expiry +
+// heartbeat sweep, §6.5) runs on recurring timers, so queries observe
+// repairs genuinely in flight.  The demo prints the driver's availability
+// timeline and the per-epoch maintenance cost, then audits the overlay's
+// invariants.
 //
 // Build & run:  ./build/examples/churn_demo
 #include <cstdio>
-#include <vector>
 
 #include "src/common/rng.h"
 #include "src/metric/ring.h"
+#include "src/sim/churn_driver.h"
 #include "src/tapestry/network.h"
 
 int main() {
@@ -28,94 +31,55 @@ int main() {
 
   net.bootstrap(0);
   for (Location loc = 1; loc < 192; ++loc) net.join(loc);
-  std::vector<Location> free_locs;
-  for (Location loc = 192; loc < 512; ++loc) free_locs.push_back(loc);
 
-  // 64 objects at random servers.
-  struct Obj {
-    Guid guid;
-    NodeId server;
-    bool alive = true;
-  };
-  std::vector<Obj> objects;
-  Rng wl(32);
-  {
-    const auto ids = net.node_ids();
-    for (int i = 0; i < 64; ++i) {
-      Obj o{Guid(params.id, 0x1000000ull + static_cast<unsigned>(i) * 77),
-            ids[wl.next_u64(ids.size())], true};
-      net.publish(o.server, o.guid);
-      objects.push_back(o);
-    }
-  }
+  ChurnScenario sc;
+  sc.horizon = 32.0;  // 8 epochs of 4 time units, as the old phase loop
+  sc.epoch = 4.0;
+  sc.join_rate = 1.2;  // the old per-0.25-step dice, expressed as rates
+  sc.leave_rate = 0.8;
+  sc.fail_rate = 0.4;
+  sc.min_nodes = 96;
+  sc.query_rate = 32.0;
+  sc.post_failure_window = 4.0;
+  sc.objects = 64;
+  sc.replicas = 1;
+  sc.republish_interval = 4.0;
+  sc.expiry_interval = 4.0;
+  sc.heartbeat_interval = 4.0;
+  sc.seed = 32;
 
-  std::printf("phase | size | joins | leaves | fails | lookups ok | maint msgs\n");
+  ChurnDriver driver(net, sc);
+  const ChurnReport rep = driver.run();
+
+  std::printf("epoch | size | joins | leaves | fails | lookups ok | maint msgs\n");
   std::printf("------+------+-------+--------+-------+------------+-----------\n");
-
-  for (int phase = 0; phase < 8; ++phase) {
-    int joins = 0, leaves = 0, fails = 0, ok = 0, total = 0;
-    // One phase = 4 time units of churn + lookups, then maintenance.
-    const double phase_end = net.now() + 4.0;
-    while (net.now() < phase_end) {
-      net.events().run_until(net.now() + 0.25);
-      const double dice = rng.next_double();
-      const auto ids = net.node_ids();
-      if (dice < 0.3 && !free_locs.empty()) {
-        net.join(free_locs.back());
-        free_locs.pop_back();
-        ++joins;
-      } else if (dice < 0.5 && net.size() > 96) {
-        // Voluntary goodbye from a non-server node.
-        NodeId victim = ids[rng.next_u64(ids.size())];
-        bool is_server = false;
-        for (const Obj& o : objects)
-          if (o.alive && o.server == victim) is_server = true;
-        if (!is_server) {
-          free_locs.push_back(net.node(victim).location());
-          net.leave(victim);
-          ++leaves;
-        }
-      } else if (dice < 0.6 && net.size() > 96) {
-        // Crash — possibly of a server (its replicas die with it).
-        NodeId victim = ids[rng.next_u64(ids.size())];
-        net.fail(victim);
-        for (Obj& o : objects)
-          if (o.server == victim) o.alive = false;
-        ++fails;
-      }
-      // A burst of lookups against objects that still have live replicas.
-      for (int q = 0; q < 8; ++q) {
-        const Obj& o = objects[wl.next_u64(objects.size())];
-        if (!o.alive) continue;
-        const auto clients = net.node_ids();
-        ++total;
-        if (net.locate(clients[wl.next_u64(clients.size())], o.guid).found)
-          ++ok;
-      }
-    }
-    // Maintenance boundary: heartbeats discover the corpses, expired
-    // pointers are purged, live replicas republished.
-    Trace maint;
-    net.heartbeat_sweep(&maint);
-    net.expire_pointers();
-    net.republish_all(&maint);
-    std::printf("%5d | %4zu | %5d | %6d | %5d | %6d/%3d | %10zu\n", phase,
-                net.size(), joins, leaves, fails, ok, total,
-                maint.messages());
+  for (std::size_t i = 0; i < rep.epochs.size(); ++i) {
+    const ChurnEpoch& e = rep.epochs[i];
+    std::printf("%5zu | %4zu | %5zu | %6zu | %5zu | %6zu/%-3zu | %10zu\n", i,
+                e.live_nodes, e.joins, e.leaves, e.fails, e.found, e.queries,
+                e.maintenance_msgs);
   }
+  std::printf("availability %.2f%% over %zu lookups (%zu on dead objects "
+              "skipped), %llu events fired\n",
+              rep.availability() * 100.0, rep.queries, rep.queries_skipped,
+              static_cast<unsigned long long>(rep.events_fired));
 
-  // The strong claims, verified at the end of the run.
+  // The strong claims, verified after one final maintenance boundary.
+  net.heartbeat_sweep();
+  net.expire_pointers();
+  net.republish_all();
   net.check_property1();
   net.check_property4();
   std::printf("\nfinal invariants: Property 1 OK, Property 4 OK, "
               "Property 2 quality %.1f%%\n",
               net.property2_quality() * 100.0);
+
   int live_objects = 0, found = 0;
   const auto ids = net.node_ids();
-  for (const auto& o : objects) {
-    if (!o.alive) continue;
+  for (const Guid& guid : driver.objects()) {
+    if (net.servers_of(guid).empty()) continue;  // all replicas crashed
     ++live_objects;
-    if (net.locate(ids[0], o.guid).found) ++found;
+    if (net.locate(ids[0], guid).found) ++found;
   }
   std::printf("objects with live replicas still locatable: %d/%d\n", found,
               live_objects);

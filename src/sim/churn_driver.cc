@@ -1,0 +1,284 @@
+#include "src/sim/churn_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tap {
+
+namespace {
+
+Guid scenario_guid(const TapestryParams& params, std::uint64_t seed,
+                   std::uint64_t index) {
+  const IdSpec spec = params.id;
+  const std::uint64_t mask = spec.total_bits() == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << spec.total_bits()) - 1;
+  return Guid(spec, splitmix64(splitmix64(seed) ^ index) & mask);
+}
+
+}  // namespace
+
+ChurnDriver::ChurnDriver(Network& net, ChurnScenario scenario)
+    : net_(net), sc_(scenario), rng_(scenario.seed ^ 0xc4a2b5ull) {
+  TAP_CHECK(sc_.horizon > 0.0, "scenario horizon must be positive");
+  TAP_CHECK(sc_.epoch > 0.0, "scenario epoch must be positive");
+  // Locations not occupied by any node ever registered (tombstones keep
+  // theirs — a corpse's underlay address is not reusable) are the join
+  // pool; voluntary leavers return theirs.
+  std::vector<bool> used(net_.space().size(), false);
+  for (const auto& n : net_.registry().nodes()) used[n->location()] = true;
+  for (std::size_t loc = 0; loc < used.size(); ++loc)
+    if (!used[loc]) free_locs_.push_back(loc);
+}
+
+void ChurnDriver::log_event(char kind, const std::string& detail) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%c t=%.6f ", kind, net_.now());
+  log_.push_back(buf + detail);
+}
+
+ChurnEpoch& ChurnDriver::epoch_now() {
+  // Relative to the run's start: the network's clock may have advanced
+  // before the driver was handed the net (e.g. parallel-join growth).
+  const double rel = net_.now() - epochs_.front().t0;
+  auto idx = static_cast<std::size_t>(rel <= 0.0 ? 0.0 : rel / sc_.epoch);
+  if (idx >= epochs_.size()) idx = epochs_.size() - 1;
+  return epochs_[idx];
+}
+
+void ChurnDriver::publish_initial_objects() {
+  const auto ids = net_.node_ids();
+  TAP_CHECK(!ids.empty(), "cannot run a scenario on an empty network");
+  for (std::size_t i = 0; i < sc_.objects; ++i) {
+    const Guid guid = scenario_guid(net_.params(), sc_.seed, i);
+    objects_.push_back(guid);
+    for (unsigned r = 0; r < sc_.replicas; ++r) {
+      const NodeId server = ids[rng_.next_u64(ids.size())];
+      log_event('P', guid.to_string() + " @ " + server.to_string());
+      if (sc_.synchronous)
+        net_.publish(server, guid);
+      else
+        net_.publish_async(server, guid);
+    }
+  }
+}
+
+void ChurnDriver::schedule_churn() {
+  const double rate = sc_.join_rate + sc_.leave_rate + sc_.fail_rate;
+  if (rate <= 0.0) return;
+  churn_event_ = net_.events().schedule_in(rng_.exponential(rate), [this] {
+    churn_event_.reset();
+    if (!running_) return;
+    do_churn_event();
+    schedule_churn();
+  });
+}
+
+void ChurnDriver::do_churn_event() {
+  const double total = sc_.join_rate + sc_.leave_rate + sc_.fail_rate;
+  const double dice = rng_.next_double() * total;
+  const auto ids = net_.node_ids();
+
+  auto is_replica_server = [&](const NodeId& id) {
+    for (const Guid& g : objects_) {
+      const auto servers = net_.servers_of(g);
+      if (std::find(servers.begin(), servers.end(), id) != servers.end())
+        return true;
+    }
+    return false;
+  };
+
+  if (dice < sc_.join_rate) {
+    if (free_locs_.empty()) {
+      log_event('j', "no-free-location");
+      return;
+    }
+    const Location loc = free_locs_.back();
+    free_locs_.pop_back();
+    const NodeId id = net_.join(loc, std::nullopt, &churn_trace_);
+    ++epoch_now().joins;
+    log_event('J', id.to_string());
+  } else if (dice < sc_.join_rate + sc_.leave_rate) {
+    if (net_.size() <= sc_.min_nodes || ids.empty()) {
+      log_event('l', "population-floor");
+      return;
+    }
+    const NodeId victim = ids[rng_.next_u64(ids.size())];
+    if (is_replica_server(victim)) {
+      // Voluntary departure of a storage server would take its replicas
+      // with it (§5.1 withdraws them); keep the object population stable
+      // and let only crashes destroy replicas.
+      log_event('l', "victim-is-server " + victim.to_string());
+      return;
+    }
+    free_locs_.push_back(net_.node(victim).location());
+    net_.leave(victim, &churn_trace_);
+    ++epoch_now().leaves;
+    log_event('L', victim.to_string());
+  } else {
+    if (net_.size() <= sc_.min_nodes || ids.empty()) {
+      log_event('f', "population-floor");
+      return;
+    }
+    const NodeId victim = ids[rng_.next_u64(ids.size())];
+    net_.fail(victim);
+    last_failure_ = net_.now();
+    ++epoch_now().fails;
+    log_event('F', victim.to_string());
+  }
+}
+
+void ChurnDriver::schedule_queries() {
+  if (sc_.query_rate <= 0.0) return;
+  query_event_ =
+      net_.events().schedule_in(rng_.exponential(sc_.query_rate), [this] {
+        query_event_.reset();
+        if (!running_) return;
+        issue_query();
+        schedule_queries();
+      });
+}
+
+void ChurnDriver::issue_query() {
+  if (objects_.empty() || net_.size() == 0) return;
+  const Guid guid = objects_[rng_.next_u64(objects_.size())];
+  if (net_.servers_of(guid).empty()) {
+    // No live replica anywhere: nothing to find, nothing to count — the
+    // paper's availability is over objects that still exist.
+    ++epoch_now().queries_skipped;
+    log_event('S', guid.to_string());
+    return;
+  }
+  const auto ids = net_.node_ids();
+  const NodeId client = ids[rng_.next_u64(ids.size())];
+  const double direct = net_.distance_to_nearest_replica(client, guid);
+  const bool post_failure =
+      net_.now() - last_failure_ < sc_.post_failure_window;
+  log_event('Q', guid.to_string() + " from " + client.to_string());
+
+  auto handle = [this, direct, post_failure](const LocateResult& r) {
+    ChurnEpoch& e = epoch_now();
+    ++e.queries;
+    if (r.found) ++e.found;
+    if (post_failure) {
+      ++e.queries_post_failure;
+      if (r.found) ++e.found_post_failure;
+    }
+    if (r.found && direct > 1e-9 && direct < 1e18) {
+      e.stretch_sum += r.latency / direct;
+      ++e.stretch_n;
+    }
+    log_event('R', std::string(r.found ? "hit" : "miss") + " hops=" +
+                       std::to_string(r.hops));
+  };
+  if (sc_.synchronous)
+    handle(net_.locate(client, guid));
+  else
+    net_.locate_async(client, guid, handle);
+}
+
+void ChurnDriver::schedule_sync_maintenance() {
+  // Legacy engine: one atomic maintenance boundary per republish interval
+  // (sweep, expire, republish-all in a single instant), exactly what the
+  // pre-event-driven churn experiments did between batches.
+  const double every =
+      sc_.republish_interval > 0.0 ? sc_.republish_interval : 0.0;
+  if (every <= 0.0) return;
+  sync_maint_event_ = net_.events().schedule_in(every, [this] {
+    sync_maint_event_.reset();
+    if (!running_) return;
+    if (sc_.heartbeat_interval > 0.0) net_.heartbeat_sweep(&maint_trace_);
+    if (sc_.expiry_interval > 0.0) net_.expire_pointers();
+    net_.republish_all(&maint_trace_);
+    log_event('M', "sync-maintenance");
+    schedule_sync_maintenance();
+  });
+}
+
+void ChurnDriver::snapshot_epoch_boundary(std::size_t index) {
+  ChurnEpoch& e = epochs_[index];
+  e.live_nodes = net_.size();
+  e.maintenance_msgs = maint_trace_.messages() - maint_msgs_seen_;
+  maint_msgs_seen_ = maint_trace_.messages();
+  e.churn_msgs = churn_trace_.messages() - churn_msgs_seen_;
+  churn_msgs_seen_ = churn_trace_.messages();
+}
+
+ChurnReport ChurnDriver::run() {
+  TAP_CHECK(!ran_, "ChurnDriver instances are single-shot");
+  ran_ = true;
+  fired_at_start_ = net_.events().fired();
+
+  const auto n_epochs = static_cast<std::size_t>(
+      std::ceil(sc_.horizon / sc_.epoch - 1e-12));
+  const double t0 = net_.now();
+  epochs_.resize(n_epochs == 0 ? 1 : n_epochs);
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    epochs_[i].t0 = t0 + static_cast<double>(i) * sc_.epoch;
+    epochs_[i].t1 = std::min(t0 + sc_.horizon,
+                             t0 + static_cast<double>(i + 1) * sc_.epoch);
+  }
+
+  publish_initial_objects();
+  if (sc_.synchronous) {
+    schedule_sync_maintenance();
+  } else {
+    net_.start_soft_state(sc_.republish_interval, sc_.expiry_interval,
+                          &maint_trace_);
+    if (sc_.heartbeat_interval > 0.0)
+      net_.start_heartbeats(sc_.heartbeat_interval, &maint_trace_);
+  }
+  running_ = true;
+  schedule_churn();
+  schedule_queries();
+
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    net_.events().run_until(epochs_[i].t1);
+    snapshot_epoch_boundary(i);
+  }
+
+  // Horizon reached: stop every recurring process, then drain the
+  // operations still in flight (their completions land in the last epoch).
+  running_ = false;
+  if (churn_event_.has_value()) net_.events().cancel(*churn_event_);
+  if (query_event_.has_value()) net_.events().cancel(*query_event_);
+  if (sync_maint_event_.has_value()) net_.events().cancel(*sync_maint_event_);
+  net_.stop_soft_state();
+  net_.stop_heartbeats();
+  net_.events().run();
+  TAP_CHECK(net_.async_in_flight() == 0,
+            "operations still in flight after drain");
+  return finalize();
+}
+
+ChurnReport ChurnDriver::finalize() {
+  // Traffic from drained operations lands in the last epoch.
+  ChurnEpoch& last = epochs_.back();
+  last.maintenance_msgs += maint_trace_.messages() - maint_msgs_seen_;
+  maint_msgs_seen_ = maint_trace_.messages();
+  last.churn_msgs += churn_trace_.messages() - churn_msgs_seen_;
+  churn_msgs_seen_ = churn_trace_.messages();
+  last.live_nodes = net_.size();
+
+  ChurnReport r;
+  r.epochs = epochs_;
+  for (const ChurnEpoch& e : epochs_) {
+    r.joins += e.joins;
+    r.leaves += e.leaves;
+    r.fails += e.fails;
+    r.queries += e.queries;
+    r.found += e.found;
+    r.queries_post_failure += e.queries_post_failure;
+    r.found_post_failure += e.found_post_failure;
+    r.queries_skipped += e.queries_skipped;
+    r.stretch_sum += e.stretch_sum;
+    r.stretch_n += e.stretch_n;
+    r.maintenance_msgs += e.maintenance_msgs;
+    r.churn_msgs += e.churn_msgs;
+  }
+  r.events_fired = net_.events().fired() - fired_at_start_;
+  return r;
+}
+
+}  // namespace tap

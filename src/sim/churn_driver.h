@@ -1,0 +1,181 @@
+// ChurnDriver: scriptable event-driven churn scenarios (paper §6.5).
+//
+// Schedules node joins / voluntary leaves / fail-stop crashes, object
+// publishes, soft-state republish and expiry timers, heartbeat repair
+// sweeps and locate queries as interleaved EventQueue events against one
+// Network, then reports per-epoch and aggregate availability / stretch /
+// maintenance-cost statistics.  Two execution engines share one schedule:
+//
+//   * event engine (default): publish/locate decompose into one event per
+//     routing hop (ObjectDirectory::publish_async / locate_async), repair
+//     and republish run on subsystem timers — queries genuinely observe
+//     mid-repair state, the regime §6.5's availability results assume;
+//   * synchronous engine: every operation executes atomically at its
+//     scheduled instant and maintenance runs as one combined tick — the
+//     serialized approximation the pre-event-driven experiments measured,
+//     kept for A/B comparison.
+//
+// Everything is deterministic in (scenario, Network seed): the driver owns
+// its workload Rng, the EventQueue breaks timestamp ties by scheduling
+// order, and the driver records a replayable event log (see event_log()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tapestry/network.h"
+
+namespace tap {
+
+/// Scenario script: Poisson processes plus timer intervals, all in
+/// simulated time units.  A rate of zero disables that process; an
+/// interval of zero disables that timer.
+struct ChurnScenario {
+  double horizon = 40.0;  ///< simulated run length
+  double epoch = 5.0;     ///< statistics bucket length
+
+  // Membership churn (Poisson event rates, per time unit).
+  double join_rate = 0.8;
+  double leave_rate = 0.6;  ///< voluntary §5.1 departures (non-servers only)
+  double fail_rate = 0.6;   ///< fail-stop §5.2 crashes (servers included)
+  std::size_t min_nodes = 16;  ///< no departures below this population
+
+  // Query workload.
+  double query_rate = 20.0;
+  double post_failure_window =
+      4.0;  ///< queries issued this soon after a crash are bucketed
+            ///< separately (availability_post_failure)
+
+  // Object workload, published at t = 0 through the selected engine.
+  std::size_t objects = 64;
+  unsigned replicas = 1;
+
+  // Maintenance timers (§6.5 / §5.2).
+  double republish_interval = 4.0;
+  double expiry_interval = 1.0;
+  double heartbeat_interval = 4.0;
+
+  std::uint64_t seed = 1;    ///< workload randomness (driver-owned Rng)
+  bool synchronous = false;  ///< legacy atomic-operation engine
+};
+
+/// One statistics bucket.  Queries are bucketed by completion time; churn
+/// events by occurrence time.
+struct ChurnEpoch {
+  double t0 = 0.0, t1 = 0.0;
+  std::size_t joins = 0, leaves = 0, fails = 0;
+  std::size_t queries = 0, found = 0;
+  std::size_t queries_post_failure = 0, found_post_failure = 0;
+  std::size_t queries_skipped = 0;  ///< drawn object had no live replica
+  double stretch_sum = 0.0;
+  std::size_t stretch_n = 0;
+  std::size_t maintenance_msgs = 0;  ///< heartbeat + republish (this epoch)
+  std::size_t churn_msgs = 0;        ///< join/leave protocol (this epoch)
+  std::size_t live_nodes = 0;        ///< population at epoch end
+
+  [[nodiscard]] double availability() const {
+    return queries == 0 ? 1.0
+                        : static_cast<double>(found) /
+                              static_cast<double>(queries);
+  }
+  [[nodiscard]] double mean_stretch() const {
+    return stretch_n == 0 ? 0.0 : stretch_sum / static_cast<double>(stretch_n);
+  }
+};
+
+/// Aggregates over the whole run plus the per-epoch series.
+struct ChurnReport {
+  std::vector<ChurnEpoch> epochs;
+  std::size_t joins = 0, leaves = 0, fails = 0;
+  std::size_t queries = 0, found = 0;
+  std::size_t queries_post_failure = 0, found_post_failure = 0;
+  std::size_t queries_skipped = 0;
+  double stretch_sum = 0.0;
+  std::size_t stretch_n = 0;
+  std::size_t maintenance_msgs = 0;
+  std::size_t churn_msgs = 0;
+  std::uint64_t events_fired = 0;  ///< EventQueue events over the run
+
+  [[nodiscard]] double availability() const {
+    return queries == 0 ? 1.0
+                        : static_cast<double>(found) /
+                              static_cast<double>(queries);
+  }
+  [[nodiscard]] double availability_post_failure() const {
+    return queries_post_failure == 0
+               ? 1.0
+               : static_cast<double>(found_post_failure) /
+                     static_cast<double>(queries_post_failure);
+  }
+  [[nodiscard]] double mean_stretch() const {
+    return stretch_n == 0 ? 0.0 : stretch_sum / static_cast<double>(stretch_n);
+  }
+};
+
+class ChurnDriver {
+ public:
+  /// `net` must already contain its initial population (bootstrap + joins
+  /// or the static builder); the driver churns whatever it is handed.
+  ChurnDriver(Network& net, ChurnScenario scenario);
+
+  ChurnDriver(const ChurnDriver&) = delete;
+  ChurnDriver& operator=(const ChurnDriver&) = delete;
+
+  /// Runs the scenario to its horizon, drains in-flight operations, and
+  /// returns the report.  Single-shot: a driver instance runs once.
+  ChurnReport run();
+
+  /// Deterministic, replayable record of every workload decision and
+  /// outcome: "<kind> t=<time> <detail>" lines in firing order.  Two runs
+  /// with identical (scenario, network construction) produce identical
+  /// logs — the replay test's oracle.
+  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
+    return log_;
+  }
+
+  /// The object population the scenario published (available after run();
+  /// callers audit final locatability against servers_of()).
+  [[nodiscard]] const std::vector<Guid>& objects() const noexcept {
+    return objects_;
+  }
+
+ private:
+  void publish_initial_objects();
+  void schedule_churn();
+  void schedule_queries();
+  void schedule_sync_maintenance();
+  void do_churn_event();
+  void issue_query();
+  void log_event(char kind, const std::string& detail);
+  ChurnEpoch& epoch_now();
+  void snapshot_epoch_boundary(std::size_t index);
+  ChurnReport finalize();
+
+  Network& net_;
+  ChurnScenario sc_;
+  Rng rng_;  ///< workload randomness, independent of the network's Rng
+
+  std::vector<Guid> objects_;
+  std::vector<Location> free_locs_;
+  std::vector<ChurnEpoch> epochs_;
+  std::vector<std::string> log_;
+
+  Trace maint_trace_;  ///< heartbeat + republish traffic
+  Trace churn_trace_;  ///< join/leave protocol traffic
+  std::size_t maint_msgs_seen_ = 0;
+  std::size_t churn_msgs_seen_ = 0;
+
+  double last_failure_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t fired_at_start_ = 0;
+  bool running_ = false;
+  bool ran_ = false;
+  std::optional<EventId> churn_event_;
+  std::optional<EventId> query_event_;
+  std::optional<EventId> sync_maint_event_;
+};
+
+}  // namespace tap

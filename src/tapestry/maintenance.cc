@@ -10,9 +10,10 @@ namespace tap {
 
 MaintenanceEngine::MaintenanceEngine(NodeRegistry& registry, Router& router,
                                      ObjectDirectory& directory,
-                                     const TapestryParams& params, Rng& rng)
+                                     const TapestryParams& params,
+                                     EventQueue& events, Rng& rng)
     : reg_(registry), router_(router), dir_(directory), params_(params),
-      rng_(rng) {}
+      events_(events), rng_(rng) {}
 
 // ---------------------------------------------------------------------
 // Table-link coherence
@@ -188,6 +189,27 @@ void MaintenanceEngine::heartbeat_sweep(Trace* trace) {
     if (!changed) break;
     known_empty.clear();  // new links may make old conclusions stale
   }
+}
+
+void MaintenanceEngine::start_heartbeats(double every, Trace* trace) {
+  TAP_CHECK(every > 0.0, "heartbeat interval must be positive");
+  stop_heartbeats();
+  schedule_heartbeat_tick(every, trace);
+}
+
+void MaintenanceEngine::stop_heartbeats() {
+  if (heartbeat_event_.has_value()) {
+    events_.cancel(*heartbeat_event_);
+    heartbeat_event_.reset();
+  }
+}
+
+void MaintenanceEngine::schedule_heartbeat_tick(double every, Trace* trace) {
+  heartbeat_event_ = events_.schedule_in(every, [this, every, trace] {
+    heartbeat_event_.reset();
+    heartbeat_sweep(trace);
+    schedule_heartbeat_tick(every, trace);
+  });
 }
 
 // ---------------------------------------------------------------------

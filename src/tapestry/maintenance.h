@@ -27,7 +27,7 @@ class MaintenanceEngine final : public RepairHandler {
  public:
   MaintenanceEngine(NodeRegistry& registry, Router& router,
                     ObjectDirectory& directory, const TapestryParams& params,
-                    Rng& rng);
+                    EventQueue& events, Rng& rng);
 
   // --- membership (§3-§5) ---
   /// Creates the first node of the overlay.  `id` defaults to random.
@@ -47,6 +47,17 @@ class MaintenanceEngine final : public RepairHandler {
   /// Soft-state heartbeat maintenance (§5.2, §6.5): probe table entries,
   /// purge corpses, then hunt replacements for emptied slots to fixpoint.
   void heartbeat_sweep(Trace* trace = nullptr);
+
+  /// Runs heartbeat_sweep as a recurring EventQueue event every `every`
+  /// simulated time units (first firing at now + every), so lazy repair
+  /// interleaves with in-flight publishes and queries.  Restarting
+  /// replaces a running timer.  The recurring event holds `trace` until
+  /// stop_heartbeats(): it must outlive the timer.
+  void start_heartbeats(double every, Trace* trace = nullptr);
+  void stop_heartbeats();
+  [[nodiscard]] bool heartbeats_running() const noexcept {
+    return heartbeat_event_.has_value();
+  }
 
   // --- failure repair (§5.2) ---
   void purge_dead_neighbor(TapestryNode& at, NodeId dead,
@@ -100,11 +111,15 @@ class MaintenanceEngine final : public RepairHandler {
                                                  std::vector<NodeId> list,
                                                  std::size_t k) const;
 
+  void schedule_heartbeat_tick(double every, Trace* trace);
+
   NodeRegistry& reg_;
   Router& router_;
   ObjectDirectory& dir_;
   const TapestryParams& params_;
+  EventQueue& events_;
   Rng& rng_;
+  std::optional<EventId> heartbeat_event_;
 };
 
 }  // namespace tap

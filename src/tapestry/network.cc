@@ -18,7 +18,7 @@ Network::Network(const MetricSpace& space, TapestryParams params,
       registry_(space_, params_, rng_),
       router_(registry_, params_),
       directory_(registry_, router_, params_, events_, rng_),
-      maintenance_(registry_, router_, directory_, params_, rng_) {
+      maintenance_(registry_, router_, directory_, params_, events_, rng_) {
   TAP_CHECK(params_.id.valid(), "invalid IdSpec");
   TAP_CHECK(params_.redundancy >= 1, "redundancy must be >= 1");
   TAP_CHECK(params_.root_multiplicity >= 1, "need at least one root");

@@ -155,6 +155,49 @@ class Network {
   }
 
   // ------------------------------------------------------------------
+  // Event-driven execution (per-hop on the EventQueue)
+  // ------------------------------------------------------------------
+
+  /// Event-driven publish: the replica registers immediately, the pointer
+  /// deposits walk each root path one hop per event (delay = link distance
+  /// * params.hop_delay_scale), interleaving with everything else queued.
+  void publish_async(NodeId server, const Guid& guid, Trace* trace = nullptr,
+                     ObjectDirectory::PublishCallback done = nullptr) {
+    directory_.publish_async(server, guid, trace, std::move(done));
+  }
+
+  /// Event-driven locate: one routing decision per event; `done` fires at
+  /// completion with the same LocateResult the synchronous path returns.
+  void locate_async(NodeId client, const Guid& guid,
+                    ObjectDirectory::LocateCallback done,
+                    Trace* trace = nullptr) {
+    directory_.locate_async(client, guid, std::move(done), trace);
+  }
+
+  /// Publishes/locates currently in flight on the event queue.
+  [[nodiscard]] std::size_t async_in_flight() const noexcept {
+    return directory_.async_in_flight();
+  }
+
+  /// Soft-state timers (§6.5) as recurring events: event-driven republish
+  /// of every live replica each `republish_every`, expiry sweep each
+  /// `expiry_every` (zero disables either).  The timers hold `trace` until
+  /// stop_soft_state(): it must outlive them (unlike the one-shot APIs,
+  /// where the pointer only lives for the call).
+  void start_soft_state(double republish_every, double expiry_every,
+                        Trace* trace = nullptr) {
+    directory_.start_soft_state(republish_every, expiry_every, trace);
+  }
+  void stop_soft_state() { directory_.stop_soft_state(); }
+
+  /// Periodic heartbeat sweep (§5.2) as a recurring event.  `trace` must
+  /// outlive the timer (see start_soft_state).
+  void start_heartbeats(double every, Trace* trace = nullptr) {
+    maintenance_.start_heartbeats(every, trace);
+  }
+  void stop_heartbeats() { maintenance_.stop_heartbeats(); }
+
+  // ------------------------------------------------------------------
   // Routing primitives
   // ------------------------------------------------------------------
 

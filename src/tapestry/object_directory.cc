@@ -269,6 +269,267 @@ LocateResult ObjectDirectory::locate(NodeId client, const Guid& guid,
 }
 
 // ---------------------------------------------------------------------
+// Event-driven publish / locate
+// ---------------------------------------------------------------------
+//
+// The async variants run the same per-node logic as the synchronous code
+// above, but as one EventQueue event per routing hop: between two hops of
+// one operation, any number of other events — churn, repairs, republish
+// refreshes, expiry sweeps, other operations' hops — may fire.  State that
+// the synchronous code keeps on the stack lives in a shared_ptr'd op
+// struct; each scheduled step captures the struct, never raw node
+// pointers, and re-resolves nodes through the registry when it fires (the
+// node a query is parked on may have died in the meantime).
+
+struct ObjectDirectory::AsyncLocateOp {
+  Guid base{};
+  NodeId client{};
+  unsigned first_salt = 0;
+  unsigned attempts = 1;
+  unsigned attempt = 0;
+  // Per-attempt cursor (reset by begin_locate_attempt).
+  Guid target{};
+  NodeId cur{};
+  RouteState state{};
+  std::unordered_set<std::uint64_t> visited{};
+  Router::ExcludeSet excluded{};
+  // Accounting: everything lands here; absorbed into `external` at the end.
+  Trace per_op{false};
+  Trace* external = nullptr;
+  LocateCallback done;
+  LocateResult res{};
+};
+
+struct ObjectDirectory::AsyncPublishOp {
+  NodeId server{};
+  Guid base{};
+  unsigned salt = 0;
+  // Per-path cursor (reset by begin_publish_path).
+  Guid target{};
+  NodeId cur{};
+  std::optional<NodeId> last_hop{};
+  RouteState state{};
+  double expires = 0.0;
+  Trace per_op{false};
+  Trace* external = nullptr;
+  PublishCallback done;
+};
+
+void ObjectDirectory::publish_async(NodeId server, const Guid& guid,
+                                    Trace* trace, PublishCallback done) {
+  TAP_CHECK(guid.valid() && guid.spec() == params_.id,
+            "guid does not match the network's IdSpec");
+  TAP_CHECK(reg_.is_live(server), "publish_async: server must be alive");
+  // The replica exists from this instant; the directory catches up hop by
+  // hop (queries racing the deposit may legitimately miss meanwhile).
+  auto& servers = replicas_[guid];
+  if (std::find(servers.begin(), servers.end(), server) == servers.end())
+    servers.push_back(server);
+  auto op = std::make_shared<AsyncPublishOp>();
+  op->server = server;
+  op->base = guid;
+  op->external = trace;
+  op->done = std::move(done);
+  ++in_flight_;
+  begin_publish_path(op);
+}
+
+void ObjectDirectory::begin_publish_path(
+    const std::shared_ptr<AsyncPublishOp>& op) {
+  if (op->salt >= params_.root_multiplicity || !reg_.is_live(op->server)) {
+    if (op->external != nullptr) op->external->absorb(op->per_op);
+    --in_flight_;
+    if (op->done) op->done();
+    return;
+  }
+  op->target = salted_guid(op->base, op->salt);
+  op->cur = op->server;
+  op->last_hop.reset();
+  op->state = RouteState{};
+  op->expires = events_.now() + params_.pointer_ttl;
+  events_.schedule_in(0.0, [this, op] { publish_step(op); });
+}
+
+void ObjectDirectory::publish_step(const std::shared_ptr<AsyncPublishOp>& op) {
+  TapestryNode* cur = reg_.find(op->cur);
+  if (cur == nullptr || !cur->alive) {
+    // The carrier died under the message: this path is lost; soft-state
+    // republish restores it (§6.5).  Continue with the next root name.
+    ++op->salt;
+    begin_publish_path(op);
+    return;
+  }
+  cur->store().upsert(op->target,
+                      PointerRecord{op->server, op->last_hop, op->state.level,
+                                    op->state.past_hole, op->expires});
+  auto next = router_.route_step(*cur, op->target, op->state, &op->per_op);
+  if (!next.has_value()) {  // root reached and stamped
+    ++op->salt;
+    begin_publish_path(op);
+    return;
+  }
+  if (params_.prr_secondary_search && op->state.level >= 1) {
+    // Mirror the synchronous path: deposit on the slot's secondaries too.
+    const unsigned slot_level = op->state.level - 1;
+    const unsigned digit = next->digit(slot_level);
+    const auto members = cur->table().at(slot_level, digit).entries();
+    for (const auto& member : members) {
+      if (member.id == *next || member.id == cur->id()) continue;
+      TapestryNode* m = reg_.find(member.id);
+      if (m == nullptr || !m->alive) continue;
+      reg_.acct(&op->per_op, *cur, *m, 1);
+      m->store().upsert(op->target,
+                        PointerRecord{op->server, cur->id(), op->state.level,
+                                      op->state.past_hole, op->expires});
+    }
+  }
+  TapestryNode& nxt = reg_.live(*next);
+  reg_.acct(&op->per_op, *cur, nxt);
+  op->last_hop = cur->id();
+  op->cur = *next;
+  events_.schedule_in(reg_.dist(*cur, nxt) * params_.hop_delay_scale,
+                      [this, op] { publish_step(op); });
+}
+
+void ObjectDirectory::locate_async(NodeId client, const Guid& guid,
+                                   LocateCallback done, Trace* trace) {
+  TAP_CHECK(static_cast<bool>(done), "locate_async requires a callback");
+  TAP_CHECK(guid.valid() && guid.spec() == params_.id,
+            "guid does not match the network's IdSpec");
+  TAP_CHECK(reg_.is_live(client), "locate_async: client must be alive");
+  auto op = std::make_shared<AsyncLocateOp>();
+  op->base = guid;
+  op->client = client;
+  op->first_salt = params_.root_multiplicity == 1
+                       ? 0
+                       : static_cast<unsigned>(
+                             rng_.next_u64(params_.root_multiplicity));
+  op->attempts = params_.retry_all_roots ? params_.root_multiplicity : 1;
+  op->external = trace;
+  op->done = std::move(done);
+  ++in_flight_;
+  begin_locate_attempt(op);
+}
+
+void ObjectDirectory::begin_locate_attempt(
+    const std::shared_ptr<AsyncLocateOp>& op) {
+  const unsigned salt =
+      (op->first_salt + op->attempt) % params_.root_multiplicity;
+  op->target = salted_guid(op->base, salt);
+  op->cur = op->client;
+  op->state = RouteState{};
+  op->visited.clear();
+  op->excluded.clear();
+  events_.schedule_in(0.0, [this, op] { locate_step(op); });
+}
+
+void ObjectDirectory::next_locate_attempt(
+    const std::shared_ptr<AsyncLocateOp>& op) {
+  ++op->attempt;
+  if (op->attempt >= op->attempts) {
+    op->res.found = false;
+    finish_locate(op);
+    return;
+  }
+  begin_locate_attempt(op);
+}
+
+void ObjectDirectory::finish_locate(const std::shared_ptr<AsyncLocateOp>& op) {
+  op->res.hops = op->per_op.messages();
+  op->res.latency = op->per_op.latency();
+  if (op->external != nullptr) op->external->absorb(op->per_op);
+  --in_flight_;
+  op->done(op->res);
+}
+
+void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
+  TapestryNode* curp = reg_.find(op->cur);
+  if (curp == nullptr || !curp->alive) {
+    // The node carrying the query died while the message was in flight:
+    // this root attempt is lost.  (The synchronous path can never observe
+    // this state — it completes atomically against a liveness snapshot.)
+    next_locate_attempt(op);
+    return;
+  }
+  TapestryNode& cur = *curp;
+  Trace* t = &op->per_op;
+
+  auto resolve = [&](TapestryNode& holder, const PointerRecord& rec) {
+    op->res.found = true;
+    op->res.pointer_node = holder.id();
+    op->res.server = rec.server;
+    // Final leg to the replica: charged atomically (the walk to the
+    // pointer is what must interleave; the forward leg is plain routing).
+    if (!(rec.server == holder.id())) {
+      RouteResult leg = router_.route_to_root(holder.id(), rec.server, t);
+      TAP_ASSERT_MSG(leg.root == rec.server,
+                     "exact-id routing must terminate at the server");
+    }
+    finish_locate(op);
+  };
+
+  // Check the current node for a pointer before routing further.
+  if (auto rec = pick_live_replica(cur, op->target, cur); rec.has_value()) {
+    resolve(cur, *rec);
+    return;
+  }
+
+  if (!op->visited.insert(cur.id().value()).second) {  // loop -> miss (§4.3)
+    next_locate_attempt(op);
+    return;
+  }
+
+  const unsigned level_before = op->state.level;
+  auto next = router_.route_step(cur, op->target, op->state, t,
+                                 op->excluded.empty() ? nullptr
+                                                      : &op->excluded);
+  if (next.has_value()) {
+    if (params_.prr_secondary_search) {
+      // §2.4: probe the secondaries of the slot being routed through.
+      TAP_ASSERT(op->state.level >= 1);
+      const unsigned slot_level = op->state.level - 1 >= level_before
+                                      ? op->state.level - 1
+                                      : level_before;
+      const unsigned digit = next->digit(slot_level);
+      const auto members = cur.table().at(slot_level, digit).entries();
+      for (const auto& member : members) {
+        if (member.id == *next || member.id == cur.id()) continue;
+        TapestryNode* m = reg_.find(member.id);
+        if (m == nullptr || !m->alive) continue;
+        reg_.acct(t, cur, *m, 2);  // probe round trip
+        if (auto rec = pick_live_replica(*m, op->target, cur);
+            rec.has_value()) {
+          resolve(*m, *rec);
+          return;
+        }
+      }
+    }
+    TapestryNode& nxt = reg_.live(*next);
+    reg_.acct(t, cur, nxt);
+    op->cur = *next;
+    events_.schedule_in(reg_.dist(cur, nxt) * params_.hop_delay_scale,
+                        [this, op] { locate_step(op); });
+    return;
+  }
+
+  // Root without a pointer; bounce to the surrogate if the root is still
+  // inserting (Figure 10), exactly as in the synchronous path.
+  if (cur.inserting && cur.psurrogate.has_value() &&
+      reg_.is_live(*cur.psurrogate)) {
+    op->excluded.insert(cur.id().value());
+    TapestryNode& sur = reg_.live(*cur.psurrogate);
+    reg_.acct(t, cur, sur);
+    op->state.level = cur.id().common_prefix_len(sur.id());
+    op->visited.clear();
+    op->cur = sur.id();
+    events_.schedule_in(reg_.dist(cur, sur) * params_.hop_delay_scale,
+                        [this, op] { locate_step(op); });
+    return;
+  }
+  next_locate_attempt(op);  // definitive miss for this root
+}
+
+// ---------------------------------------------------------------------
 // Soft state (§6.5)
 // ---------------------------------------------------------------------
 
@@ -298,6 +559,46 @@ void ObjectDirectory::expire_pointers() {
   const double now = events_.now();
   for (const auto& n : reg_.nodes())
     if (n->alive) n->store().remove_expired(now);
+}
+
+void ObjectDirectory::start_soft_state(double republish_every,
+                                       double expiry_every, Trace* trace) {
+  stop_soft_state();
+  if (republish_every > 0.0) schedule_republish_tick(republish_every, trace);
+  if (expiry_every > 0.0) schedule_expiry_tick(expiry_every);
+}
+
+void ObjectDirectory::stop_soft_state() {
+  if (republish_event_.has_value()) {
+    events_.cancel(*republish_event_);
+    republish_event_.reset();
+  }
+  if (expiry_event_.has_value()) {
+    events_.cancel(*expiry_event_);
+    expiry_event_.reset();
+  }
+}
+
+void ObjectDirectory::schedule_republish_tick(double every, Trace* trace) {
+  republish_event_ = events_.schedule_in(every, [this, every, trace] {
+    republish_event_.reset();
+    // Each live replica refreshes event-driven, so the refresh walks
+    // interleave with everything else on the queue — unlike the atomic
+    // republish_all the synchronous experiments use.  Snapshot first:
+    // publish_async touches the registry we are iterating.
+    const auto pairs = published();
+    for (const auto& [guid, server] : pairs)
+      if (reg_.is_live(server)) publish_async(server, guid, trace);
+    schedule_republish_tick(every, trace);
+  });
+}
+
+void ObjectDirectory::schedule_expiry_tick(double every) {
+  expiry_event_ = events_.schedule_in(every, [this, every] {
+    expiry_event_.reset();
+    expire_pointers();
+    schedule_expiry_tick(every);
+  });
 }
 
 // ---------------------------------------------------------------------

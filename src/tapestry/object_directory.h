@@ -11,8 +11,11 @@
 // in the per-node ObjectStores held by the registry.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -40,10 +43,52 @@ class ObjectDirectory {
   void unpublish(NodeId server, const Guid& guid, Trace* trace = nullptr);
   LocateResult locate(NodeId client, const Guid& guid, Trace* trace = nullptr);
 
+  // --- event-driven publication and location ---
+  // Per-hop decomposition of publish/locate onto the EventQueue: each
+  // routing hop is a separate event, delayed by the link's metric distance
+  // scaled by params.hop_delay_scale, so repairs, republishes and expiry
+  // genuinely interleave with in-flight operations (the execution model
+  // §6.5's churn results assume).  All cost accounting for one operation
+  // lands in a private per-operation Trace and is absorbed into `trace` at
+  // completion, so per-query hop/latency figures stay exact even when many
+  // operations overlap.
+  using LocateCallback = std::function<void(const LocateResult&)>;
+  using PublishCallback = std::function<void()>;
+
+  /// Event-driven publish.  The replica registration is immediate (the
+  /// server stores the object from now on); the pointer deposits walk each
+  /// salted root path hop by hop.  A path whose carrier node dies mid-walk
+  /// aborts quietly — soft-state republish is the backstop, as in §6.5.
+  void publish_async(NodeId server, const Guid& guid, Trace* trace = nullptr,
+                     PublishCallback done = nullptr);
+
+  /// Event-driven locate: one routing decision per event.  The query
+  /// observes whatever directory state holds when each hop fires.  A query
+  /// stranded on a node that dies mid-flight loses that root attempt (and
+  /// retries remaining roots under retry_all_roots, like the sync path).
+  void locate_async(NodeId client, const Guid& guid, LocateCallback done,
+                    Trace* trace = nullptr);
+
+  /// Operations currently in flight on the event queue (tests/drivers use
+  /// this to drain deterministically).
+  [[nodiscard]] std::size_t async_in_flight() const noexcept {
+    return in_flight_;
+  }
+
   // --- soft state (§6.5) ---
   void republish_all(Trace* trace = nullptr);
   void republish_server(NodeId server, Trace* trace = nullptr);
   void expire_pointers();
+
+  /// Starts the §6.5 soft-state timers as recurring events: every
+  /// `republish_every`, each registered live replica re-publishes
+  /// (event-driven, so refresh traffic interleaves with queries); every
+  /// `expiry_every`, expired pointers are swept.  Zero disables either
+  /// timer.  Restarting replaces any running timers.  The recurring
+  /// events hold `trace` until stop_soft_state(): it must outlive them.
+  void start_soft_state(double republish_every, double expiry_every,
+                        Trace* trace = nullptr);
+  void stop_soft_state();
 
   // --- pointer maintenance (§4.2, Figure 9) ---
   /// Snapshot the records of `at` whose next hop will change if tables
@@ -79,6 +124,17 @@ class ObjectDirectory {
   void check_property4();
 
  private:
+  struct AsyncLocateOp;
+  struct AsyncPublishOp;
+  void begin_locate_attempt(const std::shared_ptr<AsyncLocateOp>& op);
+  void locate_step(const std::shared_ptr<AsyncLocateOp>& op);
+  void next_locate_attempt(const std::shared_ptr<AsyncLocateOp>& op);
+  void finish_locate(const std::shared_ptr<AsyncLocateOp>& op);
+  void begin_publish_path(const std::shared_ptr<AsyncPublishOp>& op);
+  void publish_step(const std::shared_ptr<AsyncPublishOp>& op);
+  void schedule_republish_tick(double every, Trace* trace);
+  void schedule_expiry_tick(double every);
+
   void publish_one(TapestryNode& server, const Guid& salted, Trace* trace);
   void unpublish_one(TapestryNode& server, const Guid& salted, Trace* trace);
   /// One query attempt toward one (salted) root name.
@@ -98,6 +154,11 @@ class ObjectDirectory {
 
   // Ground-truth replica registry: base guid -> servers.
   std::unordered_map<Guid, std::vector<NodeId>> replicas_;
+
+  // Event-driven state.
+  std::size_t in_flight_ = 0;
+  std::optional<EventId> republish_event_;
+  std::optional<EventId> expiry_event_;
 };
 
 }  // namespace tap

@@ -44,6 +44,15 @@ struct TapestryParams {
   /// Infinity disables expiry (static experiments).
   double pointer_ttl = std::numeric_limits<double>::infinity();
 
+  /// Simulated transmission delay per unit of metric distance for the
+  /// event-driven (async) operations: a hop across distance d occupies
+  /// d * hop_delay_scale units on the EventQueue before the next step
+  /// fires.  Cost accounting (hop counts, latency statistics) always uses
+  /// the raw distances and is unaffected.  Kept small by default so that
+  /// individual operations are fast relative to soft-state timers — the
+  /// paper's model treats per-message delay as negligible against TTLs.
+  double hop_delay_scale = 1e-3;
+
   /// §2.4: "PRR searches on the primary and secondary neighbors before
   /// taking an additional hop towards the object root."  When set, a
   /// query that misses locally probes the secondary members of the slot

@@ -1,0 +1,266 @@
+// Event-driven churn engine (§6.5): deterministic replay of scripted
+// scenarios, query/repair interleavings the synchronous path cannot
+// exhibit, soft-state TTL/republish timer behaviour, and an end-to-end
+// soak of the ChurnDriver's event engine.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/churn_driver.h"
+#include "test_util.h"
+
+namespace tap {
+namespace {
+
+using test::make_guid;
+using test::small_params;
+
+ChurnScenario small_scenario(std::uint64_t seed, bool synchronous) {
+  ChurnScenario sc;
+  sc.horizon = 16.0;
+  sc.epoch = 4.0;
+  sc.join_rate = 0.5;
+  sc.leave_rate = 0.4;
+  sc.fail_rate = 0.3;
+  sc.min_nodes = 24;
+  sc.query_rate = 12.0;
+  sc.objects = 24;
+  sc.replicas = 1;
+  sc.republish_interval = 4.0;
+  sc.expiry_interval = 2.0;
+  sc.heartbeat_interval = 4.0;
+  sc.seed = seed;
+  sc.synchronous = synchronous;
+  return sc;
+}
+
+// --------------------------------------------------------- deterministic replay
+
+TEST(ChurnEngine, SameSeedReplaysIdenticalTraceAndStats) {
+  auto run_once = [](std::vector<std::string>* log) {
+    TapestryParams p = small_params();
+    p.pointer_ttl = 8.0;
+    auto g = test::grow_ring_network(48, 7, p);
+    ChurnDriver driver(*g.net, small_scenario(7, false));
+    const ChurnReport rep = driver.run();
+    *log = driver.event_log();
+    return rep;
+  };
+  std::vector<std::string> log_a, log_b;
+  const ChurnReport a = run_once(&log_a);
+  const ChurnReport b = run_once(&log_b);
+
+  EXPECT_EQ(log_a, log_b) << "same seed must replay the same event trace";
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.fails, b.fails);
+  EXPECT_EQ(a.maintenance_msgs, b.maintenance_msgs);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].queries, b.epochs[i].queries) << "epoch " << i;
+    EXPECT_EQ(a.epochs[i].found, b.epochs[i].found) << "epoch " << i;
+  }
+  // The scenario must actually exercise the machinery.
+  EXPECT_GT(a.queries, 50u);
+  EXPECT_GT(a.events_fired, 500u);
+  EXPECT_GT(log_a.size(), 100u);
+}
+
+TEST(ChurnEngine, DifferentSeedsDiverge) {
+  auto trace_of = [](std::uint64_t seed) {
+    TapestryParams p = small_params();
+    p.pointer_ttl = 8.0;
+    auto g = test::grow_ring_network(48, seed, p);
+    ChurnDriver driver(*g.net, small_scenario(seed, false));
+    driver.run();
+    return driver.event_log();
+  };
+  EXPECT_NE(trace_of(7), trace_of(8));
+}
+
+// ------------------------------------------------------------- interleaving
+
+// A locate issued at an instant when *no* live pointer exists anywhere
+// succeeds because a republish lands between its hops.  The synchronous
+// path executes atomically against one directory snapshot, so from the
+// same state the same query can only miss — this outcome is unique to the
+// event-driven execution.
+TEST(ChurnEngine, LocateObservesRepublishLandingMidFlight) {
+  auto make = [] {
+    TapestryParams p = small_params();
+    p.pointer_ttl = 5.0;
+    return test::grow_ring_network(48, 11, p);
+  };
+  auto sync_twin = make();   // control: stays synchronous
+  auto event_twin = make();  // identical construction, same seed
+
+  const Guid guid = make_guid(*sync_twin.net, 4242);
+  const NodeId server = sync_twin.ids[5];
+  sync_twin.net->publish(server, guid);
+  event_twin.net->publish(server, guid);
+
+  // Let every pointer on the publish path pass its TTL.
+  sync_twin.net->events().run_until(6.0);
+  event_twin.net->events().run_until(6.0);
+
+  // A client other than the root, so the query needs at least one hop.
+  const NodeId root = event_twin.net->surrogate_root(guid);
+  NodeId client{};
+  for (const NodeId& id : event_twin.ids) {
+    if (!(id == root) && !(id == server)) {
+      client = id;
+      break;
+    }
+  }
+
+  // Control: the atomic locate at t=6 misses — nothing is live.
+  EXPECT_FALSE(sync_twin.net->locate(client, guid).found);
+
+  // Event-driven: issue the same query at the same instant, then land a
+  // republish while the query is in flight.
+  std::optional<LocateResult> result;
+  const double t_start = event_twin.net->now();
+  event_twin.net->locate_async(client, guid,
+                               [&](const LocateResult& r) { result = r; });
+  const double t_republish = t_start + 1e-6;
+  event_twin.net->events().schedule_at(
+      t_republish, [&] { event_twin.net->republish_server(server); });
+  event_twin.net->events().run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->found)
+      << "the in-flight query must observe the mid-flight republish";
+  EXPECT_GT(result->hops, 0u);
+  // The query completed after the republish landed: it genuinely
+  // interleaved rather than running before or after it.
+  EXPECT_GT(event_twin.net->now(), t_republish);
+  // The control network (no republish) still misses at any later time.
+  EXPECT_FALSE(sync_twin.net->locate(client, guid).found);
+}
+
+// The dual: a query stranded on a node that crashes mid-flight loses that
+// attempt.  The synchronous path checks liveness atomically and can never
+// park a query on a node that dies under it.
+TEST(ChurnEngine, LocateLosesAttemptWhenCarrierDiesMidFlight) {
+  TapestryParams p = small_params();
+  auto g = test::grow_ring_network(48, 19, p);
+  const Guid guid = make_guid(*g.net, 77);
+  const NodeId server = g.ids[3];
+  g.net->publish(server, guid);
+
+  // Find the query's first hop from a client and kill it mid-flight.
+  const NodeId client = [&] {
+    for (const NodeId& id : g.ids)
+      if (!(id == server)) return id;
+    return g.ids[0];
+  }();
+  RouteState state;
+  const auto first_hop = g.net->route_step_peek(client, guid, state);
+  ASSERT_TRUE(first_hop.has_value()) << "client must not be the root";
+
+  std::optional<LocateResult> result;
+  g.net->locate_async(client, guid,
+                      [&](const LocateResult& r) { result = r; });
+  // The first step fires at t=now (client-side check), the second after
+  // the hop delay; crash the first hop in between.
+  g.net->events().schedule_in(1e-9, [&] {
+    if (g.net->contains(*first_hop)) g.net->fail(*first_hop);
+  });
+  g.net->events().run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->found)
+      << "query parked on a crashing node must lose the attempt";
+}
+
+// ------------------------------------------------------- soft-state timers
+
+TEST(ChurnEngine, RepublishTimerRefreshesSoftState) {
+  TapestryParams p = small_params();
+  p.pointer_ttl = 4.0;
+  auto g = test::grow_ring_network(32, 13, p);
+  const Guid guid = make_guid(*g.net, 99);
+  g.net->publish(g.ids[3], guid);
+
+  g.net->start_soft_state(/*republish_every=*/2.0, /*expiry_every=*/1.0);
+  g.net->events().run_until(11.0);  // well past the original 4.0 deadline
+  g.net->stop_soft_state();
+  g.net->events().run();  // drain in-flight refresh walks
+
+  EXPECT_TRUE(g.net->locate(g.ids[17], guid).found)
+      << "periodic republish must keep the pointer path alive";
+  EXPECT_GT(g.net->total_object_pointers(), 0u);
+}
+
+TEST(ChurnEngine, ExpiryTimerWithoutRepublishDropsEveryPointer) {
+  TapestryParams p = small_params();
+  p.pointer_ttl = 4.0;
+  auto g = test::grow_ring_network(32, 13, p);
+  const Guid guid = make_guid(*g.net, 99);
+  g.net->publish(g.ids[3], guid);
+  EXPECT_GT(g.net->total_object_pointers(), 0u);
+
+  g.net->start_soft_state(/*republish_every=*/0.0, /*expiry_every=*/1.0);
+  g.net->events().run_until(10.0);
+  g.net->stop_soft_state();
+  g.net->events().run();
+
+  EXPECT_EQ(g.net->total_object_pointers(), 0u)
+      << "expiry sweeps must reclaim every stale pointer";
+  EXPECT_FALSE(g.net->locate(g.ids[17], guid).found);
+}
+
+TEST(ChurnEngine, HeartbeatTimerRepairsCrashDamage) {
+  TapestryParams p = small_params();
+  auto g = test::grow_ring_network(48, 23, p);
+  const Guid guid = make_guid(*g.net, 123);
+  const NodeId server = g.ids[7];
+  g.net->publish(server, guid);
+
+  // Crash two non-server nodes; the timer-driven sweeps must restore
+  // Property 1 without any explicit maintenance call.
+  int crashed = 0;
+  for (const NodeId& id : g.ids) {
+    if (id == server) continue;
+    g.net->fail(id);
+    if (++crashed == 2) break;
+  }
+  g.net->start_heartbeats(1.0);
+  g.net->events().run_until(2.5);
+  g.net->stop_heartbeats();
+  g.net->events().run();
+
+  g.net->check_property1();
+  EXPECT_TRUE(g.net->locate(g.ids[40], guid).found);
+}
+
+// ------------------------------------------------------------------- soak
+
+TEST(ChurnEngine, EventEngineSoakEndsConsistent) {
+  TapestryParams p = small_params();
+  p.pointer_ttl = 8.0;
+  auto g = test::grow_ring_network(48, 17, p);
+  ChurnDriver driver(*g.net, small_scenario(17, false));
+  const ChurnReport rep = driver.run();
+
+  EXPECT_GT(rep.queries, 50u);
+  EXPECT_GE(rep.availability(), 0.5);
+  EXPECT_LE(rep.found, rep.queries);
+  EXPECT_EQ(g.net->async_in_flight(), 0u);
+
+  // After one synchronous maintenance boundary the strong guarantees of
+  // §6.5 are restored on whatever population the churn left behind.
+  g.net->heartbeat_sweep();
+  g.net->expire_pointers();
+  g.net->republish_all();
+  g.net->check_property1();
+  g.net->check_backpointer_symmetry();
+  g.net->check_property4();
+}
+
+}  // namespace
+}  // namespace tap

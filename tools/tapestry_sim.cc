@@ -10,6 +10,7 @@
 //   tapestry_sim --space=ring --nodes=256 --objects=128 --queries=2000
 //   tapestry_sim --space=transit-stub --nodes=512 --routing=prr --r=2
 //   tapestry_sim --nodes=256 --churn-rounds=50 --fail-prob=0.2 --csv
+//   tapestry_sim --scenario=churn --nodes=256 --fail-rate=1.5 --ttl=8 --csv
 //
 // Flags (defaults in brackets):
 //   --space=ring|torus|transit-stub|euclid6d|two-cluster   [ring]
@@ -26,7 +27,25 @@
 //   --churn-rounds=N rounds of join/leave/fail between queries [0]
 //   --fail-prob=P    fraction of churn events that are crashes [0.25]
 //   --seed=N                                                 [1]
-//   --csv            emit a single CSV row instead of the report
+//   --csv            emit CSV instead of the report
+//
+// Churn-scenario flags (--scenario=churn; event-driven §6.5 experiments,
+// deterministically reproducible from --seed):
+//   --scenario=static|churn  one-shot measurement vs scripted churn [static]
+//   --engine=event|sync      per-hop EventQueue execution or the legacy
+//                            atomic/serialized engine                [event]
+//   --horizon=T              simulated run length                    [40]
+//   --epoch-len=T            statistics bucket length                [5]
+//   --join-rate=R            Poisson joins per time unit             [0.8]
+//   --leave-rate=R           voluntary departures per time unit      [0.6]
+//   --fail-rate=R            fail-stop crashes per time unit         [0.6]
+//   --query-rate=R           locate queries per time unit            [20]
+//   --republish-interval=T   soft-state republish period (0 = off)   [4]
+//   --expiry-interval=T      pointer-expiry sweep period (0 = off)   [1]
+//   --heartbeat-interval=T   heartbeat repair period (0 = off)       [4]
+//   --ttl=T                  pointer TTL                 [2 * republish]
+//   --min-nodes=N            churn floor (no departures below)  [nodes/2]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -37,6 +56,7 @@
 #include "src/metric/ring.h"
 #include "src/metric/torus.h"
 #include "src/metric/transit_stub.h"
+#include "src/sim/churn_driver.h"
 #include "src/tapestry/network.h"
 
 namespace {
@@ -59,6 +79,21 @@ struct Options {
   double fail_prob = 0.25;
   std::uint64_t seed = 1;
   bool csv = false;
+
+  // Churn-scenario mode.
+  std::string scenario = "static";
+  std::string engine = "event";
+  double horizon = 40.0;
+  double epoch_len = 5.0;
+  double join_rate = 0.8;
+  double leave_rate = 0.6;
+  double fail_rate = 0.6;
+  double query_rate = 20.0;
+  double republish_interval = 4.0;
+  double expiry_interval = 1.0;
+  double heartbeat_interval = 4.0;
+  double ttl = 0.0;            // 0 => 2 * republish_interval
+  std::size_t min_nodes = 0;   // 0 => nodes/2
 };
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -89,6 +124,25 @@ Options parse(int argc, char** argv) {
       o.churn_rounds = std::stoi(v);
     else if (parse_flag(argv[i], "--fail-prob", &v)) o.fail_prob = std::stod(v);
     else if (parse_flag(argv[i], "--seed", &v)) o.seed = std::stoull(v);
+    else if (parse_flag(argv[i], "--scenario", &v)) o.scenario = v;
+    else if (parse_flag(argv[i], "--engine", &v)) o.engine = v;
+    else if (parse_flag(argv[i], "--horizon", &v)) o.horizon = std::stod(v);
+    else if (parse_flag(argv[i], "--epoch-len", &v)) o.epoch_len = std::stod(v);
+    else if (parse_flag(argv[i], "--join-rate", &v)) o.join_rate = std::stod(v);
+    else if (parse_flag(argv[i], "--leave-rate", &v))
+      o.leave_rate = std::stod(v);
+    else if (parse_flag(argv[i], "--fail-rate", &v)) o.fail_rate = std::stod(v);
+    else if (parse_flag(argv[i], "--query-rate", &v))
+      o.query_rate = std::stod(v);
+    else if (parse_flag(argv[i], "--republish-interval", &v))
+      o.republish_interval = std::stod(v);
+    else if (parse_flag(argv[i], "--expiry-interval", &v))
+      o.expiry_interval = std::stod(v);
+    else if (parse_flag(argv[i], "--heartbeat-interval", &v))
+      o.heartbeat_interval = std::stod(v);
+    else if (parse_flag(argv[i], "--ttl", &v)) o.ttl = std::stod(v);
+    else if (parse_flag(argv[i], "--min-nodes", &v))
+      o.min_nodes = std::stoul(v);
     else if (std::strcmp(argv[i], "--retry") == 0) o.retry = true;
     else if (std::strcmp(argv[i], "--secondary") == 0) o.secondary = true;
     else if (std::strcmp(argv[i], "--static") == 0) o.use_static = true;
@@ -101,6 +155,19 @@ Options parse(int argc, char** argv) {
   }
   if (o.objects == 0) o.objects = o.nodes / 2;
   if (o.queries == 0) o.queries = 4 * o.nodes;
+  if (o.min_nodes == 0) o.min_nodes = o.nodes / 2;
+  if (o.ttl == 0.0)
+    o.ttl = o.republish_interval > 0.0
+                ? 2.0 * o.republish_interval
+                : std::numeric_limits<double>::infinity();
+  if (o.scenario != "static" && o.scenario != "churn") {
+    std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
+    std::exit(2);
+  }
+  if (o.engine != "event" && o.engine != "sync") {
+    std::fprintf(stderr, "unknown engine: %s\n", o.engine.c_str());
+    std::exit(2);
+  }
   return o;
 }
 
@@ -126,6 +193,92 @@ Guid make_guid(const Network& net, std::uint64_t raw) {
   return Guid(spec, splitmix64(raw ^ 0x51a) & mask);
 }
 
+int run_churn_scenario(const Options& o, Network& net) {
+  ChurnScenario sc;
+  sc.horizon = o.horizon;
+  sc.epoch = o.epoch_len;
+  sc.join_rate = o.join_rate;
+  sc.leave_rate = o.leave_rate;
+  sc.fail_rate = o.fail_rate;
+  sc.min_nodes = o.min_nodes;
+  sc.query_rate = o.query_rate;
+  sc.post_failure_window = o.republish_interval > 0.0 ? o.republish_interval
+                                                      : o.epoch_len;
+  sc.objects = o.objects;
+  sc.replicas = o.replicas;
+  sc.republish_interval = o.republish_interval;
+  sc.expiry_interval = o.expiry_interval;
+  sc.heartbeat_interval = o.heartbeat_interval;
+  sc.seed = o.seed;
+  sc.synchronous = o.engine == "sync";
+
+  ChurnDriver driver(net, sc);
+  const ChurnReport rep = driver.run();
+
+  if (o.csv) {
+    std::printf(
+        "epoch,t0,t1,nodes,joins,leaves,fails,queries,found,availability,"
+        "post_fail_queries,post_fail_found,skipped,stretch_mean,"
+        "maint_msgs,churn_msgs\n");
+    for (std::size_t i = 0; i < rep.epochs.size(); ++i) {
+      const ChurnEpoch& e = rep.epochs[i];
+      std::printf("%zu,%.2f,%.2f,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%zu,%zu,%zu,"
+                  "%.3f,%zu,%zu\n",
+                  i, e.t0, e.t1, e.live_nodes, e.joins, e.leaves, e.fails,
+                  e.queries, e.found, e.availability(),
+                  e.queries_post_failure, e.found_post_failure,
+                  e.queries_skipped, e.mean_stretch(), e.maintenance_msgs,
+                  e.churn_msgs);
+    }
+    std::printf("total,0.00,%.2f,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%zu,%zu,%zu,"
+                "%.3f,%zu,%zu\n",
+                o.horizon, net.size(), rep.joins, rep.leaves, rep.fails,
+                rep.queries, rep.found, rep.availability(),
+                rep.queries_post_failure, rep.found_post_failure,
+                rep.queries_skipped, rep.mean_stretch(),
+                rep.maintenance_msgs, rep.churn_msgs);
+    return 0;
+  }
+
+  std::printf("tapestry_sim churn — %zu nodes on %s (%s engine, seed %llu)\n",
+              o.nodes, o.space.c_str(), o.engine.c_str(),
+              static_cast<unsigned long long>(o.seed));
+  std::printf("  rates: join %.2f / leave %.2f / fail %.2f per unit, "
+              "queries %.1f/unit\n",
+              o.join_rate, o.leave_rate, o.fail_rate, o.query_rate);
+  std::printf("  soft state: republish %.1f, expiry %.1f, heartbeat %.1f, "
+              "ttl %.1f\n",
+              o.republish_interval, o.expiry_interval, o.heartbeat_interval,
+              o.ttl);
+  std::printf("  %-5s %-13s %5s %5s %5s %5s %8s %7s %9s %8s %10s\n", "epoch",
+              "window", "nodes", "join", "leave", "fail", "queries", "avail",
+              "post-fail", "stretch", "maint msgs");
+  for (std::size_t i = 0; i < rep.epochs.size(); ++i) {
+    const ChurnEpoch& e = rep.epochs[i];
+    char window[32];
+    std::snprintf(window, sizeof window, "%.1f-%.1f", e.t0, e.t1);
+    char postfail[32];
+    std::snprintf(postfail, sizeof postfail, "%zu/%zu",
+                  e.found_post_failure, e.queries_post_failure);
+    std::printf("  %-5zu %-13s %5zu %5zu %5zu %5zu %8zu %6.2f%% %9s %8.2f "
+                "%10zu\n",
+                i, window, e.live_nodes, e.joins, e.leaves, e.fails,
+                e.queries, e.availability() * 100.0, postfail,
+                e.mean_stretch(), e.maintenance_msgs);
+  }
+  std::printf("  totals: availability %.2f%% (%zu/%zu, %zu skipped), "
+              "post-failure %.2f%%, stretch %.2f\n",
+              rep.availability() * 100.0, rep.found, rep.queries,
+              rep.queries_skipped, rep.availability_post_failure() * 100.0,
+              rep.mean_stretch());
+  std::printf("  traffic: %zu maintenance msgs (%.0f/unit), %zu churn msgs; "
+              "%llu events fired\n",
+              rep.maintenance_msgs, rep.maintenance_msgs / o.horizon,
+              rep.churn_msgs,
+              static_cast<unsigned long long>(rep.events_fired));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +295,7 @@ int main(int argc, char** argv) {
   params.prr_secondary_search = o.secondary;
   params.routing = o.routing == "prr" ? RoutingMode::kPrrLike
                                       : RoutingMode::kTapestryNative;
+  if (o.scenario == "churn") params.pointer_ttl = o.ttl;
 
   Network net(*space, params, o.seed);
   Trace build_trace;
@@ -153,6 +307,8 @@ int main(int argc, char** argv) {
     for (Location i = 1; i < o.nodes; ++i)
       net.join(i, std::nullopt, &build_trace);
   }
+
+  if (o.scenario == "churn") return run_churn_scenario(o, net);
 
   // Workload.
   Rng wl(o.seed ^ 0x4c0ad);
