@@ -1,4 +1,4 @@
-// E12 — Local computation micro-costs (google-benchmark).
+// E12 — Local computation micro-costs.
 //
 // The paper's cost model (§3) charges only network traffic and ignores
 // local computation, arguing none of it is time-consuming.  This benchmark
@@ -6,14 +6,185 @@
 // neighbor-set updates, routing-table scans and per-hop route decisions
 // all run in nanoseconds-to-microseconds, orders of magnitude below any
 // realistic network RTT.
-#include <benchmark/benchmark.h>
+//
+// Two harnesses share this file:
+//   * google-benchmark suites (when the library is available) — the
+//     classic BM_ microbenchmarks, including a bitmask-vs-reference pair
+//     for the select_slot hot path;
+//   * a hand-rolled harness behind --json (no gbench dependency) that
+//     times Router::select_slot against select_slot_reference on the same
+//     deterministic workload, verifies digit-for-digit agreement, and
+//     emits the metrics the perf-smoke CI job gates via
+//     tools/check_bench.py.  Absolute nanoseconds are machine-dependent;
+//     the gated metrics are the *ratio* (bitmask speedup) and the exact
+//     agreement/work counters.
+#include <chrono>
+#include <cstring>
 
 #include "bench_util.h"
+
+#ifdef TAPESTRY_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+#endif
 
 namespace {
 
 using namespace tap;
 using namespace tap::bench;
+
+// --------------------------------------------------------------------
+// Shared select_slot workload: a static overlay whose deeper rows are
+// mostly holes (the case the occupancy bitmask accelerates — the
+// reference scan probes every slot of a row to find the lone self-entry).
+// --------------------------------------------------------------------
+
+struct SlotWorkload {
+  std::unique_ptr<MetricSpace> space;
+  std::unique_ptr<Network> net;
+  std::vector<const TapestryNode*> nodes;
+  struct Probe {
+    std::uint32_t node;
+    unsigned level;
+    unsigned desired;
+  };
+  std::vector<Probe> probes;
+};
+
+SlotWorkload make_slot_workload(std::size_t n, std::uint64_t seed) {
+  SlotWorkload w;
+  Rng rng(seed);
+  w.space = make_space("ring", n + 8, rng);
+  w.net = build_static(*w.space, n, default_params(), seed);
+  for (const auto& node : w.net->registry().nodes())
+    if (node->alive) w.nodes.push_back(node.get());
+  Rng wl(seed ^ 0x51a7);
+  const unsigned digits = w.net->params().id.num_digits;
+  const unsigned radix = w.net->params().id.radix();
+  for (int i = 0; i < 4096; ++i)
+    w.probes.push_back({static_cast<std::uint32_t>(wl.next_u64(w.nodes.size())),
+                        static_cast<unsigned>(wl.next_u64(digits)),
+                        static_cast<unsigned>(wl.next_u64(radix))});
+  return w;
+}
+
+/// One full pass over the workload; returns a checksum of chosen digits
+/// (keeps the optimizer honest and doubles as the agreement witness).
+template <typename SelectFn>
+std::uint64_t slot_pass(const SlotWorkload& w, SelectFn&& select) {
+  std::uint64_t sum = 0;
+  for (const auto& p : w.probes) {
+    bool past_hole = false;
+    const auto j =
+        select(*w.nodes[p.node], p.level, p.desired, past_hole);
+    sum = sum * 31 + (j.has_value() ? *j + 1 : 0) + (past_hole ? 7 : 0);
+  }
+  return sum;
+}
+
+double best_pass_ms(const std::function<std::uint64_t()>& pass, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    volatile std::uint64_t sink = pass();
+    (void)sink;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+// --------------------------------------------------------------------
+// Hand-rolled harness (also the --json CI path)
+// --------------------------------------------------------------------
+
+int run_handrolled(bool json) {
+  const SlotWorkload w = make_slot_workload(512, 42);
+  const Router& router = w.net->router();
+
+  auto bitmask_pass = [&] {
+    return slot_pass(w, [&](const TapestryNode& at, unsigned l, unsigned d,
+                            bool& ph) { return router.select_slot(at, l, d, ph); });
+  };
+  auto reference_pass = [&] {
+    return slot_pass(w, [&](const TapestryNode& at, unsigned l, unsigned d,
+                            bool& ph) {
+      return router.select_slot_reference(at, l, d, ph);
+    });
+  };
+
+  const std::uint64_t sum_bitmask = bitmask_pass();
+  const std::uint64_t sum_reference = reference_pass();
+  const bool agree = sum_bitmask == sum_reference;
+
+  // Warm, then take the best of several timed passes of many workload
+  // sweeps each — enough work to dwarf clock granularity.
+  constexpr int kSweeps = 64;
+  const double ms_bitmask = best_pass_ms(
+      [&] {
+        std::uint64_t s = 0;
+        for (int i = 0; i < kSweeps; ++i) s ^= bitmask_pass();
+        return s;
+      },
+      5);
+  const double ms_reference = best_pass_ms(
+      [&] {
+        std::uint64_t s = 0;
+        for (int i = 0; i < kSweeps; ++i) s ^= reference_pass();
+        return s;
+      },
+      5);
+  const double speedup = ms_bitmask > 0.0 ? ms_reference / ms_bitmask : 1.0;
+  const double ns_per_bitmask =
+      ms_bitmask * 1e6 / (kSweeps * double(w.probes.size()));
+  const double ns_per_reference =
+      ms_reference * 1e6 / (kSweeps * double(w.probes.size()));
+
+  // Full peek routes over the const read path (informational timing plus
+  // a deterministic hop counter the baseline can gate exactly).
+  const auto ids = w.net->node_ids();
+  std::size_t peek_hops = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int q = 0; q < 2000; ++q) {
+    const Guid guid = bench_guid(*w.net, 900 + q);
+    peek_hops +=
+        w.net->router().route_to_root_peek(ids[q % ids.size()], guid).hops;
+  }
+  const double peek_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count() /
+                         2000.0;
+
+  if (json) {
+    std::printf(
+        "{\"bench\":\"bench_micro\",\"metrics\":{"
+        "\"select_slot_agreement\":%d,\"select_slot_speedup\":%.3f,"
+        "\"select_slot_ns_bitmask\":%.2f,\"select_slot_ns_reference\":%.2f,"
+        "\"peek_route_hops_2000q\":%zu,\"peek_route_us\":%.2f}}\n",
+        agree ? 1 : 0, speedup, ns_per_bitmask, ns_per_reference, peek_hops,
+        peek_us);
+    return agree ? 0 : 1;
+  }
+
+  print_header("E12 — local micro-costs (hand-rolled)",
+               "§3 cost model: local computation is negligible; occupancy "
+               "bitmasks accelerate the select_slot hot path");
+  std::printf("select_slot: bitmask %.1f ns/op, reference %.1f ns/op "
+              "(%.2fx speedup), agreement %s\n",
+              ns_per_bitmask, ns_per_reference, speedup,
+              agree ? "exact" : "BROKEN");
+  std::printf("route_to_root_peek: %.2f us/route (%zu hops over 2000 "
+              "routes, const read path)\n",
+              peek_us, peek_hops);
+  return agree ? 0 : 1;
+}
+
+// --------------------------------------------------------------------
+// google-benchmark suites
+// --------------------------------------------------------------------
+
+#ifdef TAPESTRY_HAVE_GBENCH
 
 void BM_IdDigitExtraction(benchmark::State& state) {
   const IdSpec spec{4, 10};
@@ -55,13 +226,42 @@ void BM_NeighborSetConsider(benchmark::State& state) {
 }
 BENCHMARK(BM_NeighborSetConsider);
 
+void BM_SelectSlotBitmask(benchmark::State& state) {
+  static const SlotWorkload w = make_slot_workload(512, 42);
+  const Router& router = w.net->router();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slot_pass(
+        w, [&](const TapestryNode& at, unsigned l, unsigned d, bool& ph) {
+          return router.select_slot(at, l, d, ph);
+        }));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.probes.size()));
+  state.SetLabel("occupancy-mask slot scan, 4096 probes/iter");
+}
+BENCHMARK(BM_SelectSlotBitmask)->Unit(benchmark::kMicrosecond);
+
+void BM_SelectSlotReference(benchmark::State& state) {
+  static const SlotWorkload w = make_slot_workload(512, 42);
+  const Router& router = w.net->router();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slot_pass(
+        w, [&](const TapestryNode& at, unsigned l, unsigned d, bool& ph) {
+          return router.select_slot_reference(at, l, d, ph);
+        }));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.probes.size()));
+  state.SetLabel("pre-bitmask linear slot scan, 4096 probes/iter");
+}
+BENCHMARK(BM_SelectSlotReference)->Unit(benchmark::kMicrosecond);
+
 void BM_RouteToRoot(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(4);
   auto space = make_space("ring", n + 8, rng);
   auto net = build_static(*space, n, default_params(), 4);
   const auto ids = net->node_ids();
-  Rng wl(5);
   std::size_t q = 0;
   for (auto _ : state) {
     const Guid guid = bench_guid(*net, q++);
@@ -71,6 +271,22 @@ void BM_RouteToRoot(benchmark::State& state) {
   state.SetLabel("full surrogate route, n=" + std::to_string(n));
 }
 BENCHMARK(BM_RouteToRoot)->Arg(256)->Arg(1024);
+
+void BM_RouteToRootPeek(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  auto space = make_space("ring", n + 8, rng);
+  auto net = build_static(*space, n, default_params(), 4);
+  const auto ids = net->node_ids();
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const Guid guid = bench_guid(*net, q++);
+    benchmark::DoNotOptimize(
+        net->router().route_to_root_peek(ids[q % ids.size()], guid));
+  }
+  state.SetLabel("const lock-free surrogate route, n=" + std::to_string(n));
+}
+BENCHMARK(BM_RouteToRootPeek)->Arg(256)->Arg(1024);
 
 void BM_LocateHit(benchmark::State& state) {
   const std::size_t n = 512;
@@ -92,18 +308,25 @@ BENCHMARK(BM_LocateHit);
 
 void BM_StaticTableBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
   Rng rng(8);
   auto space = make_space("ring", n + 8, rng);
   for (auto _ : state) {
     state.PauseTiming();
     auto net = std::make_unique<Network>(*space, default_params(), 8);
-    for (std::size_t i = 0; i < n; ++i) net->insert_static(i);
+    std::vector<Location> locs(n);
+    for (std::size_t i = 0; i < n; ++i) locs[i] = i;
+    net->insert_static_bulk(locs, workers);
     state.ResumeTiming();
-    net->rebuild_static_tables();
+    net->rebuild_static_tables(workers);
     benchmark::DoNotOptimize(net->total_table_entries());
   }
+  state.SetLabel("workers=" + std::to_string(workers));
 }
-BENCHMARK(BM_StaticTableBuild)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StaticTableBuild)
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DynamicJoin(benchmark::State& state) {
   const std::size_t n = 256;
@@ -118,6 +341,20 @@ void BM_DynamicJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicJoin)->Unit(benchmark::kMicrosecond)->Iterations(512);
 
+#endif  // TAPESTRY_HAVE_GBENCH
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return run_handrolled(true);
+#ifdef TAPESTRY_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  return run_handrolled(false);
+#endif
+}

@@ -60,12 +60,12 @@ Result measure(std::size_t n, RoutingMode mode, std::uint64_t seed) {
 }  // namespace
 }  // namespace tap::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tap;
   using namespace tap::bench;
-  print_header("E6 — surrogate routing",
-               "§2.3 / Theorem 2: unique roots; O(log n) hops; < 2 expected "
-               "extra surrogate hops, independent of n");
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json") json = true;
 
   std::vector<std::pair<std::size_t, RoutingMode>> configs;
   for (const std::size_t n : {128ul, 512ul, 2048ul})
@@ -76,6 +76,28 @@ int main() {
   const auto results = run_trials<Result>(configs.size(), [&](std::size_t i) {
     return measure(configs[i].first, configs[i].second, 555 + i);
   });
+
+  if (json) {
+    // Deterministic metrics (fixed seeds): tools/check_bench.py gates them
+    // against bench/baselines/bench_routing.json in the perf-smoke CI job.
+    std::printf("{\"bench\":\"bench_routing\",\"metrics\":{");
+    bool first = true;
+    for (const Result& r : results) {
+      std::printf("%s\"hops_mean_n%zu_%s\":%.4f,"
+                  "\"surrogate_mean_n%zu_%s\":%.4f,"
+                  "\"unique_roots_n%zu_%s\":%d",
+                  first ? "" : ",", r.n, r.mode.c_str(), r.hops_mean, r.n,
+                  r.mode.c_str(), r.surrogate_mean, r.n, r.mode.c_str(),
+                  r.unique_roots ? 1 : 0);
+      first = false;
+    }
+    std::printf("}}\n");
+    return 0;
+  }
+
+  print_header("E6 — surrogate routing",
+               "§2.3 / Theorem 2: unique roots; O(log n) hops; < 2 expected "
+               "extra surrogate hops, independent of n");
 
   TextTable table({"n", "mode", "hops mean", "hops max", "log16(n)",
                    "surrogate hops mean", "surrogate p99", "unique roots"});

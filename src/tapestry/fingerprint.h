@@ -1,0 +1,68 @@
+// Order-sensitive FNV-1a fingerprints over a network's routing and object
+// state — the witness for the parallel pipeline's determinism contract
+// (same seed + any thread count => identical fingerprints).  Defined once
+// here so tests/test_parallel_build.cc and bench/bench_parallel_build.cc
+// gate the *same* contract: extending the fingerprint (new slot state, new
+// record fields) updates the test and the CI perf gate together.
+//
+// Both walks visit live nodes in registry insertion order and require
+// quiescence (they read tables and stores without synchronisation).
+#pragma once
+
+#include <cstdint>
+
+#include "src/tapestry/network.h"
+
+namespace tap {
+
+namespace detail {
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    h_ ^= v;
+    h_ *= 1099511628211ull;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+}  // namespace detail
+
+/// Every live node's routing state: occupancy masks, slot entries in
+/// stored (distance) order with pin marks, and backpointer sets.
+[[nodiscard]] inline std::uint64_t fingerprint_tables(const Network& net) {
+  detail::Fnv1a h;
+  for (const auto& n : net.registry().nodes()) {
+    if (!n->alive) continue;
+    h.mix(n->id().value());
+    const RoutingTable& t = n->table();
+    for (unsigned l = 0; l < t.levels(); ++l) {
+      const std::uint64_t* row = t.row_occupancy(l);
+      for (unsigned w = 0; w < t.occupancy_words(); ++w) h.mix(row[w]);
+      for (unsigned j = 0; j < t.radix(); ++j)
+        for (const auto& e : t.at(l, j).entries())
+          h.mix(e.id.value() * 2 + (e.pinned ? 1 : 0));
+      for (const NodeId& b : t.backpointers(l)) h.mix(b.value());
+    }
+  }
+  return h.value();
+}
+
+/// Every live node's object pointers: (guid, server, last_hop) triples in
+/// store iteration order.
+[[nodiscard]] inline std::uint64_t fingerprint_stores(const Network& net) {
+  detail::Fnv1a h;
+  for (const auto& n : net.registry().nodes()) {
+    if (!n->alive) continue;
+    h.mix(n->id().value());
+    for (const auto& [guid, rec] : n->store().snapshot()) {
+      h.mix(guid.value());
+      h.mix(rec.server.value());
+      h.mix(rec.last_hop.has_value() ? rec.last_hop->value() + 1 : 0);
+    }
+  }
+  return h.value();
+}
+
+}  // namespace tap

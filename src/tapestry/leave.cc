@@ -46,7 +46,7 @@ void MaintenanceEngine::leave(NodeId id, Trace* trace) {
       unlink(b, l, id);
       for (const NodeId& h : hints)
         if (!(h == holder) && reg_.is_live(h)) link(b, l, reg_.live(h));
-      if (b.table().at(l, id.digit(l)).empty()) {
+      if (b.table().slot_empty(l, id.digit(l))) {
         if (auto rep = find_replacement(b, l, id.digit(l), trace);
             rep.has_value())
           link(b, l, reg_.live(*rep));
@@ -69,7 +69,7 @@ void MaintenanceEngine::leave(NodeId id, Trace* trace) {
           reg_.acct(trace, a, *other, 1);
           other->table().remove_backpointer(l, id);
         }
-        a.table().at(l, j).remove(e.id);
+        a.table().remove(l, j, e.id);
       }
     }
   }

@@ -26,7 +26,7 @@ bool MaintenanceEngine::link(TapestryNode& owner, unsigned level,
                  "neighbor does not share the slot's prefix");
   const unsigned digit = nbr.id().digit(level);
   auto res =
-      owner.table().at(level, digit).consider(nbr.id(), reg_.dist(owner, nbr));
+      owner.table().consider(level, digit, nbr.id(), reg_.dist(owner, nbr));
   if (res.evicted.has_value()) {
     if (TapestryNode* ev = reg_.find(*res.evicted); ev != nullptr)
       ev->table().remove_backpointer(level, owner.id());
@@ -38,7 +38,7 @@ bool MaintenanceEngine::link(TapestryNode& owner, unsigned level,
 void MaintenanceEngine::unlink(TapestryNode& owner, unsigned level,
                                NodeId nbr) {
   if (nbr == owner.id()) return;  // never drop self-entries
-  if (owner.table().at(level, nbr.digit(level)).remove(nbr)) {
+  if (owner.table().remove(level, nbr.digit(level), nbr)) {
     if (TapestryNode* n = reg_.find(nbr); n != nullptr)
       n->table().remove_backpointer(level, owner.id());
   }
@@ -74,7 +74,7 @@ void MaintenanceEngine::purge_dead_neighbor(TapestryNode& at, NodeId dead,
   for (unsigned l = 0; l <= gcp && l < digits; ++l) {
     const unsigned digit = dead.digit(l);
     unlink(at, l, dead);
-    if (at.table().at(l, digit).empty()) {
+    if (at.table().slot_empty(l, digit)) {
       // A hole appeared; Property 1 obliges us to find a replacement or
       // establish that none exists (§5.2).
       if (auto rep = find_replacement(at, l, digit, trace); rep.has_value())
@@ -172,7 +172,7 @@ void MaintenanceEngine::heartbeat_sweep(Trace* trace) {
       if (!n->alive) continue;
       for (unsigned l = 0; l < digits; ++l) {
         for (unsigned j = 0; j < radix; ++j) {
-          if (!n->table().at(l, j).empty()) continue;
+          if (!n->table().slot_empty(l, j)) continue;
           const std::uint64_t key = slot_key(*n, l, j);
           if (known_empty.count(key) != 0) continue;
           const auto before = dir_.snapshot_pointer_hops(*n);
@@ -240,7 +240,7 @@ void MaintenanceEngine::optimize_primaries(NodeId id, Trace* trace) {
           continue;
         }
         reg_.acct(trace, n, *other, 2);  // distance probe
-        n.table().at(l, j).consider(e.id, reg_.dist(n, *other));
+        n.table().consider(l, j, e.id, reg_.dist(n, *other));
       }
     }
   }

@@ -91,8 +91,12 @@ class MaintenanceEngine final : public RepairHandler {
 
   // --- oracle construction (static PRR preprocessing) ---
   /// Rebuilds every live node's table from global knowledge (Property 1+2
-  /// by construction).
-  void rebuild_static_tables();
+  /// by construction), fanning the per-node work out across `workers`
+  /// threads (0 = hardware concurrency).  The result is bit-identical for
+  /// every worker count: forward tables are a per-node function of the
+  /// global candidate buckets, and backpointers land in ordered sets, so
+  /// scheduling cannot leak into the outcome.
+  void rebuild_static_tables(std::size_t workers = 1);
 
   // --- join internals (§3-§4), shared with ParallelJoinCoordinator ---
   void copy_preliminary_table(TapestryNode& nn, TapestryNode& surrogate,

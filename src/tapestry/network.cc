@@ -31,6 +31,27 @@ NodeId Network::insert_static(Location loc, std::optional<NodeId> id) {
   return nid;
 }
 
+std::vector<NodeId> Network::insert_static_bulk(
+    const std::vector<Location>& locs, std::size_t workers) {
+  // Draw ids serially so the sequence equals n calls to insert_static with
+  // the same rng state; uniqueness within the batch is enforced here (the
+  // registry only sees already-registered ids via fresh_node_id).
+  std::vector<std::pair<NodeId, Location>> batch;
+  batch.reserve(locs.size());
+  std::unordered_set<std::uint64_t> drawn;
+  drawn.reserve(locs.size());
+  for (const Location loc : locs) {
+    NodeId id = registry_.fresh_node_id();
+    while (!drawn.insert(id.value()).second) id = registry_.fresh_node_id();
+    batch.emplace_back(id, loc);
+  }
+  registry_.register_bulk(batch, workers);
+  std::vector<NodeId> ids;
+  ids.reserve(batch.size());
+  for (const auto& [id, loc] : batch) ids.push_back(id);
+  return ids;
+}
+
 // ---------------------------------------------------------------------
 // Invariant checks
 // ---------------------------------------------------------------------

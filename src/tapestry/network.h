@@ -121,6 +121,14 @@ class Network {
     directory_.publish(server, guid, trace);
   }
 
+  /// Batched publish for bulk overlay construction: publish paths walked
+  /// concurrently through the Router's mutation-free read path, deposits
+  /// drained per registry shard (see ObjectDirectory::publish_batch).
+  void publish_batch(const std::vector<ObjectDirectory::PublishRequest>& batch,
+                     std::size_t workers = 0, Trace* trace = nullptr) {
+    directory_.publish_batch(batch, workers, trace);
+  }
+
   /// Removes the replica mapping (guid -> server) along its root paths.
   void unpublish(NodeId server, const Guid& guid, Trace* trace = nullptr) {
     directory_.unpublish(server, guid, trace);
@@ -329,9 +337,18 @@ class Network {
   /// protocol.  Pair with rebuild_static_tables() — this is the paper's
   /// static PRR preprocessing, used as ground truth by tests.
   NodeId insert_static(Location loc, std::optional<NodeId> id = std::nullopt);
+  /// Bulk oracle membership: draws one fresh id per location (serially,
+  /// so the id sequence matches repeated insert_static calls), then
+  /// registers the whole batch with node construction fanned out across
+  /// `workers` threads.  Returns the ids in location order.
+  std::vector<NodeId> insert_static_bulk(const std::vector<Location>& locs,
+                                         std::size_t workers = 0);
   /// Rebuilds every live node's table from global knowledge (Property 1+2
-  /// by construction).
-  void rebuild_static_tables() { maintenance_.rebuild_static_tables(); }
+  /// by construction); `workers` > 1 fans the per-node work out with a
+  /// bit-identical result (see MaintenanceEngine::rebuild_static_tables).
+  void rebuild_static_tables(std::size_t workers = 1) {
+    maintenance_.rebuild_static_tables(workers);
+  }
 
   // ------------------------------------------------------------------
   // Invariant checks (throw tap::CheckError on violation)

@@ -13,7 +13,10 @@
 #include "src/tapestry/object_directory.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
+
+#include "src/sim/thread_pool.h"
 
 namespace tap {
 
@@ -72,6 +75,109 @@ void ObjectDirectory::publish(NodeId server, const Guid& guid, Trace* trace) {
   auto& servers = replicas_[guid];
   if (std::find(servers.begin(), servers.end(), server) == servers.end())
     servers.push_back(server);
+}
+
+void ObjectDirectory::publish_batch(const std::vector<PublishRequest>& batch,
+                                    std::size_t workers, Trace* trace) {
+  if (batch.empty()) return;
+  if (params_.prr_secondary_search) {
+    // Secondary deposits mutate neighbor stores mid-walk; keep the serial
+    // semantics rather than complicating the concurrent drain.
+    for (const PublishRequest& r : batch) publish(r.server, r.guid, trace);
+    return;
+  }
+
+  // Phase 0 (serial): validate and register every replica in batch order.
+  for (const PublishRequest& r : batch) {
+    TAP_CHECK(r.guid.valid() && r.guid.spec() == params_.id,
+              "guid does not match the network's IdSpec");
+    TAP_CHECK(reg_.is_live(r.server), "publish_batch: server must be alive");
+    auto& servers = replicas_[r.guid];
+    if (std::find(servers.begin(), servers.end(), r.server) == servers.end())
+      servers.push_back(r.server);
+  }
+  const double expires = events_.now() + params_.pointer_ttl;
+
+  // One task per (request, salt), grouped by the salted guid's leading
+  // digit: every path in a group converges into the same root region.
+  struct Task {
+    NodeId server{};
+    Guid target{};
+  };
+  struct Deposit {
+    TapestryNode* at = nullptr;
+    PointerRecord rec{};
+  };
+  const unsigned radix = params_.id.radix();
+  // Tasks stay in request order — every later phase applies effects in
+  // task order, which makes the result match the serial publish loop
+  // (down to store iteration order; trace latency up to floating-point
+  // summation order).  The per-root groups
+  // only schedule phase 1: group g holds the indices of the tasks whose
+  // salted guid leads with digit g, the root region their paths share.
+  std::vector<Task> tasks;
+  std::vector<std::vector<std::size_t>> groups(radix);
+  for (const PublishRequest& r : batch) {
+    for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt) {
+      const Guid target = salted_guid(r.guid, salt);
+      groups[target.digit(0)].push_back(tasks.size());
+      tasks.push_back(Task{r.server, target});
+    }
+  }
+  const std::size_t n_tasks = tasks.size();
+
+  // Phase 1: walk every publish path with the mutation-free peek router —
+  // any number of threads may read the quiescent mesh — collecting the
+  // deposits and per-task cost accounting.  Drained group by group.
+  std::vector<std::vector<Deposit>> deposits(n_tasks);
+  std::vector<Trace> task_traces(n_tasks);
+  parallel_for(
+      radix,
+      [&](std::size_t d) {
+        for (const std::size_t t : groups[d]) {
+          const Task& task = tasks[t];
+          TapestryNode* cur = &reg_.live(task.server);
+          RouteState state;
+          std::optional<NodeId> last_hop;
+          for (;;) {
+            deposits[t].push_back(
+                Deposit{cur, PointerRecord{task.server, last_hop, state.level,
+                                           state.past_hole, expires}});
+            auto next =
+                router_.route_step_peek(cur->id(), task.target, state);
+            if (!next.has_value()) break;  // cur is the root
+            TapestryNode* nxt = reg_.find(*next);
+            TAP_ASSERT(nxt != nullptr);
+            reg_.acct(&task_traces[t], *cur, *nxt);
+            last_hop = cur->id();
+            cur = nxt;
+          }
+        }
+      },
+      workers);
+
+  // Phase 2: drain the deposits per registry shard — one writer per
+  // shard's stores, applied in task order, so the store contents match
+  // the serial publish loop record for record.
+  std::array<std::vector<std::pair<std::size_t, std::size_t>>,
+             NodeRegistry::kShardCount>
+      by_shard;  // (task, deposit) indices
+  for (std::size_t t = 0; t < n_tasks; ++t)
+    for (std::size_t k = 0; k < deposits[t].size(); ++k)
+      by_shard[reg_.shard_of(deposits[t][k].at->id())].emplace_back(t, k);
+  parallel_for(
+      NodeRegistry::kShardCount,
+      [&](std::size_t s) {
+        for (const auto& [t, k] : by_shard[s]) {
+          const Deposit& dep = deposits[t][k];
+          dep.at->store().upsert(tasks[t].target, dep.rec);
+        }
+      },
+      workers);
+
+  // Accounting lands in task order, independent of phase scheduling.
+  if (trace != nullptr)
+    for (const Trace& t : task_traces) trace->absorb(t);
 }
 
 void ObjectDirectory::unpublish_one(TapestryNode& server, const Guid& salted,
@@ -293,6 +399,12 @@ struct ObjectDirectory::AsyncLocateOp {
   RouteState state{};
   std::unordered_set<std::uint64_t> visited{};
   Router::ExcludeSet excluded{};
+  // Final pointer -> replica leg (§2.2, Figure 3), decomposed per hop like
+  // the walk to the pointer: set once a pointer is found.  (Which phase a
+  // query is in is encoded by the scheduled callback — locate_step vs
+  // locate_replica_step — not by a flag.)
+  NodeId replica_target{};
+  RouteState leg_state{};
   // Accounting: everything lands here; absorbed into `external` at the end.
   Trace per_op{false};
   Trace* external = nullptr;
@@ -420,6 +532,9 @@ void ObjectDirectory::begin_locate_attempt(
   op->state = RouteState{};
   op->visited.clear();
   op->excluded.clear();
+  op->replica_target = NodeId{};
+  op->leg_state = RouteState{};
+  op->res = LocateResult{};  // a failed leg may have left partial fields
   events_.schedule_in(0.0, [this, op] { locate_step(op); });
 }
 
@@ -427,7 +542,9 @@ void ObjectDirectory::next_locate_attempt(
     const std::shared_ptr<AsyncLocateOp>& op) {
   ++op->attempt;
   if (op->attempt >= op->attempts) {
-    op->res.found = false;
+    // A failed final leg may have left pointer_node/server populated;
+    // a miss must not leak a stale "last known location".
+    op->res = LocateResult{};
     finish_locate(op);
     return;
   }
@@ -455,17 +572,21 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
   Trace* t = &op->per_op;
 
   auto resolve = [&](TapestryNode& holder, const PointerRecord& rec) {
-    op->res.found = true;
     op->res.pointer_node = holder.id();
     op->res.server = rec.server;
-    // Final leg to the replica: charged atomically (the walk to the
-    // pointer is what must interleave; the forward leg is plain routing).
-    if (!(rec.server == holder.id())) {
-      RouteResult leg = router_.route_to_root(holder.id(), rec.server, t);
-      TAP_ASSERT_MSG(leg.root == rec.server,
-                     "exact-id routing must terminate at the server");
+    if (rec.server == holder.id()) {  // the pointer holder is the replica
+      op->res.found = true;
+      finish_locate(op);
+      return;
     }
-    finish_locate(op);
+    // Final leg to the replica: one routing decision per event, exactly
+    // like the walk to the pointer, so a replica (or carrier) crash can
+    // strike while the query is already heading for it — the §6.5
+    // interleaving the atomic leg could never observe.
+    op->replica_target = rec.server;
+    op->leg_state = RouteState{};
+    op->cur = holder.id();
+    events_.schedule_in(0.0, [this, op] { locate_replica_step(op); });
   };
 
   // Check the current node for a pointer before routing further.
@@ -527,6 +648,40 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
     return;
   }
   next_locate_attempt(op);  // definitive miss for this root
+}
+
+void ObjectDirectory::locate_replica_step(
+    const std::shared_ptr<AsyncLocateOp>& op) {
+  TapestryNode* curp = reg_.find(op->cur);
+  if (curp == nullptr || !curp->alive) {
+    // The node carrying the query died while the leg was in flight: this
+    // root attempt is lost, like a carrier death on the walk to the
+    // pointer.
+    next_locate_attempt(op);
+    return;
+  }
+  TapestryNode& cur = *curp;
+  if (cur.id() == op->replica_target) {  // arrived at the replica
+    op->res.found = true;
+    finish_locate(op);
+    return;
+  }
+  // One exact-id routing decision toward the replica per event.
+  // route_step hands back live nodes only; if the replica crashed after
+  // the pointer was read, lazy repair purges it and the walk terminates
+  // at its surrogate instead — a lost attempt, retried on the remaining
+  // roots like any other in-flight casualty.
+  auto next = router_.route_step(cur, op->replica_target, op->leg_state,
+                                 &op->per_op);
+  if (!next.has_value()) {
+    next_locate_attempt(op);
+    return;
+  }
+  TapestryNode& nxt = reg_.live(*next);
+  reg_.acct(&op->per_op, cur, nxt);
+  op->cur = *next;
+  events_.schedule_in(reg_.dist(cur, nxt) * params_.hop_delay_scale,
+                      [this, op] { locate_replica_step(op); });
 }
 
 // ---------------------------------------------------------------------

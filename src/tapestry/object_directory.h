@@ -43,6 +43,26 @@ class ObjectDirectory {
   void unpublish(NodeId server, const Guid& guid, Trace* trace = nullptr);
   LocateResult locate(NodeId client, const Guid& guid, Trace* trace = nullptr);
 
+  /// One replica registration for publish_batch.
+  struct PublishRequest {
+    NodeId server{};
+    Guid guid{};
+  };
+  /// Batched publish for bulk overlay construction.  Registers every
+  /// replica up front, then deposits the pointers in two concurrent
+  /// phases drained through sim/thread_pool: the publish paths are walked
+  /// with the Router's mutation-free peek (grouped by the salted guid's
+  /// leading digit — the root region each path converges into), and the
+  /// collected deposits land per registry shard, each shard applying its
+  /// deposits in batch order.  The result is identical to calling
+  /// publish() per request on a quiescent, fully-live mesh (the
+  /// bulk-build setting): stores, replica registry and message counts
+  /// match exactly; trace latency matches up to floating-point summation
+  /// order.  The §2.4 secondary-deposit variant falls back to the serial
+  /// loop.
+  void publish_batch(const std::vector<PublishRequest>& batch,
+                     std::size_t workers = 0, Trace* trace = nullptr);
+
   // --- event-driven publication and location ---
   // Per-hop decomposition of publish/locate onto the EventQueue: each
   // routing hop is a separate event, delayed by the link's metric distance
@@ -128,6 +148,7 @@ class ObjectDirectory {
   struct AsyncPublishOp;
   void begin_locate_attempt(const std::shared_ptr<AsyncLocateOp>& op);
   void locate_step(const std::shared_ptr<AsyncLocateOp>& op);
+  void locate_replica_step(const std::shared_ptr<AsyncLocateOp>& op);
   void next_locate_attempt(const std::shared_ptr<AsyncLocateOp>& op);
   void finish_locate(const std::shared_ptr<AsyncLocateOp>& op);
   void begin_publish_path(const std::shared_ptr<AsyncPublishOp>& op);

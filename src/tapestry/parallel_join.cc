@@ -82,13 +82,16 @@ void ParallelJoinCoordinator::start_join(std::size_t index,
   // 2. Preliminary table copy from the surrogate.
   net_.maintenance().copy_preliminary_table(nn, surrogate, alpha, &s.trace);
 
-  // 3. Watch list: every slot the new node still knows no one for.
+  // 3. Watch list: every slot the new node still knows no one for — the
+  //    complement of its table's row occupancy masks.
+  const unsigned radix = net_.params().id.radix();
+  TAP_CHECK(radix <= 64, "parallel join watch lists require radix <= 64");
+  const std::uint64_t full_row =
+      radix == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << radix) - 1;
   WatchList watch;
   watch.missing.assign(net_.params().id.num_digits, 0);
   for (unsigned l = 0; l < net_.params().id.num_digits; ++l)
-    for (unsigned j = 0; j < net_.params().id.radix(); ++j)
-      if (nn.table().at(l, j).empty())
-        watch.missing[l] |= (std::uint32_t{1} << j);
+    watch.missing[l] = ~nn.table().row_mask64(l) & full_row;
 
   // 4. Launch the acknowledged multicast at the surrogate.
   deliver_multicast(index, sur, std::nullopt, alpha, std::move(watch));
@@ -120,7 +123,7 @@ void ParallelJoinCoordinator::check_watch_list(std::size_t session_idx,
   for (unsigned l = 0; l < watch.missing.size() && l <= gcp; ++l) {
     if (watch.missing[l] == 0) continue;
     for (unsigned j = 0; j < net_.params().id.radix(); ++j) {
-      if ((watch.missing[l] & (std::uint32_t{1} << j)) == 0) continue;
+      if ((watch.missing[l] & (std::uint64_t{1} << j)) == 0) continue;
       // Can this node fill slot (l, j) of the inserter?  Its own (l, j)
       // entries share prefix nn[0..l)·j because l <= gcp.
       for (const auto& e : at.table().at(l, j).entries()) {
@@ -131,7 +134,7 @@ void ParallelJoinCoordinator::check_watch_list(std::size_t session_idx,
         // the watch slot found before forwarding onward.
         s.trace.hop(net_.distance(at.id(), nn.id()));
         net_.maintenance().link(nn, l, *filler);
-        watch.missing[l] &= ~(std::uint32_t{1} << j);
+        watch.missing[l] &= ~(std::uint64_t{1} << j);
         break;
       }
     }
@@ -167,9 +170,8 @@ void ParallelJoinCoordinator::handle_multicast(std::size_t session_idx,
   // forward routes, so pointer paths are snapshotted around the pair.
   const auto at_before = net_.directory().snapshot_pointer_hops(at);
   if (s.pinned_at.insert(at_id.value()).second) {
-    at.table()
-        .at(s.alpha, s.hole_digit)
-        .pin(nn.id(), net_.distance(at_id, nn.id()));
+    at.table().pin(s.alpha, s.hole_digit, nn.id(),
+                   net_.distance(at_id, nn.id()));
     nn.table().add_backpointer(s.alpha, at_id);
   }
   net_.maintenance().add_to_table_if_closer(at, nn);
@@ -271,7 +273,7 @@ void ParallelJoinCoordinator::release_pin(std::size_t session_idx,
   Session& s = sessions_[session_idx];
   if (s.pinned_at.erase(at.value()) == 0) return;
   std::vector<NodeId> evicted;
-  net_.node(at).table().at(s.alpha, s.hole_digit).unpin(s.nn, evicted);
+  net_.node(at).table().unpin(s.alpha, s.hole_digit, s.nn, evicted);
   for (const NodeId& ev : evicted)
     if (TapestryNode* n = net_.registry().find(ev); n != nullptr)
       n->table().remove_backpointer(s.alpha, at);

@@ -67,8 +67,10 @@ class ParallelJoinCoordinator {
  private:
   struct WatchList {
     // One bitmask per level: bit j set => slot (level, j) still unknown to
-    // the inserting node.
-    std::vector<std::uint32_t> missing;
+    // the inserting node.  Initialised as the complement of the new node's
+    // routing-table occupancy masks (single-word rows; the coordinator
+    // checks radix <= 64, which covers every digit_bits <= 6 IdSpec).
+    std::vector<std::uint64_t> missing;
   };
 
   struct Session {

@@ -1,19 +1,89 @@
 #include "src/tapestry/registry.h"
 
+#include <unordered_set>
+
+#include "src/sim/thread_pool.h"
+
 namespace tap {
 
 NodeRegistry::NodeRegistry(const MetricSpace& space,
                            const TapestryParams& params, Rng& rng)
-    : space_(space), params_(params), rng_(rng) {}
+    : space_(space), params_(params), rng_(rng) {
+  const unsigned total = params_.id.valid() ? params_.id.total_bits() : 64;
+  shard_shift_ = total > kShardBits ? total - kShardBits : 0;
+}
+
+NodeRegistry::~NodeRegistry() = default;
+
+// ---------------------------------------------------------------------
+// Sharded index: lock-free reads, per-shard writer mutex
+// ---------------------------------------------------------------------
+
+TapestryNode* NodeRegistry::lookup(std::uint64_t key) const {
+  const Shard& sh =
+      shards_[static_cast<unsigned>(key >> shard_shift_) & (kShardCount - 1)];
+  const IndexTable* t = sh.table.load(std::memory_order_acquire);
+  if (t == nullptr) return nullptr;
+  std::size_t i = splitmix64(key) & t->mask;
+  for (;;) {
+    // The release store of `node` (after `key`) is the publish gate: a
+    // non-null pointer implies the matching key is visible.  A null slot
+    // ends the probe chain — occupied slots never empty (no deletions).
+    TapestryNode* n = t->slots[i].node.load(std::memory_order_acquire);
+    if (n == nullptr) return nullptr;
+    if (t->slots[i].key.load(std::memory_order_relaxed) == key) return n;
+    i = (i + 1) & t->mask;
+  }
+}
+
+void NodeRegistry::shard_insert(Shard& shard, std::uint64_t key,
+                                TapestryNode* node) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  IndexTable* t = shard.table.load(std::memory_order_relaxed);
+  if (t == nullptr || (t->used + 1) * 10 >= (t->mask + 1) * 7) {
+    // Grow (or create) and republish: readers keep probing the old
+    // snapshot until the release store below makes the new one visible.
+    const std::size_t cap = t == nullptr ? 16 : 2 * (t->mask + 1);
+    auto grown = std::make_unique<IndexTable>(cap);
+    if (t != nullptr) {
+      grown->used = t->used;
+      for (const IndexSlot& s : t->slots) {
+        TapestryNode* n = s.node.load(std::memory_order_relaxed);
+        if (n == nullptr) continue;
+        const std::uint64_t k = s.key.load(std::memory_order_relaxed);
+        std::size_t i = splitmix64(k) & grown->mask;
+        while (grown->slots[i].node.load(std::memory_order_relaxed) !=
+               nullptr)
+          i = (i + 1) & grown->mask;
+        grown->slots[i].key.store(k, std::memory_order_relaxed);
+        grown->slots[i].node.store(n, std::memory_order_relaxed);
+      }
+    }
+    t = grown.get();
+    shard.tables.push_back(std::move(grown));
+    shard.table.store(t, std::memory_order_release);
+  }
+  std::size_t i = splitmix64(key) & t->mask;
+  while (t->slots[i].node.load(std::memory_order_relaxed) != nullptr) {
+    TAP_ASSERT_MSG(t->slots[i].key.load(std::memory_order_relaxed) != key,
+                   "duplicate key in shard index");
+    i = (i + 1) & t->mask;
+  }
+  t->slots[i].key.store(key, std::memory_order_relaxed);
+  t->slots[i].node.store(node, std::memory_order_release);
+  ++t->used;
+}
+
+// ---------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------
 
 TapestryNode* NodeRegistry::find(const NodeId& id) {
-  auto it = index_.find(id);
-  return it == index_.end() ? nullptr : nodes_[it->second].get();
+  return lookup(id.value());
 }
 
 const TapestryNode* NodeRegistry::find(const NodeId& id) const {
-  auto it = index_.find(id);
-  return it == index_.end() ? nullptr : nodes_[it->second].get();
+  return lookup(id.value());
 }
 
 TapestryNode& NodeRegistry::checked(const NodeId& id) {
@@ -39,30 +109,96 @@ bool NodeRegistry::is_live(const NodeId& id) const {
   return n != nullptr && n->alive;
 }
 
-TapestryNode& NodeRegistry::register_node(NodeId id, Location loc) {
+// ---------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------
+
+void NodeRegistry::validate_registration(const NodeId& id,
+                                         Location loc) const {
   TAP_CHECK(id.valid() && id.spec() == params_.id,
             "node id does not match the network's IdSpec");
   TAP_CHECK(find(id) == nullptr, "duplicate node id " + id.to_string());
   TAP_CHECK(loc < space_.size(), "location outside the metric space");
-  nodes_.push_back(std::make_unique<TapestryNode>(id, loc, params_));
-  index_.emplace(id, nodes_.size() - 1);
-  ++live_count_;
-  return *nodes_.back();
+}
+
+TapestryNode& NodeRegistry::register_node(NodeId id, Location loc) {
+  validate_registration(id, loc);
+  auto owned = std::make_unique<TapestryNode>(id, loc, params_);
+  TapestryNode* node = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes_.push_back(std::move(owned));
+  }
+  shard_insert(shards_[shard_of(id)], id.value(), node);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  return *node;
+}
+
+void NodeRegistry::register_bulk(
+    const std::vector<std::pair<NodeId, Location>>& batch,
+    std::size_t workers) {
+  if (batch.empty()) return;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(batch.size());
+  for (const auto& [id, loc] : batch) {
+    validate_registration(id, loc);
+    TAP_CHECK(seen.insert(id.value()).second,
+              "duplicate node id within the batch");
+  }
+
+  // Reserve the insertion-order slots up front so construction can fan out
+  // while the order stays exactly the batch order for every worker count.
+  // nodes_mu_ stays held across the fill: the workers write disjoint
+  // elements of a buffer whose stability the lock guarantees — a racing
+  // register_node/register_bulk must not reallocate it mid-construction.
+  // The raw pointers are captured under the lock too, so the index phase
+  // below never touches nodes_ itself.
+  std::vector<TapestryNode*> built(batch.size());
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    const std::size_t base = nodes_.size();
+    nodes_.resize(base + batch.size());
+    parallel_for(
+        batch.size(),
+        [&](std::size_t i) {
+          nodes_[base + i] = std::make_unique<TapestryNode>(
+              batch[i].first, batch[i].second, params_);
+          built[i] = nodes_[base + i].get();
+        },
+        workers);
+  }
+
+  // Index inserts grouped per shard — one writer per shard, no contention.
+  std::array<std::vector<std::size_t>, kShardCount> by_shard;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    by_shard[shard_of(batch[i].first)].push_back(i);
+  parallel_for(
+      kShardCount,
+      [&](std::size_t s) {
+        for (const std::size_t i : by_shard[s])
+          shard_insert(shards_[s], batch[i].first.value(), built[i]);
+      },
+      workers);
+  live_count_.fetch_add(batch.size(), std::memory_order_relaxed);
 }
 
 void NodeRegistry::mark_dead(TapestryNode& node) {
   TAP_CHECK(node.alive, "node " + node.id().to_string() + " is already dead");
   node.alive = false;
-  --live_count_;
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 std::vector<NodeId> NodeRegistry::node_ids() const {
   std::vector<NodeId> ids;
-  ids.reserve(live_count_);
+  ids.reserve(live_count());
   for (const auto& n : nodes_)
     if (n->alive) ids.push_back(n->id());
   return ids;
 }
+
+// ---------------------------------------------------------------------
+// Distances, identifiers, aggregates
+// ---------------------------------------------------------------------
 
 double NodeRegistry::distance(const NodeId& a, const NodeId& b) const {
   return space_.distance(checked(a).location(), checked(b).location());

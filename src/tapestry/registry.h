@@ -6,11 +6,33 @@
 // other subsystem routes through.  The registry knows nothing about the
 // distributed algorithms — it is the "hardware" the Router, ObjectDirectory
 // and MaintenanceEngine run on.
+//
+// Concurrency model.  The id index is sharded by id prefix (the top bits
+// of the identifier, i.e. the leading digit(s)); each shard publishes an
+// immutable open-addressing table through an atomic pointer.  Readers —
+// find / checked / live / is_live, which sit under every routing hot path —
+// take no locks: they acquire-load the shard's current table and probe it.
+// Writers (register_node / register_bulk) serialize per shard on a small
+// mutex, insert in place where a slot is free (key store before a release
+// store of the node pointer makes half-written entries invisible), and
+// publish a grown copy when the load factor crosses its bound; superseded
+// tables are retired, not freed, so a reader holding an old snapshot stays
+// safe for the registry's lifetime (total retired memory is bounded by the
+// doubling growth).  Deletions never happen — dead nodes are tombstones by
+// design — which is what makes the scheme this simple.
+//
+// The insertion-order nodes() vector is append-only under its own mutex;
+// iterating it concurrently with registration is the one operation that
+// still requires quiescence (every current caller is a whole-network
+// oracle/invariant pass that owns the simulator at that point).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -23,14 +45,19 @@ namespace tap {
 
 class NodeRegistry {
  public:
+  /// Index shards; ids map to shards by their top kShardBits bits.
+  static constexpr unsigned kShardBits = 4;
+  static constexpr unsigned kShardCount = 1u << kShardBits;
+
   /// `params` and `rng` must outlive the registry (both live on Network).
   NodeRegistry(const MetricSpace& space, const TapestryParams& params,
                Rng& rng);
+  ~NodeRegistry();
 
   NodeRegistry(const NodeRegistry&) = delete;
   NodeRegistry& operator=(const NodeRegistry&) = delete;
 
-  // --- lookup ---
+  // --- lookup (lock-free snapshot reads) ---
   [[nodiscard]] TapestryNode* find(const NodeId& id);
   [[nodiscard]] const TapestryNode* find(const NodeId& id) const;
   /// Node that must exist (alive or tombstone); throws CheckError otherwise.
@@ -42,18 +69,34 @@ class NodeRegistry {
 
   // --- membership bookkeeping ---
   TapestryNode& register_node(NodeId id, Location loc);
+  /// Registers a batch of nodes — ids must be fresh and unique — with node
+  /// construction (the dominant cost: levels * radix neighbor sets each)
+  /// fanned out across `workers` threads.  Insertion order and the final
+  /// index are identical for every worker count; concurrent lock-free
+  /// readers may observe any prefix of the batch while it lands.
+  void register_bulk(const std::vector<std::pair<NodeId, Location>>& batch,
+                     std::size_t workers = 0);
   /// Marks an alive node dead (tombstone); the caller owns protocol duties.
   void mark_dead(TapestryNode& node);
 
-  [[nodiscard]] std::size_t live_count() const noexcept { return live_count_; }
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return live_count_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::vector<NodeId> node_ids() const;  ///< live nodes
 
   /// Every node ever registered, tombstones included, in insertion order.
   /// The container is registry-owned; callers may mutate the *nodes* (the
-  /// simulator's algorithms do) but never the vector itself.
+  /// simulator's algorithms do) but never the vector itself.  Iteration
+  /// requires quiescence with respect to registration.
   [[nodiscard]] const std::vector<std::unique_ptr<TapestryNode>>& nodes()
       const noexcept {
     return nodes_;
+  }
+
+  /// Shard an id belongs to (by id prefix — its most significant bits).
+  [[nodiscard]] unsigned shard_of(const NodeId& id) const noexcept {
+    return static_cast<unsigned>(id.value() >> shard_shift_) &
+           (kShardCount - 1);
   }
 
   // --- distances and cost accounting ---
@@ -79,13 +122,44 @@ class NodeRegistry {
   }
 
  private:
+  // One entry of a shard's open-addressing table.  `node` is the publish
+  // gate: a reader that acquire-loads a non-null node pointer is guaranteed
+  // to see the matching key (stored before the release).
+  struct IndexSlot {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<TapestryNode*> node{nullptr};
+  };
+  struct IndexTable {
+    explicit IndexTable(std::size_t capacity_pow2)
+        : slots(capacity_pow2), mask(capacity_pow2 - 1) {}
+    std::vector<IndexSlot> slots;
+    std::size_t mask;
+    std::size_t used = 0;  // writer-side, guarded by the shard mutex
+  };
+  struct Shard {
+    std::mutex mu;  // serializes writers; readers never take it
+    std::atomic<IndexTable*> table{nullptr};
+    // Every table ever published, current one last; superseded snapshots
+    // are retired here (not freed) so readers holding them stay safe.
+    std::vector<std::unique_ptr<IndexTable>> tables;
+  };
+
+  [[nodiscard]] TapestryNode* lookup(std::uint64_t key) const;
+  /// Inserts under the shard's writer mutex, growing + republishing the
+  /// table when the load factor crosses 70%.
+  void shard_insert(Shard& shard, std::uint64_t key, TapestryNode* node);
+  void validate_registration(const NodeId& id, Location loc) const;
+
   const MetricSpace& space_;
   const TapestryParams& params_;
   Rng& rng_;
 
+  unsigned shard_shift_;  // id.value() >> shard_shift_ = shard index bits
+  std::array<Shard, kShardCount> shards_;
+
+  std::mutex nodes_mu_;  // guards appends to nodes_
   std::vector<std::unique_ptr<TapestryNode>> nodes_;
-  std::unordered_map<Id, std::size_t> index_;  // id -> nodes_ index
-  std::size_t live_count_ = 0;
+  std::atomic<std::size_t> live_count_{0};
 };
 
 }  // namespace tap

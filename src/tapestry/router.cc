@@ -42,6 +42,63 @@ std::optional<unsigned> Router::select_slot(const TapestryNode& at,
                                             bool& past_hole,
                                             const ExcludeSet* exclude) const {
   const unsigned radix = params_.id.radix();
+  const std::uint64_t* row = at.table().row_occupancy(level);
+  // Occupancy answers "slot non-empty" exactly; only an exclude set forces
+  // a look at the members themselves (and then only for occupied slots).
+  auto filled = [&](unsigned j) {
+    if (exclude == nullptr) return true;  // callers only offer occupied j
+    for (const auto& e : at.table().at(level, j).entries())
+      if (exclude->count(e.id.value()) == 0) return true;
+    return false;
+  };
+
+  if (params_.routing == RoutingMode::kTapestryNative) {
+    // First occupied slot at or after `desired`, wrapping (§2.3).  Without
+    // an exclude set this is a pure bit scan.
+    const unsigned first = occ::next_wrap(row, radix, desired);
+    if (first == occ::kNone) return std::nullopt;
+    unsigned j = first;
+    do {
+      if (filled(j)) {
+        if (j != desired) past_hole = true;
+        return j;
+      }
+      j = occ::next_wrap(row, radix, (j + 1) % radix);
+    } while (j != first);
+    return std::nullopt;
+  }
+
+  // RoutingMode::kPrrLike.
+  if (!past_hole) {
+    if (occ::test(row, desired) && filled(desired)) return desired;
+    past_hole = true;
+    // First hole: best leading-bit match, ties to the higher digit.
+    std::optional<unsigned> best;
+    unsigned best_score = 0;
+    for (unsigned j = occ::next(row, radix, 0); j != occ::kNone;
+         j = occ::next(row, radix, j + 1)) {
+      if (!filled(j)) continue;
+      const unsigned score =
+          leading_bit_match(j, desired, params_.id.digit_bits);
+      if (!best.has_value() || score > best_score ||
+          (score == best_score && j > *best)) {
+        best = j;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+  // After the first hole: numerically highest filled digit.
+  for (unsigned j = occ::prev(row, radix, radix - 1); j != occ::kNone;
+       j = (j == 0 ? occ::kNone : occ::prev(row, radix, j - 1)))
+    if (filled(j)) return j;
+  return std::nullopt;
+}
+
+std::optional<unsigned> Router::select_slot_reference(
+    const TapestryNode& at, unsigned level, unsigned desired, bool& past_hole,
+    const ExcludeSet* exclude) const {
+  const unsigned radix = params_.id.radix();
   auto filled = [&](unsigned j) {
     const auto& entries = at.table().at(level, j).entries();
     if (exclude == nullptr) return !entries.empty();
@@ -145,54 +202,66 @@ std::optional<NodeId> Router::route_step_peek(const NodeId& at,
   unsigned level = state.level;
   while (level < digits) {
     // Peek treats a slot as filled only if it has a live member; this is
-    // the steady-state the repairing walk converges to.
-    std::vector<bool> live_filled(radix, false);
-    std::vector<NodeId> live_prim(radix);
-    for (unsigned j = 0; j < radix; ++j) {
-      for (const auto& e : n.table().at(level, j).entries()) {
-        if (reg_.is_live(e.id)) {
-          live_filled[j] = true;
-          live_prim[j] = e.id;
-          break;  // entries are distance-sorted; first live is primary
-        }
-      }
-    }
+    // the steady-state the repairing walk converges to.  The occupancy
+    // mask prunes the scan to non-empty slots, and liveness is probed
+    // per candidate slot — allocation-free, mutation-free, lock-free.
+    const std::uint64_t* row = n.table().row_occupancy(level);
+    auto live_primary = [&](unsigned j) -> const NodeId* {
+      for (const auto& e : n.table().at(level, j).entries())
+        if (reg_.is_live(e.id)) return &e.id;
+      return nullptr;  // entries are distance-sorted; first live is primary
+    };
     const unsigned desired = target.digit(level);
     std::optional<unsigned> pick;
+    const NodeId* prim = nullptr;
     if (params_.routing == RoutingMode::kTapestryNative) {
-      for (unsigned off = 0; off < radix && !pick; ++off) {
-        const unsigned j = (desired + off) % radix;
-        if (live_filled[j]) {
-          if (j != desired) state.past_hole = true;
-          pick = j;
-        }
+      const unsigned first = occ::next_wrap(row, radix, desired);
+      if (first != occ::kNone) {
+        unsigned j = first;
+        do {
+          if ((prim = live_primary(j)) != nullptr) {
+            if (j != desired) state.past_hole = true;
+            pick = j;
+            break;
+          }
+          j = occ::next_wrap(row, radix, (j + 1) % radix);
+        } while (j != first);
       }
     } else {
-      if (!state.past_hole && live_filled[desired]) {
+      if (!state.past_hole && occ::test(row, desired) &&
+          (prim = live_primary(desired)) != nullptr) {
         pick = desired;
       } else if (!state.past_hole) {
         state.past_hole = true;
         unsigned best_score = 0;
-        for (unsigned j = 0; j < radix; ++j) {
-          if (!live_filled[j]) continue;
+        for (unsigned j = occ::next(row, radix, 0); j != occ::kNone;
+             j = occ::next(row, radix, j + 1)) {
+          const NodeId* p = live_primary(j);
+          if (p == nullptr) continue;
           const unsigned score =
               leading_bit_match(j, desired, params_.id.digit_bits);
           if (!pick.has_value() || score > best_score ||
               (score == best_score && j > *pick)) {
             pick = j;
+            prim = p;
             best_score = score;
           }
         }
       } else {
-        for (unsigned j = radix; j-- > 0 && !pick.has_value();)
-          if (live_filled[j]) pick = j;
+        for (unsigned j = occ::prev(row, radix, radix - 1); j != occ::kNone;
+             j = (j == 0 ? occ::kNone : occ::prev(row, radix, j - 1))) {
+          if ((prim = live_primary(j)) != nullptr) {
+            pick = j;
+            break;
+          }
+        }
       }
     }
     // Reachable under failures before repair: every member of every slot
     // in this row is dead.  A real router would block on repair here; the
     // peek reports it as a checkable condition.
     TAP_CHECK(pick.has_value(), "peek: routing row with no live slot");
-    const NodeId p = live_prim[*pick];
+    const NodeId p = *prim;
     ++level;
     state.level = level;
     if (!(p == n.id())) return p;
@@ -214,6 +283,29 @@ RouteResult Router::route_to_root(NodeId from, const Id& target,
       return res;
     }
     TapestryNode& nxt = reg_.live(*next);
+    reg_.acct(trace, *cur, nxt);
+    res.latency += reg_.dist(*cur, nxt);
+    ++res.hops;
+    if (state.past_hole) ++res.surrogate_hops;
+    res.path.push_back(nxt.id());
+    cur = &nxt;
+  }
+}
+
+RouteResult Router::route_to_root_peek(NodeId from, const Id& target,
+                                       Trace* trace) const {
+  const TapestryNode* cur = &reg_.checked(from);
+  TAP_CHECK(cur->alive, "route_to_root_peek: start node must be alive");
+  RouteResult res;
+  res.path.push_back(from);
+  RouteState state;
+  for (;;) {
+    auto next = route_step_peek(cur->id(), target, state);
+    if (!next.has_value()) {
+      res.root = cur->id();
+      return res;
+    }
+    const TapestryNode& nxt = reg_.checked(*next);
     reg_.acct(trace, *cur, nxt);
     res.latency += reg_.dist(*cur, nxt);
     ++res.hops;

@@ -5,30 +5,57 @@
 namespace tap {
 
 RoutingTable::RoutingTable(IdSpec spec, NodeId self, unsigned redundancy)
-    : self_(self), levels_(spec.num_digits), radix_(spec.radix()) {
+    : self_(self),
+      levels_(spec.num_digits),
+      radix_(spec.radix()),
+      words_(occ::words_for(spec.radix())) {
   TAP_CHECK(spec.valid(), "invalid IdSpec");
   TAP_CHECK(self.valid() && self.spec() == spec, "self id must match spec");
   TAP_CHECK(redundancy >= 1, "redundancy (R) must be at least 1");
   slots_.reserve(static_cast<std::size_t>(levels_) * radix_);
   for (std::size_t i = 0; i < static_cast<std::size_t>(levels_) * radix_; ++i)
     slots_.emplace_back(redundancy);
+  occupancy_.assign(static_cast<std::size_t>(levels_) * words_, 0);
   backptrs_.resize(levels_);
   // The owner is a (β, own-digit) node at distance zero for every prefix β
   // of its own ID; seed those self-entries.
-  for (unsigned l = 0; l < levels_; ++l)
-    slots_[index(l, self.digit(l))].consider(self, 0.0);
+  for (unsigned l = 0; l < levels_; ++l) {
+    const unsigned d = self.digit(l);
+    slots_[index(l, d)].consider(self, 0.0);
+    sync_bit(l, d);
+  }
 }
 
-NeighborSet& RoutingTable::at(unsigned level, unsigned digit) {
-  return slots_[index(level, digit)];
+NeighborSet::ConsiderResult RoutingTable::consider(unsigned level,
+                                                   unsigned digit, NodeId id,
+                                                   double dist) {
+  auto res = slots_[index(level, digit)].consider(id, dist);
+  if (res.inserted) sync_bit(level, digit);
+  return res;
 }
 
-const NeighborSet& RoutingTable::at(unsigned level, unsigned digit) const {
-  return slots_[index(level, digit)];
+bool RoutingTable::remove(unsigned level, unsigned digit, const NodeId& id) {
+  const bool removed = slots_[index(level, digit)].remove(id);
+  if (removed) sync_bit(level, digit);
+  return removed;
+}
+
+void RoutingTable::pin(unsigned level, unsigned digit, NodeId id,
+                       double dist) {
+  slots_[index(level, digit)].pin(id, dist);
+  sync_bit(level, digit);
+}
+
+void RoutingTable::unpin(unsigned level, unsigned digit, const NodeId& id,
+                         std::vector<NodeId>& evicted) {
+  slots_[index(level, digit)].unpin(id, evicted);
+  sync_bit(level, digit);
 }
 
 bool RoutingTable::row_has_other(unsigned level) const {
-  for (unsigned j = 0; j < radix_; ++j) {
+  const std::uint64_t* occ = row_occupancy(level);
+  for (unsigned j = occ::next(occ, radix_, 0); j != occ::kNone;
+       j = occ::next(occ, radix_, j + 1)) {
     for (const auto& e : at(level, j).entries())
       if (!(e.id == self_)) return true;
   }
@@ -37,7 +64,9 @@ bool RoutingTable::row_has_other(unsigned level) const {
 
 std::vector<NodeId> RoutingTable::row_members(unsigned level) const {
   std::vector<NodeId> out;
-  for (unsigned j = 0; j < radix_; ++j)
+  const std::uint64_t* occ = row_occupancy(level);
+  for (unsigned j = occ::next(occ, radix_, 0); j != occ::kNone;
+       j = occ::next(occ, radix_, j + 1))
     for (const auto& e : at(level, j).entries()) out.push_back(e.id);
   // A node appears in at most one slot per row, so no dedupe needed.
   return out;

@@ -177,6 +177,75 @@ TEST(ChurnEngine, LocateLosesAttemptWhenCarrierDiesMidFlight) {
       << "query parked on a crashing node must lose the attempt";
 }
 
+// The final pointer -> replica leg is itself event-decomposed: a replica
+// that crashes after a query has read its pointer — while the query is
+// already travelling toward it — costs the query that attempt.  Before the
+// decomposition the leg completed atomically with the pointer read, so
+// this interleaving was unobservable.
+TEST(ChurnEngine, ReplicaCrashDuringFinalLegLosesQuery) {
+  auto make = [] { return test::grow_ring_network(48, 29, small_params()); };
+
+  // Control twin: measure when the untouched query completes and verify
+  // it finds the replica.
+  auto control = make();
+  const Guid guid = [&] {
+    // A guid whose publish path gives the final leg at least one hop from
+    // some pointer holder that is not the server itself.
+    for (std::uint64_t raw = 600;; ++raw) {
+      const Guid g = make_guid(*control.net, raw);
+      const auto path =
+          control.net->router().route_to_root_peek(control.ids[3], g).path;
+      if (path.size() >= 3) return g;
+    }
+  }();
+  const NodeId server = control.ids[3];
+  control.net->publish(server, guid);
+  // Query from a mid-path pointer holder: discovery is local (t = 0), so
+  // the whole in-flight window belongs to the final leg.
+  const NodeId client =
+      control.net->router().route_to_root_peek(server, guid).path[1];
+  ASSERT_FALSE(client == server);
+
+  std::optional<LocateResult> control_result;
+  double done_time = 0.0;
+  control.net->locate_async(client, guid, [&](const LocateResult& r) {
+    control_result = r;
+    done_time = control.net->now();
+  });
+  control.net->events().run();
+  ASSERT_TRUE(control_result.has_value());
+  ASSERT_TRUE(control_result->found);
+  EXPECT_EQ(control_result->server, server);
+  ASSERT_GT(done_time, 0.0) << "the leg must take simulated time";
+
+  // Crash twin: identical construction and query, but the replica dies
+  // halfway through the leg.
+  auto crash = make();
+  crash.net->publish(server, guid);
+  std::optional<LocateResult> crash_result;
+  crash.net->locate_async(client, guid,
+                          [&](const LocateResult& r) { crash_result = r; });
+  crash.net->events().schedule_at(done_time / 2,
+                                  [&] { crash.net->fail(server); });
+  crash.net->events().run();
+  ASSERT_TRUE(crash_result.has_value());
+  EXPECT_FALSE(crash_result->found)
+      << "replica crashed while the query was in flight toward it";
+
+  // Sanity: the same crash scheduled after completion does not disturb
+  // the (identical, hence identically timed) query.
+  auto late = make();
+  late.net->publish(server, guid);
+  std::optional<LocateResult> late_result;
+  late.net->locate_async(client, guid,
+                         [&](const LocateResult& r) { late_result = r; });
+  late.net->events().schedule_at(done_time * 2,
+                                 [&] { late.net->fail(server); });
+  late.net->events().run();
+  ASSERT_TRUE(late_result.has_value());
+  EXPECT_TRUE(late_result->found);
+}
+
 // ------------------------------------------------------- soft-state timers
 
 TEST(ChurnEngine, RepublishTimerRefreshesSoftState) {

@@ -1,0 +1,215 @@
+// Occupancy-bitmask invariants: the per-row masks RoutingTable maintains
+// must mirror slot contents through every mutation path (insert, remove,
+// pin/unpin, repair, full churn), the bitmask-driven Router::select_slot
+// must agree digit-for-digit with the preserved linear-scan reference, and
+// the const peek read path must agree with the mutating walk.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/tapestry/routing_table.h"
+#include "test_util.h"
+
+namespace tap {
+namespace {
+
+using test::make_guid;
+using test::small_params;
+
+/// Full-table invariant: every slot's mask bit equals its non-emptiness,
+/// and rows contain no stray bits beyond the radix.
+void expect_masks_mirror_slots(const RoutingTable& t) {
+  for (unsigned l = 0; l < t.levels(); ++l) {
+    const std::uint64_t* row = t.row_occupancy(l);
+    for (unsigned j = 0; j < t.radix(); ++j) {
+      EXPECT_EQ(t.slot_empty(l, j), t.at(l, j).empty())
+          << "level " << l << " digit " << j;
+      EXPECT_EQ(occ::test(row, j), !t.at(l, j).empty())
+          << "level " << l << " digit " << j;
+    }
+    for (unsigned b = t.radix(); b < t.occupancy_words() * 64; ++b)
+      EXPECT_FALSE(occ::test(row, b)) << "stray bit " << b;
+  }
+}
+
+TEST(OccupancyMask, TracksEveryMutation) {
+  const IdSpec spec{4, 4};
+  Rng rng(21);
+  const NodeId self = Id::random(spec, rng);
+  RoutingTable t(spec, self, 2);
+  expect_masks_mirror_slots(t);  // self-entries seeded
+
+  std::vector<std::pair<unsigned, NodeId>> members;  // (level, id)
+  for (int op = 0; op < 2000; ++op) {
+    const unsigned l = static_cast<unsigned>(rng.next_u64(spec.num_digits));
+    switch (rng.next_u64(4)) {
+      case 0: {  // insert
+        const NodeId id = Id::random(spec, rng);
+        if (id == self) break;
+        if (t.consider(l, id.digit(l), id, rng.next_double()).inserted)
+          members.emplace_back(l, id);
+        break;
+      }
+      case 1: {  // remove a known member (or a random absentee)
+        if (!members.empty() && rng.bernoulli(0.8)) {
+          const auto [ml, id] = members[rng.next_u64(members.size())];
+          t.remove(ml, id.digit(ml), id);
+        } else {
+          const NodeId id = Id::random(spec, rng);
+          if (!(id == self)) t.remove(l, id.digit(l), id);
+        }
+        break;
+      }
+      case 2: {  // pin
+        const NodeId id = Id::random(spec, rng);
+        if (id == self) break;
+        t.pin(l, id.digit(l), id, rng.next_double());
+        members.emplace_back(l, id);
+        break;
+      }
+      default: {  // unpin
+        if (members.empty()) break;
+        const auto [ml, id] = members[rng.next_u64(members.size())];
+        std::vector<NodeId> evicted;
+        t.unpin(ml, id.digit(ml), id, evicted);
+        break;
+      }
+    }
+    if (op % 50 == 0) expect_masks_mirror_slots(t);
+  }
+  expect_masks_mirror_slots(t);
+}
+
+TEST(OccupancyMask, ConsistentAfterFullChurn) {
+  auto g = test::grow_ring_network(72, 31);
+  Rng rng(5);
+  // Joins, voluntary leaves, crashes, repair sweeps — every mesh-mutating
+  // path in the system funnels through the RoutingTable wrappers.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) g.net->join(72 + round * 8 + i);
+    auto ids = g.net->node_ids();
+    g.net->leave(ids[rng.next_u64(ids.size())]);
+    ids = g.net->node_ids();
+    g.net->fail(ids[rng.next_u64(ids.size())]);
+    g.net->heartbeat_sweep();
+  }
+  for (const auto& n : g.net->registry().nodes())
+    expect_masks_mirror_slots(n->table());  // tombstones included
+}
+
+TEST(OccupancyMask, MultiWordRowsByteRadix) {
+  const IdSpec spec{8, 4};  // radix 256: four 64-bit words per row
+  const NodeId self(spec, 0xAA112233u);  // digit 0 = 170
+  RoutingTable t(spec, self, 2);
+  ASSERT_EQ(t.occupancy_words(), 4u);
+  expect_masks_mirror_slots(t);
+
+  // Hit digits in every word, including the word boundaries.
+  for (const unsigned digit : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 200u, 255u}) {
+    t.consider(0, digit, self.with_digit(0, digit), 1.0 + digit);
+    EXPECT_FALSE(t.slot_empty(0, digit));
+  }
+  expect_masks_mirror_slots(t);
+
+  // occ:: helpers across word boundaries (self occupies digit 170).
+  const std::uint64_t* row = t.row_occupancy(0);
+  EXPECT_EQ(occ::next(row, 256, 64), 64u);
+  EXPECT_EQ(occ::next(row, 256, 66), 127u);
+  EXPECT_EQ(occ::prev(row, 256, 62), 1u);
+  EXPECT_EQ(occ::next_wrap(row, 256, 201), 255u);
+  EXPECT_EQ(occ::next_wrap(row, 256, 129), 170u);  // the self slot
+  for (const unsigned digit : {63u, 64u, 255u})
+    t.remove(0, digit, self.with_digit(0, digit));
+  expect_masks_mirror_slots(t);
+}
+
+// ---------------------------------------------------------------------
+// select_slot: bitmask fast path vs the linear-scan reference
+// ---------------------------------------------------------------------
+
+void expect_select_agreement(const Network& net,
+                             const std::vector<NodeId>& ids,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  const Router& router = net.router();
+  const unsigned digits = net.params().id.num_digits;
+  const unsigned radix = net.params().id.radix();
+  for (int probe = 0; probe < 4000; ++probe) {
+    const TapestryNode& at = net.node(ids[rng.next_u64(ids.size())]);
+    const unsigned level = static_cast<unsigned>(rng.next_u64(digits));
+    const unsigned desired = static_cast<unsigned>(rng.next_u64(radix));
+    const bool start_hole = rng.bernoulli(0.3);
+
+    // Optional exclude set: a random sample of overlay ids.
+    Router::ExcludeSet exclude;
+    const bool use_exclude = rng.bernoulli(0.3);
+    if (use_exclude)
+      for (int k = 0; k < 12; ++k)
+        exclude.insert(ids[rng.next_u64(ids.size())].value());
+
+    bool hole_fast = start_hole, hole_ref = start_hole;
+    const auto fast = router.select_slot(at, level, desired, hole_fast,
+                                         use_exclude ? &exclude : nullptr);
+    const auto ref = router.select_slot_reference(
+        at, level, desired, hole_ref, use_exclude ? &exclude : nullptr);
+    ASSERT_EQ(fast, ref) << "level " << level << " desired " << desired;
+    ASSERT_EQ(hole_fast, hole_ref) << "past_hole divergence";
+  }
+}
+
+TEST(SelectSlot, BitmaskAgreesWithReferenceNative) {
+  auto g = test::static_ring_network(128, 3,
+                                     small_params(RoutingMode::kTapestryNative));
+  expect_select_agreement(*g.net, g.ids, 91);
+}
+
+TEST(SelectSlot, BitmaskAgreesWithReferencePrr) {
+  auto g =
+      test::static_ring_network(128, 3, small_params(RoutingMode::kPrrLike));
+  expect_select_agreement(*g.net, g.ids, 92);
+}
+
+TEST(SelectSlot, AgreesOnSparseGrownTablesWithHoles) {
+  // A small grown network has rows dominated by holes at deep levels —
+  // the wrap-around scans where the bitmask shortcut must still match.
+  auto g = test::grow_ring_network(24, 13);
+  expect_select_agreement(*g.net, g.ids, 93);
+}
+
+// ---------------------------------------------------------------------
+// Peek (const, mutation-free) vs mutating route agreement
+// ---------------------------------------------------------------------
+
+TEST(PeekRoute, AgreesWithMutatingWalkHealthyAndRepaired) {
+  auto g = test::grow_ring_network(64, 17);
+  auto compare_routes = [&](std::uint64_t salt) {
+    Rng rng(salt);
+    const auto ids = g.net->node_ids();
+    for (int q = 0; q < 40; ++q) {
+      const Guid guid = make_guid(*g.net, salt * 1000 + q);
+      const NodeId src = ids[rng.next_u64(ids.size())];
+      // Peek first: it must not perturb what the mutating walk then sees.
+      const RouteResult peek = g.net->router().route_to_root_peek(src, guid);
+      const RouteResult walk = g.net->route_to_root(src, guid);
+      EXPECT_EQ(peek.root, walk.root) << "root divergence";
+      EXPECT_EQ(peek.hops, walk.hops);
+      EXPECT_EQ(peek.path, walk.path);
+      EXPECT_DOUBLE_EQ(peek.latency, walk.latency);
+    }
+  };
+  compare_routes(1);
+
+  // Crash a few nodes and repair; the steady state must agree again.
+  Rng rng(23);
+  for (int i = 0; i < 5; ++i) {
+    const auto ids = g.net->node_ids();
+    g.net->fail(ids[rng.next_u64(ids.size())]);
+  }
+  g.net->heartbeat_sweep();
+  compare_routes(2);
+}
+
+}  // namespace
+}  // namespace tap

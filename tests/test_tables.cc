@@ -143,7 +143,7 @@ TEST(RoutingTable, RowHasOtherDetectsCompany) {
   const NodeId self = nid(0x1000);
   RoutingTable table(kSpec, self, 2);
   EXPECT_FALSE(table.row_has_other(0));
-  table.at(0, 0x2).consider(nid(0x2AAA), 1.0);
+  table.consider(0, 0x2, nid(0x2AAA), 1.0);
   EXPECT_TRUE(table.row_has_other(0));
   EXPECT_FALSE(table.row_has_other(1));
 }
@@ -151,8 +151,8 @@ TEST(RoutingTable, RowHasOtherDetectsCompany) {
 TEST(RoutingTable, RowMembersAndAllNeighbors) {
   const NodeId self = nid(0x1000);
   RoutingTable table(kSpec, self, 2);
-  table.at(0, 0x2).consider(nid(0x2AAA), 1.0);
-  table.at(1, 0x3).consider(nid(0x13BB), 2.0);
+  table.consider(0, 0x2, nid(0x2AAA), 1.0);
+  table.consider(1, 0x3, nid(0x13BB), 2.0);
   const auto row0 = table.row_members(0);
   EXPECT_EQ(row0.size(), 2u);  // self + 2AAA
   const auto all = table.all_neighbors();

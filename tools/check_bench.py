@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gate benchmark --json output against a checked-in baseline.
+
+Usage:
+    check_bench.py BASELINE.json RESULT.json [--default-tolerance 0.25]
+
+BASELINE is committed under bench/baselines/ and declares, per metric, the
+expected value, the direction a regression moves it, and an optional
+per-metric tolerance:
+
+    {"bench": "bench_routing",
+     "metrics": {
+        "hops_mean_n2048_native": {"value": 2.83, "better": "lower",
+                                   "tolerance": 0.05},
+        "unique_roots_n2048_native": {"value": 1, "better": "exact"},
+        "build_speedup": {"value": 2.0, "better": "higher",
+                          "tolerance": 0.5}}}
+
+RESULT is what the bench binary printed with --json:
+
+    {"bench": "bench_routing", "metrics": {"hops_mean_n2048_native": 2.84}}
+
+Semantics per `better`:
+    lower  — fail when result > value * (1 + tolerance)   (times, hops)
+    higher — fail when result < value * (1 - tolerance)   (speedups)
+    exact  — fail when |result - value| > tolerance * max(|value|, 1)
+             (deterministic counters; tolerance defaults to 0)
+
+Metrics present in the baseline but missing from the result fail (a bench
+that silently stops reporting a gated number is itself a regression);
+result metrics with no baseline entry are informational only.  Exit code 0
+when every gate holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "metrics" not in doc:
+        sys.exit(f"{path}: no 'metrics' key")
+    return doc
+
+
+def check_metric(name, spec, result_value, default_tolerance):
+    value = float(spec["value"])
+    better = spec.get("better", "lower")
+    if better == "exact":
+        tolerance = float(spec.get("tolerance", 0.0))
+        bound = tolerance * max(abs(value), 1.0) + 1e-9
+        ok = abs(result_value - value) <= bound
+        detail = f"expected {value:g} ±{bound:g}"
+    elif better == "lower":
+        tolerance = float(spec.get("tolerance", default_tolerance))
+        limit = value * (1.0 + tolerance)
+        ok = result_value <= limit
+        detail = f"limit <= {limit:g} (baseline {value:g} +{tolerance:.0%})"
+    elif better == "higher":
+        tolerance = float(spec.get("tolerance", default_tolerance))
+        limit = value * (1.0 - tolerance)
+        ok = result_value >= limit
+        detail = f"limit >= {limit:g} (baseline {value:g} -{tolerance:.0%})"
+    else:
+        sys.exit(f"metric {name}: unknown 'better' kind {better!r}")
+    return ok, detail
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("result")
+    parser.add_argument("--default-tolerance", type=float, default=0.25,
+                        help="relative tolerance when a metric declares "
+                             "none (default: 0.25 = fail on >25%% regression)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    result = load(args.result)
+    if baseline.get("bench") != result.get("bench"):
+        print(f"WARNING: bench names differ: baseline "
+              f"{baseline.get('bench')!r} vs result {result.get('bench')!r}")
+
+    result_metrics = {
+        k: (v["value"] if isinstance(v, dict) else v)
+        for k, v in result["metrics"].items()
+    }
+
+    failures = 0
+    width = max((len(k) for k in baseline["metrics"]), default=10)
+    print(f"{'metric':<{width}}  {'result':>12}  verdict")
+    for name, spec in baseline["metrics"].items():
+        if name not in result_metrics:
+            print(f"{name:<{width}}  {'MISSING':>12}  FAIL (not reported)")
+            failures += 1
+            continue
+        got = float(result_metrics[name])
+        ok, detail = check_metric(name, spec, got,
+                                  args.default_tolerance)
+        print(f"{name:<{width}}  {got:>12g}  {'ok' if ok else 'FAIL'} "
+              f"[{detail}]")
+        if not ok:
+            failures += 1
+
+    informational = sorted(set(result_metrics) - set(baseline["metrics"]))
+    if informational:
+        print("ungated (informational): "
+              + ", ".join(f"{k}={result_metrics[k]:g}" for k in informational))
+
+    if failures:
+        print(f"\n{failures} gated metric(s) regressed beyond tolerance")
+        return 1
+    print("\nall gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,14 @@
 //   --seed=N                                                 [1]
 //   --csv            emit CSV instead of the report
 //
+// Parallel-build flags (--scenario=bigbuild; stands up a large overlay
+// with the concurrent construction pipeline — bulk registration, parallel
+// static tables, batched publishes — optionally topped by a wave of
+// simultaneous §4.4 insertions, then samples queries):
+//   --scenario=bigbuild      enable the pipeline
+//   --threads=N              worker threads (0 = hardware)           [0]
+//   --join-wave=W            concurrent dynamic joins on top         [0]
+//
 // Churn-scenario flags (--scenario=churn; event-driven §6.5 experiments,
 // deterministically reproducible from --seed):
 //   --scenario=static|churn  one-shot measurement vs scripted churn [static]
@@ -46,6 +54,7 @@
 //   --ttl=T                  pointer TTL                 [2 * republish]
 //   --min-nodes=N            churn floor (no departures below)  [nodes/2]
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -57,7 +66,9 @@
 #include "src/metric/torus.h"
 #include "src/metric/transit_stub.h"
 #include "src/sim/churn_driver.h"
+#include "src/sim/thread_pool.h"
 #include "src/tapestry/network.h"
+#include "src/tapestry/parallel_join.h"
 
 namespace {
 
@@ -94,6 +105,10 @@ struct Options {
   double heartbeat_interval = 4.0;
   double ttl = 0.0;            // 0 => 2 * republish_interval
   std::size_t min_nodes = 0;   // 0 => nodes/2
+
+  // Bigbuild-scenario mode.
+  std::size_t threads = 0;     // 0 => hardware concurrency
+  std::size_t join_wave = 0;   // concurrent dynamic joins on top
 };
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -143,6 +158,9 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--ttl", &v)) o.ttl = std::stod(v);
     else if (parse_flag(argv[i], "--min-nodes", &v))
       o.min_nodes = std::stoul(v);
+    else if (parse_flag(argv[i], "--threads", &v)) o.threads = std::stoul(v);
+    else if (parse_flag(argv[i], "--join-wave", &v))
+      o.join_wave = std::stoul(v);
     else if (std::strcmp(argv[i], "--retry") == 0) o.retry = true;
     else if (std::strcmp(argv[i], "--secondary") == 0) o.secondary = true;
     else if (std::strcmp(argv[i], "--static") == 0) o.use_static = true;
@@ -160,8 +178,13 @@ Options parse(int argc, char** argv) {
     o.ttl = o.republish_interval > 0.0
                 ? 2.0 * o.republish_interval
                 : std::numeric_limits<double>::infinity();
-  if (o.scenario != "static" && o.scenario != "churn") {
+  if (o.scenario != "static" && o.scenario != "churn" &&
+      o.scenario != "bigbuild") {
     std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
+    std::exit(2);
+  }
+  if (o.join_wave >= o.nodes) {
+    std::fprintf(stderr, "--join-wave must be smaller than --nodes\n");
     std::exit(2);
   }
   if (o.engine != "event" && o.engine != "sync") {
@@ -279,6 +302,113 @@ int run_churn_scenario(const Options& o, Network& net) {
   return 0;
 }
 
+double wall_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Concurrent large-overlay construction: bulk-register the core, build its
+// tables with the parallel static oracle, batch-publish the workload, then
+// (optionally) land a wave of simultaneous §4.4 insertions on top and
+// sample queries against the result.
+int run_bigbuild_scenario(const Options& o, const MetricSpace& space,
+                          const TapestryParams& params) {
+  const std::size_t threads =
+      o.threads == 0 ? default_worker_count() : o.threads;
+  Network net(space, params, o.seed);
+
+  const std::size_t core = o.nodes - o.join_wave;
+  std::vector<Location> locs(core);
+  for (std::size_t i = 0; i < core; ++i) locs[i] = i;
+
+  auto t0 = std::chrono::steady_clock::now();
+  net.insert_static_bulk(locs, threads);
+  net.rebuild_static_tables(threads);
+  const double build_ms = wall_ms(t0);
+
+  double wave_ms = 0.0;
+  if (o.join_wave > 0) {
+    Rng wave_rng(o.seed ^ 0x9a7e);
+    const auto core_ids = net.node_ids();
+    std::vector<ParallelJoinCoordinator::Request> reqs(o.join_wave);
+    for (std::size_t i = 0; i < o.join_wave; ++i) {
+      reqs[i].loc = core + i;
+      reqs[i].gateway = core_ids[wave_rng.next_u64(core_ids.size())];
+      reqs[i].start_time = 0.0;
+    }
+    t0 = std::chrono::steady_clock::now();
+    ParallelJoinCoordinator coordinator(net);
+    coordinator.run(reqs);
+    wave_ms = wall_ms(t0);
+  }
+
+  Rng wl(o.seed ^ 0x4c0ad);
+  const auto ids = net.node_ids();
+  std::vector<ObjectDirectory::PublishRequest> pubs;
+  pubs.reserve(o.objects * o.replicas);
+  std::vector<Guid> guids;
+  for (std::size_t i = 0; i < o.objects; ++i) {
+    const Guid guid = make_guid(net, i);
+    guids.push_back(guid);
+    for (unsigned r = 0; r < o.replicas; ++r)
+      pubs.push_back({ids[wl.next_u64(ids.size())], guid});
+  }
+  Trace publish_trace;
+  t0 = std::chrono::steady_clock::now();
+  net.publish_batch(pubs, threads, &publish_trace);
+  const double publish_ms = wall_ms(t0);
+
+  net.check_property1();  // the bulk pipeline must still honour Property 1
+
+  Summary hops, latency;
+  std::size_t found = 0;
+  const std::size_t queries = std::min<std::size_t>(o.queries, 20'000);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const Guid& guid = guids[wl.next_u64(guids.size())];
+    const LocateResult r =
+        net.locate(ids[wl.next_u64(ids.size())], guid);
+    if (!r.found) continue;
+    ++found;
+    hops.add(double(r.hops));
+    latency.add(r.latency);
+  }
+
+  if (o.csv) {
+    std::printf(
+        "space,nodes,join_wave,threads,objects,queries,build_ms,wave_ms,"
+        "publish_ms,success,hops_mean,entries_per_node\n");
+    std::printf("%s,%zu,%zu,%zu,%zu,%zu,%.1f,%.1f,%.1f,%.4f,%.2f,%.1f\n",
+                o.space.c_str(), o.nodes, o.join_wave, threads, o.objects,
+                queries, build_ms, wave_ms, publish_ms,
+                queries == 0 ? 1.0 : double(found) / double(queries),
+                hops.empty() ? 0.0 : hops.mean(),
+                double(net.total_table_entries()) / double(net.size()));
+    return 0;
+  }
+
+  std::printf("tapestry_sim bigbuild — %zu nodes on %s, %zu threads\n",
+              o.nodes, o.space.c_str(), threads);
+  std::printf("  build:    %zu-node core in %.0f ms (bulk registration + "
+              "parallel static tables)\n",
+              core, build_ms);
+  if (o.join_wave > 0)
+    std::printf("  wave:     %zu simultaneous insertions in %.0f ms\n",
+                o.join_wave, wave_ms);
+  std::printf("  publish:  %zu deposits batched in %.0f ms "
+              "(%zu objects x %u replicas, %.1f msgs each)\n",
+              pubs.size(), publish_ms, o.objects, o.replicas,
+              pubs.empty() ? 0.0
+                           : double(publish_trace.messages()) /
+                                 double(pubs.size()));
+  std::printf("  queries:  %zu/%zu found (%.2f%%), hops %s\n", found, queries,
+              queries == 0 ? 100.0 : 100.0 * double(found) / double(queries),
+              hops.empty() ? "-" : hops.describe().c_str());
+  std::printf("  tables:   %.1f entries/node, Property 1 verified\n",
+              double(net.total_table_entries()) / double(net.size()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,6 +426,9 @@ int main(int argc, char** argv) {
   params.routing = o.routing == "prr" ? RoutingMode::kPrrLike
                                       : RoutingMode::kTapestryNative;
   if (o.scenario == "churn") params.pointer_ttl = o.ttl;
+
+  if (o.scenario == "bigbuild")
+    return run_bigbuild_scenario(o, *space, params);
 
   Network net(*space, params, o.seed);
   Trace build_trace;
