@@ -23,6 +23,8 @@ ChurnDriver::ChurnDriver(Network& net, ChurnScenario scenario)
     : net_(net), sc_(scenario), rng_(scenario.seed ^ 0xc4a2b5ull) {
   TAP_CHECK(sc_.horizon > 0.0, "scenario horizon must be positive");
   TAP_CHECK(sc_.epoch > 0.0, "scenario epoch must be positive");
+  TAP_CHECK(sc_.checkpoint_interval <= 0.0 || !sc_.checkpoint_dir.empty(),
+            "checkpoint_interval requires checkpoint_dir");
   // Locations not occupied by any node ever registered (tombstones keep
   // theirs — a corpse's underlay address is not reusable) are the join
   // pool; voluntary leavers return theirs.
@@ -196,6 +198,18 @@ void ChurnDriver::schedule_sync_maintenance() {
   });
 }
 
+void ChurnDriver::schedule_checkpoint() {
+  if (sc_.checkpoint_interval <= 0.0) return;
+  checkpoint_event_ =
+      net_.events().schedule_in(sc_.checkpoint_interval, [this] {
+        checkpoint_event_.reset();
+        if (!running_) return;
+        net_.checkpoint_stores(sc_.checkpoint_dir);
+        log_event('C', "checkpoint " + sc_.checkpoint_dir);
+        schedule_checkpoint();
+      });
+}
+
 void ChurnDriver::snapshot_epoch_boundary(std::size_t index) {
   ChurnEpoch& e = epochs_[index];
   e.live_nodes = net_.size();
@@ -232,6 +246,7 @@ ChurnReport ChurnDriver::run() {
   running_ = true;
   schedule_churn();
   schedule_queries();
+  schedule_checkpoint();
 
   for (std::size_t i = 0; i < epochs_.size(); ++i) {
     net_.events().run_until(epochs_[i].t1);
@@ -244,11 +259,18 @@ ChurnReport ChurnDriver::run() {
   if (churn_event_.has_value()) net_.events().cancel(*churn_event_);
   if (query_event_.has_value()) net_.events().cancel(*query_event_);
   if (sync_maint_event_.has_value()) net_.events().cancel(*sync_maint_event_);
+  if (checkpoint_event_.has_value()) net_.events().cancel(*checkpoint_event_);
   net_.stop_soft_state();
   net_.stop_heartbeats();
   net_.events().run();
   TAP_CHECK(net_.async_in_flight() == 0,
             "operations still in flight after drain");
+  // A final checkpoint after the drain, so kill-and-resume experiments can
+  // restore the run's end state, not just the last periodic snapshot.
+  if (sc_.checkpoint_interval > 0.0) {
+    net_.checkpoint_stores(sc_.checkpoint_dir);
+    log_event('C', "checkpoint-final " + sc_.checkpoint_dir);
+  }
   return finalize();
 }
 

@@ -61,6 +61,14 @@ struct ChurnScenario {
 
   std::uint64_t seed = 1;    ///< workload randomness (driver-owned Rng)
   bool synchronous = false;  ///< legacy atomic-operation engine
+
+  // Checkpoint epochs (persistent object-store backend): every
+  // `checkpoint_interval` simulated time units the driver flushes all node
+  // stores and writes the membership/replica manifest to `checkpoint_dir`
+  // (Network::checkpoint_stores), so a killed run can resume from the last
+  // checkpoint.  Zero disables; a non-zero interval requires a directory.
+  double checkpoint_interval = 0.0;
+  std::string checkpoint_dir{};
 };
 
 /// One statistics bucket.  Queries are bucketed by completion time; churn
@@ -148,6 +156,7 @@ class ChurnDriver {
   void schedule_churn();
   void schedule_queries();
   void schedule_sync_maintenance();
+  void schedule_checkpoint();
   void do_churn_event();
   void issue_query();
   void log_event(char kind, const std::string& detail);
@@ -176,6 +185,7 @@ class ChurnDriver {
   std::optional<EventId> churn_event_;
   std::optional<EventId> query_event_;
   std::optional<EventId> sync_maint_event_;
+  std::optional<EventId> checkpoint_event_;
 };
 
 }  // namespace tap

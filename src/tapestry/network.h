@@ -32,6 +32,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -75,6 +76,9 @@ class Network {
     return directory_;
   }
   [[nodiscard]] MaintenanceEngine& maintenance() noexcept {
+    return maintenance_;
+  }
+  [[nodiscard]] const MaintenanceEngine& maintenance() const noexcept {
     return maintenance_;
   }
 
@@ -153,7 +157,24 @@ class Network {
   }
 
   /// Drops expired pointers everywhere (driven by the event clock).
-  void expire_pointers() { directory_.expire_pointers(); }
+  /// `workers` > 1 fans the per-node sweeps out through sim/thread_pool
+  /// (requires quiescence, like every whole-network pass).
+  void expire_pointers(std::size_t workers = 1) {
+    directory_.expire_pointers(workers);
+  }
+
+  /// Flushes every node's store and writes `dir`/manifest: clock, live
+  /// membership, replica registry (see ObjectDirectory::checkpoint).
+  /// Meaningful with StoreBackend::kPersistent — the basis of the
+  /// kill-and-resume experiments.
+  void checkpoint_stores(const std::string& dir) {
+    directory_.checkpoint(dir);
+  }
+  /// Reloads the replica registry from `dir`/manifest (membership must
+  /// already be rebuilt); returns the checkpoint clock.
+  double restore_directory(const std::string& dir) {
+    return directory_.restore(dir);
+  }
 
   /// Soft-state heartbeat maintenance (§5.2, §6.5): every node probes its
   /// table entries, purging corpses it discovers, then slots emptied by
@@ -297,6 +318,7 @@ class Network {
     return params_;
   }
   [[nodiscard]] EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] const EventQueue& events() const noexcept { return events_; }
   [[nodiscard]] double now() const noexcept { return events_.now(); }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] NodeId random_node_id(Rng& rng) const {
@@ -326,6 +348,10 @@ class Network {
   /// All registered (guid, server) pairs, including dead servers.
   [[nodiscard]] std::vector<std::pair<Guid, NodeId>> published() const {
     return directory_.published();
+  }
+  /// Base guids whose replica registry lists `server` (dead or alive).
+  [[nodiscard]] std::vector<Guid> guids_served_by(const NodeId& server) const {
+    return directory_.guids_served_by(server);
   }
   /// Distance from client to the nearest live replica (stretch denominator).
   [[nodiscard]] double distance_to_nearest_replica(const NodeId& client,

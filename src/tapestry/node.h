@@ -9,6 +9,7 @@
 // method).
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "src/metric/metric_space.h"
@@ -21,7 +22,8 @@ namespace tap {
 class TapestryNode {
  public:
   TapestryNode(NodeId id, Location loc, const TapestryParams& params)
-      : id_(id), loc_(loc), table_(params.id, id, params.redundancy) {}
+      : id_(id), loc_(loc), table_(params.id, id, params.redundancy),
+        store_(make_object_store(params, id)) {}
 
   [[nodiscard]] const NodeId& id() const noexcept { return id_; }
   [[nodiscard]] Location location() const noexcept { return loc_; }
@@ -29,8 +31,10 @@ class TapestryNode {
 
   [[nodiscard]] RoutingTable& table() noexcept { return table_; }
   [[nodiscard]] const RoutingTable& table() const noexcept { return table_; }
-  [[nodiscard]] ObjectStore& store() noexcept { return store_; }
-  [[nodiscard]] const ObjectStore& store() const noexcept { return store_; }
+  [[nodiscard]] ObjectStoreBackend& store() noexcept { return *store_; }
+  [[nodiscard]] const ObjectStoreBackend& store() const noexcept {
+    return *store_;
+  }
 
   /// False once the node has failed (§5.2) or left (§5.1).  Dead nodes stay
   /// allocated as tombstones so lazy repair can discover them.
@@ -48,7 +52,7 @@ class TapestryNode {
   NodeId id_;
   Location loc_;
   RoutingTable table_;
-  ObjectStore store_;
+  std::unique_ptr<ObjectStoreBackend> store_;
 };
 
 }  // namespace tap

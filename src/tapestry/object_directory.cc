@@ -13,10 +13,12 @@
 #include "src/tapestry/object_directory.h"
 
 #include <algorithm>
-#include <array>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 
 #include "src/sim/thread_pool.h"
+#include "src/tapestry/sharded_store.h"
 
 namespace tap {
 
@@ -156,19 +158,34 @@ void ObjectDirectory::publish_batch(const std::vector<PublishRequest>& batch,
       },
       workers);
 
-  // Phase 2: drain the deposits per registry shard — one writer per
-  // shard's stores, applied in task order, so the store contents match
-  // the serial publish loop record for record.
-  std::array<std::vector<std::pair<std::size_t, std::size_t>>,
-             NodeRegistry::kShardCount>
-      by_shard;  // (task, deposit) indices
-  for (std::size_t t = 0; t < n_tasks; ++t)
+  // Phase 2: drain the deposits concurrently.  The safety partition
+  // depends on the backend: a plain store may only be touched by one
+  // worker at a time, so deposits group by the registry shard of the
+  // receiving node (the PR 3 scheme).  A striped backend (ShardedStore)
+  // additionally splits each shard's work by the target guid's lock
+  // stripe — workers hitting the same node's store then always hold
+  // different stripes, so up to kShardCount * kStripeCount groups drain
+  // at once instead of serializing whole shards.  Either way a given
+  // (node, guid) pair always lands in exactly one group and each group
+  // applies its deposits in task order, so the store contents match the
+  // serial publish loop record for record, whatever the worker count.
+  const std::size_t stripes =
+      params_.store_backend == StoreBackend::kSharded
+          ? ShardedStore::kStripeCount
+          : 1;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> by_group(
+      NodeRegistry::kShardCount * stripes);  // (task, deposit) indices
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    const std::size_t stripe =
+        stripes == 1 ? 0 : ShardedStore::stripe_of(tasks[t].target);
     for (std::size_t k = 0; k < deposits[t].size(); ++k)
-      by_shard[reg_.shard_of(deposits[t][k].at->id())].emplace_back(t, k);
+      by_group[reg_.shard_of(deposits[t][k].at->id()) * stripes + stripe]
+          .emplace_back(t, k);
+  }
   parallel_for(
-      NodeRegistry::kShardCount,
-      [&](std::size_t s) {
-        for (const auto& [t, k] : by_shard[s]) {
+      by_group.size(),
+      [&](std::size_t g) {
+        for (const auto& [t, k] : by_group[g]) {
           const Deposit& dep = deposits[t][k];
           dep.at->store().upsert(tasks[t].target, dep.rec);
         }
@@ -228,21 +245,43 @@ void ObjectDirectory::unpublish(NodeId server, const Guid& guid,
 std::optional<PointerRecord> ObjectDirectory::pick_live_replica(
     TapestryNode& holder, const Guid& target,
     const TapestryNode& relative_to) {
-  auto records = holder.store().find_live(target, events_.now());
   // Prefer the replica closest to the reference node (§2.2); prune
-  // pointers to dead servers as we discover them (lazy soft-state decay).
-  std::sort(records.begin(), records.end(),
-            [&](const PointerRecord& a, const PointerRecord& b) {
-              const double da = reg_.distance(relative_to.id(), a.server);
-              const double db = reg_.distance(relative_to.id(), b.server);
-              if (da != db) return da < db;
-              return a.server < b.server;
-            });
-  for (const auto& rec : records) {
-    if (reg_.is_live(rec.server)) return rec;
-    holder.store().remove(target, rec.server);
+  // pointers to dead servers that would have been examined on the way to
+  // it (lazy soft-state decay).  One visitor pass over the backend instead
+  // of copy-and-sort: the winner is the live record minimizing
+  // (distance, server), and a dead record is pruned iff its key sorts
+  // ahead of the winner's — exactly the records the old sorted loop
+  // stepped over.  Each record's distance is computed once.
+  const double now = events_.now();
+  std::optional<PointerRecord> best;
+  double best_d = 0.0;
+  struct DeadRecord {
+    double d;
+    NodeId server;
+  };
+  std::vector<DeadRecord> dead;  // removal deferred: the visitor must not
+                                 // mutate the store it is iterating
+  holder.store().for_each_of(
+      target, [&](const Guid&, const PointerRecord& r) {
+        if (r.expires_at < now) return;  // expired records are invisible
+        const double d = reg_.distance(relative_to.id(), r.server);
+        if (reg_.is_live(r.server)) {
+          if (!best.has_value() || d < best_d ||
+              (d == best_d && r.server < best->server)) {
+            best = r;
+            best_d = d;
+          }
+        } else {
+          dead.push_back(DeadRecord{d, r.server});
+        }
+      });
+  for (const auto& dr : dead) {
+    if (best.has_value() &&
+        !(dr.d < best_d || (dr.d == best_d && dr.server < best->server)))
+      continue;  // sorts after the winner: the old loop never reached it
+    holder.store().remove(target, dr.server);
   }
-  return std::nullopt;
+  return best;
 }
 
 LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
@@ -710,10 +749,97 @@ void ObjectDirectory::republish_all(Trace* trace) {
   }
 }
 
-void ObjectDirectory::expire_pointers() {
+void ObjectDirectory::expire_pointers(std::size_t workers) {
   const double now = events_.now();
+  const auto& nodes = reg_.nodes();
+  if (workers <= 1) {
+    for (const auto& n : nodes)
+      if (n->alive) n->store().remove_expired(now);
+    return;
+  }
+  // Per-node sweeps are independent (one store each), so the fan-out is
+  // safe with every backend and the result identical to the serial loop.
+  parallel_for(
+      nodes.size(),
+      [&](std::size_t i) {
+        if (nodes[i]->alive) nodes[i]->store().remove_expired(now);
+      },
+      workers);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / restore (persistent backend)
+// ---------------------------------------------------------------------
+
+void ObjectDirectory::checkpoint(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  TAP_CHECK(!ec, "checkpoint: cannot create " + dir);
+  // Push every store's buffered durable state first: the manifest must
+  // never describe records the WALs have not seen.
+  for (const auto& n : reg_.nodes()) n->store().flush();
+
+  const std::string tmp = dir + "/manifest.tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  TAP_CHECK(f != nullptr, "checkpoint: cannot write " + tmp);
+  std::fprintf(f, "T %.17g\n", events_.now());
   for (const auto& n : reg_.nodes())
-    if (n->alive) n->store().remove_expired(now);
+    if (n->alive)
+      std::fprintf(f, "N %llx %zu\n",
+                   static_cast<unsigned long long>(n->id().value()),
+                   n->location());
+  for (const auto& [guid, servers] : replicas_)
+    for (const NodeId& s : servers)
+      std::fprintf(f, "O %llx %llx\n",
+                   static_cast<unsigned long long>(guid.value()),
+                   static_cast<unsigned long long>(s.value()));
+  // Verify before the atomic publish: renaming a truncated manifest over
+  // the previous good one would make the next restore silently rebuild a
+  // smaller overlay.
+  const bool wrote = std::fflush(f) == 0 && std::ferror(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  TAP_CHECK(wrote && closed, "checkpoint: manifest write failed in " + dir);
+  std::filesystem::rename(tmp, dir + "/manifest", ec);
+  TAP_CHECK(!ec, "checkpoint: cannot publish " + dir + "/manifest");
+}
+
+ObjectDirectory::CheckpointManifest ObjectDirectory::read_manifest(
+    const std::string& dir) {
+  CheckpointManifest m;
+  const std::string path = dir + "/manifest";
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  TAP_CHECK(f != nullptr, "read_manifest: cannot read " + path);
+  char line[128];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (line[0] == 'T') {
+      TAP_CHECK(std::sscanf(line, "T %lf", &m.time) == 1,
+                "read_manifest: bad T line");
+    } else if (line[0] == 'N') {
+      unsigned long long id = 0;
+      std::size_t loc = 0;
+      TAP_CHECK(std::sscanf(line, "N %llx %zu", &id, &loc) == 2,
+                "read_manifest: bad N line");
+      m.nodes.emplace_back(id, loc);
+    } else if (line[0] == 'O') {
+      unsigned long long g = 0, s = 0;
+      TAP_CHECK(std::sscanf(line, "O %llx %llx", &g, &s) == 2,
+                "read_manifest: bad O line");
+      m.replicas.emplace_back(g, s);
+    } else {
+      TAP_CHECK(line[0] == '\n' || line[0] == '\0',
+                "read_manifest: unknown line kind in " + path);
+    }
+  }
+  std::fclose(f);
+  return m;
+}
+
+double ObjectDirectory::restore(const std::string& dir) {
+  const CheckpointManifest m = read_manifest(dir);
+  replicas_.clear();
+  for (const auto& [g, s] : m.replicas)
+    replicas_[Guid(params_.id, g)].push_back(NodeId(params_.id, s));
+  return m.time;
 }
 
 void ObjectDirectory::start_soft_state(double republish_every,
@@ -793,8 +919,8 @@ void ObjectDirectory::reroute_changed_pointers(
     Trace* trace) {
   for (const auto& p : before) {
     // The record may have been refreshed or dropped meanwhile; re-read.
-    const PointerRecord* current = at.store().find(p.guid, p.record.server);
-    if (current == nullptr) continue;
+    const auto current = at.store().find(p.guid, p.record.server);
+    if (!current.has_value()) continue;
     const auto now_hop = pointer_next_hop(at, p.guid, *current);
     if (now_hop == p.next_hop) continue;
     optimize_pointer(at, p.guid, *current, trace);
@@ -811,13 +937,13 @@ void ObjectDirectory::optimize_pointer(TapestryNode& from, const Guid& guid,
   while (step.has_value()) {
     TapestryNode& v = reg_.live(*step);
     reg_.acct(trace, *prev, v);
-    const PointerRecord* existing = v.store().find(guid, record.server);
+    const auto existing = v.store().find(guid, record.server);
     const std::optional<NodeId> old_sender =
-        existing != nullptr ? existing->last_hop : std::nullopt;
+        existing.has_value() ? existing->last_hop : std::nullopt;
     v.store().upsert(guid,
                      PointerRecord{record.server, prev->id(), state.level,
                                    state.past_hole, record.expires_at});
-    if (existing != nullptr && old_sender.has_value() &&
+    if (existing.has_value() && old_sender.has_value() &&
         !(*old_sender == prev->id())) {
       // Converged onto the old path: above here nothing changed.  Prune the
       // outdated branch backward along last-hop links.
@@ -851,8 +977,8 @@ void ObjectDirectory::delete_backward(const NodeId& start, const Guid& guid,
     }
     TapestryNode* w = reg_.find(cur);
     if (w == nullptr) break;
-    const PointerRecord* rec = w->store().find(guid, server);
-    if (rec == nullptr) break;
+    const auto rec = w->store().find(guid, server);
+    if (!rec.has_value()) break;
     if (!rec->last_hop.has_value()) break;  // reached the server's record
     chain.push_back(cur);
     cur = *rec->last_hop;

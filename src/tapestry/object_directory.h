@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -98,7 +99,41 @@ class ObjectDirectory {
   // --- soft state (§6.5) ---
   void republish_all(Trace* trace = nullptr);
   void republish_server(NodeId server, Trace* trace = nullptr);
-  void expire_pointers();
+  /// Sweeps expired pointers from every live node's store.  `workers` > 1
+  /// fans the per-node sweeps out through sim/thread_pool — safe with any
+  /// backend (stores are per node) and deterministic (each sweep is
+  /// independent); requires quiescence, like every whole-network pass.
+  void expire_pointers(std::size_t workers = 1);
+
+  // --- checkpoint / restore (persistent backend) ---
+  /// Membership and replica-registry state a checkpoint records alongside
+  /// the per-node store files; enough to rebuild an equivalent overlay.
+  struct CheckpointManifest {
+    double time = 0.0;  ///< simulated clock at checkpoint
+    std::vector<std::pair<std::uint64_t, Location>> nodes;  ///< live (id, loc)
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+        replicas;  ///< registered (guid, server) pairs, manifest order
+  };
+
+  /// Flushes every node store to disk and writes `dir`/manifest (atomic
+  /// tmp + rename): the checkpoint clock, the live membership, and the
+  /// ground-truth replica registry.  Pairs with restore(); meaningful for
+  /// the persistent backend (other backends flush nothing but the
+  /// manifest still lets tests audit published() state).
+  void checkpoint(const std::string& dir);
+  /// Loads the replica registry from `dir`/manifest into this directory
+  /// (replacing it) and returns the checkpoint clock.  The caller must
+  /// already have rebuilt the membership (see read_manifest) so that the
+  /// per-node persistent stores recovered their records at construction —
+  /// and should then advance the event clock to the returned time
+  /// (events().run_until): recovered PointerRecord deadlines are absolute,
+  /// so resuming finite-TTL soft state at clock 0 would let every pointer
+  /// outlive its deadline by the whole checkpoint time.
+  double restore(const std::string& dir);
+  /// Parses `dir`/manifest: checkpoint clock, live membership, replica
+  /// registry.  The single reader of the format — restore() consumes it.
+  [[nodiscard]] static CheckpointManifest read_manifest(
+      const std::string& dir);
 
   /// Starts the §6.5 soft-state timers as recurring events: every
   /// `republish_every`, each registered live replica re-publishes

@@ -1,12 +1,16 @@
 #include "src/tapestry/object_store.h"
 
 #include "src/common/assert.h"
+#include "src/tapestry/params.h"
+#include "src/tapestry/persistent_store.h"
+#include "src/tapestry/sharded_store.h"
 
 namespace tap {
 
-void ObjectStore::upsert(const Guid& guid, const PointerRecord& record) {
+void MemoryStore::upsert(const Guid& guid, const PointerRecord& record) {
   TAP_CHECK(guid.valid() && record.server.valid(),
             "upsert needs valid guid and server");
+  ++upserts_;
   auto& vec = map_[guid];
   for (auto& r : vec) {
     if (r.server == record.server) {
@@ -18,26 +22,22 @@ void ObjectStore::upsert(const Guid& guid, const PointerRecord& record) {
   ++count_;
 }
 
-PointerRecord* ObjectStore::find(const Guid& guid, const NodeId& server) {
+std::optional<PointerRecord> MemoryStore::find(const Guid& guid,
+                                               const NodeId& server) const {
   auto it = map_.find(guid);
-  if (it == map_.end()) return nullptr;
-  for (auto& r : it->second)
-    if (r.server == server) return &r;
-  return nullptr;
+  if (it == map_.end()) return std::nullopt;
+  for (const auto& r : it->second)
+    if (r.server == server) return r;
+  return std::nullopt;
 }
 
-const PointerRecord* ObjectStore::find(const Guid& guid,
-                                       const NodeId& server) const {
-  return const_cast<ObjectStore*>(this)->find(guid, server);
-}
-
-std::vector<PointerRecord> ObjectStore::find_all(const Guid& guid) const {
+std::vector<PointerRecord> MemoryStore::find_all(const Guid& guid) const {
   auto it = map_.find(guid);
   if (it == map_.end()) return {};
   return it->second;
 }
 
-std::vector<PointerRecord> ObjectStore::find_live(const Guid& guid,
+std::vector<PointerRecord> MemoryStore::find_live(const Guid& guid,
                                                   double now) const {
   std::vector<PointerRecord> out;
   auto it = map_.find(guid);
@@ -47,7 +47,13 @@ std::vector<PointerRecord> ObjectStore::find_live(const Guid& guid,
   return out;
 }
 
-bool ObjectStore::remove(const Guid& guid, const NodeId& server) {
+void MemoryStore::for_each_of(const Guid& guid, const Visitor& fn) const {
+  auto it = map_.find(guid);
+  if (it == map_.end()) return;
+  for (const auto& r : it->second) fn(guid, r);
+}
+
+bool MemoryStore::remove(const Guid& guid, const NodeId& server) {
   auto it = map_.find(guid);
   if (it == map_.end()) return false;
   auto& vec = it->second;
@@ -55,6 +61,7 @@ bool ObjectStore::remove(const Guid& guid, const NodeId& server) {
     if (r->server == server) {
       vec.erase(r);
       --count_;
+      ++removes_;
       if (vec.empty()) map_.erase(it);
       return true;
     }
@@ -62,7 +69,7 @@ bool ObjectStore::remove(const Guid& guid, const NodeId& server) {
   return false;
 }
 
-std::size_t ObjectStore::remove_expired(double now) {
+std::size_t MemoryStore::remove_expired(double now) {
   std::size_t removed = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     auto& vec = it->second;
@@ -77,20 +84,47 @@ std::size_t ObjectStore::remove_expired(double now) {
     }
     it = vec.empty() ? map_.erase(it) : std::next(it);
   }
+  expired_ += removed;
   return removed;
 }
 
-void ObjectStore::for_each(
-    const std::function<void(const Guid&, const PointerRecord&)>& fn) const {
+void MemoryStore::for_each(const Visitor& fn) const {
   for (const auto& [guid, vec] : map_)
     for (const auto& r : vec) fn(guid, r);
 }
 
-std::vector<std::pair<Guid, PointerRecord>> ObjectStore::snapshot() const {
+std::vector<std::pair<Guid, PointerRecord>> MemoryStore::snapshot() const {
   std::vector<std::pair<Guid, PointerRecord>> out;
   out.reserve(count_);
   for_each([&](const Guid& g, const PointerRecord& r) { out.emplace_back(g, r); });
   return out;
+}
+
+StoreStats MemoryStore::stats() const {
+  StoreStats s;
+  s.backend = "memory";
+  s.records = count_;
+  s.upserts = upserts_;
+  s.removes = removes_;
+  s.expired = expired_;
+  return s;
+}
+
+std::unique_ptr<ObjectStoreBackend> make_object_store(
+    const TapestryParams& params, const NodeId& id) {
+  switch (params.store_backend) {
+    case StoreBackend::kMemory:
+      return std::make_unique<MemoryStore>();
+    case StoreBackend::kSharded:
+      return std::make_unique<ShardedStore>();
+    case StoreBackend::kPersistent:
+      TAP_CHECK(!params.store_dir.empty(),
+                "StoreBackend::kPersistent requires params.store_dir");
+      return std::make_unique<PersistentStore>(params.store_dir, id,
+                                               params.id);
+  }
+  TAP_CHECK(false, "unknown StoreBackend");
+  return nullptr;  // unreachable
 }
 
 }  // namespace tap

@@ -1,4 +1,5 @@
-// ObjectStore: the object pointers a node holds (paper §2.2, §4.2).
+// Object-pointer storage: the abstract per-node soft-state directory
+// (paper §2.2, §6.5) and its reference in-memory backend.
 //
 // Publishing deposits, at every node on the path from a storage server to
 // the object's root, a pointer  GUID -> server.  Unlike PRR, Tapestry keeps
@@ -13,17 +14,44 @@
 //     (the paper's NEXTHOP(objPtr, level));
 //   * a soft-state expiry deadline (§6.5): pointers are republished at
 //     regular intervals and vanish if their publisher stops refreshing.
+//
+// The paper treats this per-node store as an abstract directory; here it is
+// the ObjectStoreBackend interface, with three implementations selected per
+// overlay through TapestryParams::store_backend (see make_object_store):
+//
+//   MemoryStore      unordered_map, the conformance reference — exactly the
+//                    pre-refactor behaviour (object_store.cc);
+//   ShardedStore     the same semantics behind striped internal locks, so
+//                    batch drains and expiry sweeps may hit one node's
+//                    store from several threads (sharded_store.{h,cc});
+//   PersistentStore  MemoryStore mirror + append-only WAL and compacting
+//                    snapshot on disk; recover() rebuilds identical visible
+//                    state after a restart (persistent_store.{h,cc}).
+//
+// Visible-state contract (what the conformance suite in
+// tests/test_object_store.cc pins down): after any single-threaded op
+// sequence, all backends agree on size(), find(), find_all()/find_live()
+// (per-guid record order = first-insertion order of each (guid, server)
+// pair), and on snapshot() up to global ordering.  A record is live while
+// `now <= expires_at` — the deadline itself is inclusive, matching
+// remove_expired() which drops strictly-past records only.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/tapestry/id.h"
 
 namespace tap {
+
+struct TapestryParams;
 
 struct PointerRecord {
   NodeId server{};
@@ -33,45 +61,109 @@ struct PointerRecord {
   double expires_at = std::numeric_limits<double>::infinity();
 };
 
-class ObjectStore {
- public:
-  /// Inserts or replaces the record for (guid, record.server).
-  void upsert(const Guid& guid, const PointerRecord& record);
+/// Counters a backend exposes for benchmarks and drivers.  Mutation
+/// counters cover the store's lifetime; the WAL fields are zero for
+/// non-persistent backends.
+struct StoreStats {
+  const char* backend = "";   ///< "memory" | "sharded" | "persist"
+  std::size_t records = 0;    ///< live records (== size())
+  std::size_t upserts = 0;    ///< upsert() calls accepted
+  std::size_t removes = 0;    ///< records dropped via remove()
+  std::size_t expired = 0;    ///< records dropped via remove_expired()
+  std::size_t stripes = 1;    ///< internal lock stripes (1 = unsynchronized)
+  std::size_t wal_records = 0;   ///< WAL entries since the last compaction
+  std::size_t wal_bytes = 0;     ///< bytes appended to the WAL (lifetime)
+  std::size_t compactions = 0;   ///< snapshot rewrites performed
+};
 
-  /// Record for a specific (guid, server) pair, or nullptr.
-  [[nodiscard]] PointerRecord* find(const Guid& guid, const NodeId& server);
-  [[nodiscard]] const PointerRecord* find(const Guid& guid,
-                                          const NodeId& server) const;
+/// Abstract per-node object-pointer store.  Single ops are not required to
+/// be thread-safe unless the backend says so (stats().stripes > 1); all
+/// implementations must satisfy the visible-state contract above.
+class ObjectStoreBackend {
+ public:
+  using Visitor = std::function<void(const Guid&, const PointerRecord&)>;
+
+  virtual ~ObjectStoreBackend() = default;
+
+  /// Inserts or replaces the record for (guid, record.server).
+  virtual void upsert(const Guid& guid, const PointerRecord& record) = 0;
+
+  /// Record for a specific (guid, server) pair, if present.
+  [[nodiscard]] virtual std::optional<PointerRecord> find(
+      const Guid& guid, const NodeId& server) const = 0;
 
   /// All records for a guid (possibly several replicas); empty if none.
-  [[nodiscard]] std::vector<PointerRecord> find_all(const Guid& guid) const;
+  [[nodiscard]] virtual std::vector<PointerRecord> find_all(
+      const Guid& guid) const = 0;
 
   /// Non-expired records for a guid at simulated time `now`.
-  [[nodiscard]] std::vector<PointerRecord> find_live(const Guid& guid,
-                                                     double now) const;
+  [[nodiscard]] virtual std::vector<PointerRecord> find_live(
+      const Guid& guid, double now) const = 0;
+
+  /// Visits every record of `guid` without materializing a vector — the
+  /// locate hot path reads through this (see ObjectDirectory).  The
+  /// callback must not mutate this store.
+  virtual void for_each_of(const Guid& guid, const Visitor& fn) const = 0;
 
   /// Removes the record for (guid, server).  Returns true if present.
-  bool remove(const Guid& guid, const NodeId& server);
+  virtual bool remove(const Guid& guid, const NodeId& server) = 0;
 
-  /// Drops every record whose deadline has passed; returns how many.
-  std::size_t remove_expired(double now);
+  /// Drops every record whose deadline has strictly passed; returns how
+  /// many.  A record with expires_at == now survives (it is still live).
+  virtual std::size_t remove_expired(double now) = 0;
 
   /// Total records held (the per-node directory load in Table 1 terms).
-  [[nodiscard]] std::size_t size() const noexcept { return count_; }
-  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   /// Visits every (guid, record) pair.  The callback must not mutate this
   /// store; callers snapshot first when they need to modify during
   /// iteration (see snapshot()).
-  void for_each(
-      const std::function<void(const Guid&, const PointerRecord&)>& fn) const;
+  virtual void for_each(const Visitor& fn) const = 0;
 
   /// Copy of all (guid, record) pairs — safe to iterate while mutating.
-  [[nodiscard]] std::vector<std::pair<Guid, PointerRecord>> snapshot() const;
+  [[nodiscard]] virtual std::vector<std::pair<Guid, PointerRecord>> snapshot()
+      const = 0;
+
+  /// Lifetime counters (see StoreStats).
+  [[nodiscard]] virtual StoreStats stats() const = 0;
+
+  /// Pushes buffered durable state to disk.  No-op for volatile backends.
+  virtual void flush() {}
+};
+
+/// The reference backend: exactly the pre-refactor ObjectStore.  Also the
+/// in-memory mirror PersistentStore replays its log into.
+class MemoryStore : public ObjectStoreBackend {
+ public:
+  void upsert(const Guid& guid, const PointerRecord& record) override;
+  [[nodiscard]] std::optional<PointerRecord> find(
+      const Guid& guid, const NodeId& server) const override;
+  [[nodiscard]] std::vector<PointerRecord> find_all(
+      const Guid& guid) const override;
+  [[nodiscard]] std::vector<PointerRecord> find_live(
+      const Guid& guid, double now) const override;
+  void for_each_of(const Guid& guid, const Visitor& fn) const override;
+  bool remove(const Guid& guid, const NodeId& server) override;
+  std::size_t remove_expired(double now) override;
+  [[nodiscard]] std::size_t size() const noexcept override { return count_; }
+  void for_each(const Visitor& fn) const override;
+  [[nodiscard]] std::vector<std::pair<Guid, PointerRecord>> snapshot()
+      const override;
+  [[nodiscard]] StoreStats stats() const override;
 
  private:
   std::unordered_map<Guid, std::vector<PointerRecord>> map_;
   std::size_t count_ = 0;
+  std::size_t upserts_ = 0;
+  std::size_t removes_ = 0;
+  std::size_t expired_ = 0;
 };
+
+/// Builds the backend `params.store_backend` selects for the node `id`.
+/// PersistentStore requires params.store_dir; the node's files live at
+/// <store_dir>/<id-hex>.{wal,snap} and recover automatically when present.
+[[nodiscard]] std::unique_ptr<ObjectStoreBackend> make_object_store(
+    const TapestryParams& params, const NodeId& id);
 
 }  // namespace tap

@@ -3,10 +3,19 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "src/tapestry/id.h"
 
 namespace tap {
+
+/// Which per-node object-store backend the overlay's nodes use (see
+/// src/tapestry/object_store.h for the contract and the implementations).
+enum class StoreBackend {
+  kMemory,      ///< unordered_map; the conformance reference
+  kSharded,     ///< striped internal locks; concurrent batch/expiry drains
+  kPersistent,  ///< WAL + compacting snapshot; survives node restarts
+};
 
 /// Which localized surrogate-routing variant to use (paper §2.3).
 enum class RoutingMode {
@@ -67,6 +76,14 @@ struct TapestryParams {
   /// state.  Off, locate tries a single randomly drawn root (the paper's
   /// base behaviour).
   bool retry_all_roots = false;
+
+  /// Object-store backend every node of the overlay instantiates (via
+  /// make_object_store).  kPersistent additionally needs `store_dir`.
+  StoreBackend store_backend = StoreBackend::kMemory;
+
+  /// Directory holding the per-node WAL/snapshot files of the persistent
+  /// backend (scenario-named by the drivers; ignored by other backends).
+  std::string store_dir{};
 
   [[nodiscard]] unsigned effective_k(std::size_t n) const {
     if (list_size_k != 0) return list_size_k;

@@ -173,16 +173,18 @@ TEST(RoutingTable, BackpointerBookkeeping) {
   EXPECT_EQ(table.all_backpointers().size(), 2u);  // still at level 2
 }
 
-// ------------------------------------------------------------ ObjectStore
+// ---------------------------------------------------- MemoryStore backend
+// (Cross-backend conformance lives in test_object_store.cc; these pin the
+// reference backend's semantics directly.)
 
 Guid gid(std::uint64_t v) { return Guid(kSpec, v); }
 
 TEST(ObjectStore, UpsertFindRemove) {
-  ObjectStore store;
+  MemoryStore store;
   store.upsert(gid(0xAAAA), PointerRecord{nid(1), std::nullopt, 0, false, 10});
   EXPECT_EQ(store.size(), 1u);
-  ASSERT_NE(store.find(gid(0xAAAA), nid(1)), nullptr);
-  EXPECT_EQ(store.find(gid(0xAAAA), nid(2)), nullptr);
+  ASSERT_TRUE(store.find(gid(0xAAAA), nid(1)).has_value());
+  EXPECT_FALSE(store.find(gid(0xAAAA), nid(2)).has_value());
   EXPECT_TRUE(store.remove(gid(0xAAAA), nid(1)));
   EXPECT_FALSE(store.remove(gid(0xAAAA), nid(1)));
   EXPECT_TRUE(store.empty());
@@ -190,7 +192,7 @@ TEST(ObjectStore, UpsertFindRemove) {
 
 TEST(ObjectStore, MultipleReplicasPerGuid) {
   // Tapestry keeps a pointer per replica (§2.4), unlike PRR.
-  ObjectStore store;
+  MemoryStore store;
   store.upsert(gid(7), PointerRecord{nid(1), std::nullopt, 0, false, 10});
   store.upsert(gid(7), PointerRecord{nid(2), nid(1), 1, false, 10});
   EXPECT_EQ(store.find_all(gid(7)).size(), 2u);
@@ -198,20 +200,54 @@ TEST(ObjectStore, MultipleReplicasPerGuid) {
 }
 
 TEST(ObjectStore, UpsertReplacesSameServer) {
-  ObjectStore store;
+  MemoryStore store;
   store.upsert(gid(7), PointerRecord{nid(1), std::nullopt, 0, false, 10});
   store.upsert(gid(7), PointerRecord{nid(1), nid(9), 3, true, 20});
   EXPECT_EQ(store.size(), 1u);
-  const auto* rec = store.find(gid(7), nid(1));
-  ASSERT_NE(rec, nullptr);
+  const auto rec = store.find(gid(7), nid(1));
+  ASSERT_TRUE(rec.has_value());
   EXPECT_EQ(rec->level, 3u);
   EXPECT_EQ(rec->expires_at, 20);
   ASSERT_TRUE(rec->last_hop.has_value());
   EXPECT_EQ(*rec->last_hop, nid(9));
 }
 
+TEST(ObjectStore, VisitorMatchesFindAll) {
+  MemoryStore store;
+  store.upsert(gid(7), PointerRecord{nid(1), std::nullopt, 0, false, 10});
+  store.upsert(gid(7), PointerRecord{nid(2), nid(1), 1, false, 10});
+  store.upsert(gid(8), PointerRecord{nid(3), std::nullopt, 0, false, 10});
+  std::vector<PointerRecord> seen;
+  store.for_each_of(gid(7), [&](const Guid& g, const PointerRecord& r) {
+    EXPECT_EQ(g, gid(7));
+    seen.push_back(r);
+  });
+  const auto all = store.find_all(gid(7));
+  ASSERT_EQ(seen.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(seen[i].server, all[i].server);
+  store.for_each_of(gid(9), [&](const Guid&, const PointerRecord&) {
+    FAIL() << "no records for this guid";
+  });
+}
+
+TEST(ObjectStore, StatsCounters) {
+  MemoryStore store;
+  store.upsert(gid(1), PointerRecord{nid(1), std::nullopt, 0, false, 5.0});
+  store.upsert(gid(1), PointerRecord{nid(2), std::nullopt, 0, false, 1.0});
+  store.remove(gid(1), nid(1));
+  store.remove_expired(3.0);
+  const StoreStats s = store.stats();
+  EXPECT_STREQ(s.backend, "memory");
+  EXPECT_EQ(s.records, 0u);
+  EXPECT_EQ(s.upserts, 2u);
+  EXPECT_EQ(s.removes, 1u);
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.stripes, 1u);
+}
+
 TEST(ObjectStore, SoftStateExpiry) {
-  ObjectStore store;
+  MemoryStore store;
   store.upsert(gid(1), PointerRecord{nid(1), std::nullopt, 0, false, 5.0});
   store.upsert(gid(1), PointerRecord{nid(2), std::nullopt, 0, false, 15.0});
   store.upsert(gid(2), PointerRecord{nid(3), std::nullopt, 0, false, 3.0});
@@ -225,7 +261,7 @@ TEST(ObjectStore, SoftStateExpiry) {
 }
 
 TEST(ObjectStore, SnapshotIsStable) {
-  ObjectStore store;
+  MemoryStore store;
   for (std::uint64_t i = 0; i < 10; ++i)
     store.upsert(gid(i), PointerRecord{nid(i), std::nullopt, 0, false, 1.0});
   auto snap = store.snapshot();
@@ -236,7 +272,7 @@ TEST(ObjectStore, SnapshotIsStable) {
 }
 
 TEST(ObjectStore, InvalidUpsertRejected) {
-  ObjectStore store;
+  MemoryStore store;
   EXPECT_THROW(store.upsert(Guid(), PointerRecord{nid(1), std::nullopt, 0,
                                                   false, 1.0}),
                CheckError);

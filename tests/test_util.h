@@ -2,8 +2,15 @@
 // for join-grown and statically built networks over the standard spaces.
 #pragma once
 
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "src/common/rng.h"
 #include "src/metric/euclidean.h"
@@ -14,11 +21,54 @@
 
 namespace tap::test {
 
+/// Applies the TAP_STORE environment override — the CI backend matrix runs
+/// the directory/churn test binaries once per value: "memory" (default),
+/// "sharded", "persist".  Every call hands persist a fresh scratch
+/// directory (under TAP_STORE_DIR or the system temp dir): two networks in
+/// one test must never recover each other's WALs.
+inline void apply_store_env(TapestryParams& p) {
+  const char* s = std::getenv("TAP_STORE");
+  if (s == nullptr) return;
+  const std::string backend(s);
+  if (backend.empty() || backend == "memory") return;
+  if (backend == "sharded") {
+    p.store_backend = StoreBackend::kSharded;
+    return;
+  }
+  TAP_CHECK(backend == "persist", "TAP_STORE must be memory|sharded|persist");
+  p.store_backend = StoreBackend::kPersistent;
+  static std::atomic<unsigned> counter{0};
+  const char* base = std::getenv("TAP_STORE_DIR");
+  const std::filesystem::path root =
+      base != nullptr ? std::filesystem::path(base)
+                      : std::filesystem::temp_directory_path();
+  p.store_dir = (root / ("tap_store_" + std::to_string(::getpid()) + "_" +
+                         std::to_string(counter++)))
+                    .string();
+  // Scratch dirs accumulate one WAL per node; sweep them when the test
+  // binary exits (all Networks are gone by then) so repeated local runs
+  // don't litter the temp dir.
+  struct Sweeper {
+    std::vector<std::string> dirs;
+    std::mutex mu;
+    ~Sweeper() {
+      for (const std::string& d : dirs) {
+        std::error_code ec;
+        std::filesystem::remove_all(d, ec);  // best-effort
+      }
+    }
+  };
+  static Sweeper sweeper;
+  std::lock_guard<std::mutex> lock(sweeper.mu);
+  sweeper.dirs.push_back(p.store_dir);
+}
+
 inline TapestryParams small_params(RoutingMode mode = RoutingMode::kTapestryNative) {
   TapestryParams p;
   p.id = IdSpec{4, 8};  // radix 16, 8 digits
   p.redundancy = 3;
   p.routing = mode;
+  apply_store_env(p);
   return p;
 }
 

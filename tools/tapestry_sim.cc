@@ -29,6 +29,22 @@
 //   --seed=N                                                 [1]
 //   --csv            emit CSV instead of the report
 //
+// Object-store backend flags (any scenario):
+//   --store=memory|sharded|persist   per-node store backend   [memory]
+//   --store-dir=PATH  persist backend's WAL/snapshot directory; treated as
+//                     sim-owned scratch and WIPED at startup
+//                                                  [tapestry_store.<scenario>]
+//
+// Persist-backend extras:
+//   --scenario=recover       checkpoint -> destroy -> recover round trip:
+//                            builds a static overlay, publishes and queries,
+//                            checkpoints, tears the Network down, rebuilds
+//                            membership from the manifest, restores, re-runs
+//                            the identical query schedule and exits non-zero
+//                            unless published() and availability match
+//   --checkpoint-interval=T  periodic checkpoint epochs during
+//                            --scenario=churn (0 = off)       [0]
+//
 // Parallel-build flags (--scenario=bigbuild; stands up a large overlay
 // with the concurrent construction pipeline — bulk registration, parallel
 // static tables, batched publishes — optionally topped by a wave of
@@ -57,6 +73,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "src/common/rng.h"
@@ -109,6 +126,11 @@ struct Options {
   // Bigbuild-scenario mode.
   std::size_t threads = 0;     // 0 => hardware concurrency
   std::size_t join_wave = 0;   // concurrent dynamic joins on top
+
+  // Object-store backend.
+  std::string store = "memory";
+  std::string store_dir;       // empty => tapestry_store.<scenario>
+  double checkpoint_interval = 0.0;
 };
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -161,6 +183,10 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--threads", &v)) o.threads = std::stoul(v);
     else if (parse_flag(argv[i], "--join-wave", &v))
       o.join_wave = std::stoul(v);
+    else if (parse_flag(argv[i], "--store", &v)) o.store = v;
+    else if (parse_flag(argv[i], "--store-dir", &v)) o.store_dir = v;
+    else if (parse_flag(argv[i], "--checkpoint-interval", &v))
+      o.checkpoint_interval = std::stod(v);
     else if (std::strcmp(argv[i], "--retry") == 0) o.retry = true;
     else if (std::strcmp(argv[i], "--secondary") == 0) o.secondary = true;
     else if (std::strcmp(argv[i], "--static") == 0) o.use_static = true;
@@ -179,10 +205,23 @@ Options parse(int argc, char** argv) {
                 ? 2.0 * o.republish_interval
                 : std::numeric_limits<double>::infinity();
   if (o.scenario != "static" && o.scenario != "churn" &&
-      o.scenario != "bigbuild") {
+      o.scenario != "bigbuild" && o.scenario != "recover") {
     std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
     std::exit(2);
   }
+  if (o.store != "memory" && o.store != "sharded" && o.store != "persist") {
+    std::fprintf(stderr, "unknown store backend: %s\n", o.store.c_str());
+    std::exit(2);
+  }
+  if (o.scenario == "recover" && o.store != "persist") {
+    std::fprintf(stderr, "--scenario=recover requires --store=persist\n");
+    std::exit(2);
+  }
+  if (o.checkpoint_interval > 0.0 && o.store != "persist") {
+    std::fprintf(stderr, "--checkpoint-interval requires --store=persist\n");
+    std::exit(2);
+  }
+  if (o.store_dir.empty()) o.store_dir = "tapestry_store." + o.scenario;
   if (o.join_wave >= o.nodes) {
     std::fprintf(stderr, "--join-wave must be smaller than --nodes\n");
     std::exit(2);
@@ -206,6 +245,35 @@ std::unique_ptr<MetricSpace> make_space(const Options& o, Rng& rng) {
     return std::make_unique<TwoClusterMetric>(capacity, rng);
   std::fprintf(stderr, "unknown space: %s\n", o.space.c_str());
   std::exit(2);
+}
+
+// The store dir is sim-owned scratch (see the flag docs): a stale run's
+// WALs must not leak into this one's recovered state, so it is wiped at
+// startup — but only a directory this sim created (it carries a marker
+// file).  A user pointing --store-dir at a real directory gets a refusal,
+// not a recursive delete.
+void reset_store_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path marker = fs::path(dir) / ".tapestry_store";
+  if (fs::exists(dir)) {
+    if (!fs::exists(marker)) {
+      std::fprintf(stderr,
+                   "refusing to wipe %s: not a tapestry_sim store dir "
+                   "(missing %s)\n",
+                   dir.c_str(), marker.string().c_str());
+      std::exit(2);
+    }
+    fs::remove_all(dir);
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  std::FILE* f = ec ? nullptr : std::fopen(marker.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot initialize store dir %s\n", dir.c_str());
+    std::exit(2);
+  }
+  std::fputs("tapestry_sim scratch store; wiped on every persist run\n", f);
+  std::fclose(f);
 }
 
 Guid make_guid(const Network& net, std::uint64_t raw) {
@@ -234,6 +302,10 @@ int run_churn_scenario(const Options& o, Network& net) {
   sc.heartbeat_interval = o.heartbeat_interval;
   sc.seed = o.seed;
   sc.synchronous = o.engine == "sync";
+  if (o.checkpoint_interval > 0.0) {
+    sc.checkpoint_interval = o.checkpoint_interval;
+    sc.checkpoint_dir = o.store_dir;
+  }
 
   ChurnDriver driver(net, sc);
   const ChurnReport rep = driver.run();
@@ -300,6 +372,98 @@ int run_churn_scenario(const Options& o, Network& net) {
               rep.churn_msgs,
               static_cast<unsigned long long>(rep.events_fired));
   return 0;
+}
+
+// Checkpoint -> destroy -> recover round trip on the persistent backend:
+// the proof behind kill-and-resume churn experiments.  Builds a static
+// overlay, publishes and queries a workload, checkpoints, destroys the
+// Network, rebuilds the membership from the checkpoint manifest (the
+// per-node stores recover their WAL/snapshot files at construction),
+// restores the replica registry, and replays the identical query schedule.
+// Exit status is non-zero unless published() state and locate availability
+// come back exactly.
+int run_recover_scenario(const Options& o, const MetricSpace& space,
+                         const TapestryParams& params) {
+  std::vector<Guid> guids;
+  std::vector<std::pair<Guid, NodeId>> pub_before;
+  std::size_t found_before = 0;
+
+  {
+    Network net(space, params, o.seed);
+    for (Location i = 0; i < o.nodes; ++i) net.insert_static(i);
+    net.rebuild_static_tables();
+    const auto ids = net.node_ids();
+    Rng wl(o.seed ^ 0x4c0ad);
+    for (std::size_t i = 0; i < o.objects; ++i) {
+      const Guid guid = make_guid(net, i);
+      guids.push_back(guid);
+      for (unsigned r = 0; r < o.replicas; ++r)
+        net.publish(ids[wl.next_u64(ids.size())], guid);
+    }
+    Rng ql(o.seed ^ 0x9e77);
+    for (std::size_t q = 0; q < o.queries; ++q) {
+      const Guid& guid = guids[ql.next_u64(guids.size())];
+      if (net.locate(ids[ql.next_u64(ids.size())], guid).found) ++found_before;
+    }
+    net.checkpoint_stores(params.store_dir);
+    pub_before = net.published();
+    // Network destroyed here — the simulated kill.
+  }
+
+  const auto manifest = ObjectDirectory::read_manifest(params.store_dir);
+  Network revived(space, params, o.seed);
+  for (const auto& [idv, loc] : manifest.nodes)
+    revived.insert_static(loc, NodeId(params.id, idv));
+  revived.rebuild_static_tables();
+  const double t_checkpoint = revived.restore_directory(params.store_dir);
+  // Resume simulated time where the checkpoint left it: recovered expiry
+  // deadlines are absolute, so a finite-TTL run restarted at clock 0 would
+  // let every pointer outlive its deadline by the whole checkpoint time.
+  revived.events().run_until(t_checkpoint);
+
+  auto canon = [](std::vector<std::pair<Guid, NodeId>> v) {
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    return v;
+  };
+  const bool published_match =
+      canon(pub_before) == canon(revived.published());
+
+  const auto ids = revived.node_ids();
+  Rng ql(o.seed ^ 0x9e77);
+  std::size_t found_after = 0;
+  for (std::size_t q = 0; q < o.queries; ++q) {
+    const Guid& guid = guids[ql.next_u64(guids.size())];
+    if (revived.locate(ids[ql.next_u64(ids.size())], guid).found)
+      ++found_after;
+  }
+  const bool availability_match = found_after == found_before;
+  const bool ok = published_match && availability_match;
+
+  if (o.csv) {
+    std::printf("nodes,objects,queries,found_before,found_after,"
+                "published_records,published_match,availability_match,ok\n");
+    std::printf("%zu,%zu,%zu,%zu,%zu,%zu,%d,%d,%d\n", o.nodes, o.objects,
+                o.queries, found_before, found_after, pub_before.size(),
+                published_match ? 1 : 0, availability_match ? 1 : 0,
+                ok ? 1 : 0);
+    return ok ? 0 : 1;
+  }
+
+  std::printf("tapestry_sim recover — %zu nodes on %s, store dir %s\n",
+              o.nodes, o.space.c_str(), params.store_dir.c_str());
+  std::printf("  checkpoint at t=%.3f: %zu (guid, server) records, "
+              "%zu node stores flushed\n",
+              t_checkpoint, pub_before.size(), manifest.nodes.size());
+  std::printf("  published():   %s (%zu records)\n",
+              published_match ? "identical" : "MISMATCH", pub_before.size());
+  std::printf("  availability:  %zu/%zu before, %zu/%zu after -> %s\n",
+              found_before, o.queries, found_after, o.queries,
+              availability_match ? "identical" : "MISMATCH");
+  std::printf("  round trip:    %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
 }
 
 double wall_ms(std::chrono::steady_clock::time_point t0) {
@@ -426,7 +590,14 @@ int main(int argc, char** argv) {
   params.routing = o.routing == "prr" ? RoutingMode::kPrrLike
                                       : RoutingMode::kTapestryNative;
   if (o.scenario == "churn") params.pointer_ttl = o.ttl;
+  if (o.store == "sharded") params.store_backend = StoreBackend::kSharded;
+  if (o.store == "persist") {
+    params.store_backend = StoreBackend::kPersistent;
+    params.store_dir = o.store_dir;
+    reset_store_dir(params.store_dir);
+  }
 
+  if (o.scenario == "recover") return run_recover_scenario(o, *space, params);
   if (o.scenario == "bigbuild")
     return run_bigbuild_scenario(o, *space, params);
 
