@@ -41,6 +41,10 @@ void ChurnDriver::log_event(char kind, const std::string& detail) {
 }
 
 ChurnEpoch& ChurnDriver::epoch_now() {
+  // Past the horizon, in-flight operations completing during the drain are
+  // bucketed separately: clamping them into the final epoch would skew its
+  // availability/traffic statistics with events from outside its window.
+  if (draining_) return drain_;
   // Relative to the run's start: the network's clock may have advanced
   // before the driver was handed the net (e.g. parallel-join growth).
   const double rel = net_.now() - epochs_.front().t0;
@@ -254,8 +258,11 @@ ChurnReport ChurnDriver::run() {
   }
 
   // Horizon reached: stop every recurring process, then drain the
-  // operations still in flight (their completions land in the last epoch).
+  // operations still in flight.  Their completions land in the terminal
+  // drain bucket, not in the last epoch.
   running_ = false;
+  draining_ = true;
+  drain_.t0 = epochs_.back().t1;
   if (churn_event_.has_value()) net_.events().cancel(*churn_event_);
   if (query_event_.has_value()) net_.events().cancel(*query_event_);
   if (sync_maint_event_.has_value()) net_.events().cancel(*sync_maint_event_);
@@ -275,17 +282,19 @@ ChurnReport ChurnDriver::run() {
 }
 
 ChurnReport ChurnDriver::finalize() {
-  // Traffic from drained operations lands in the last epoch.
-  ChurnEpoch& last = epochs_.back();
-  last.maintenance_msgs += maint_trace_.messages() - maint_msgs_seen_;
+  // Traffic from drained operations lands in the terminal drain bucket —
+  // the last epoch keeps only what happened inside its own window.
+  drain_.t1 = net_.now();
+  drain_.maintenance_msgs += maint_trace_.messages() - maint_msgs_seen_;
   maint_msgs_seen_ = maint_trace_.messages();
-  last.churn_msgs += churn_trace_.messages() - churn_msgs_seen_;
+  drain_.churn_msgs += churn_trace_.messages() - churn_msgs_seen_;
   churn_msgs_seen_ = churn_trace_.messages();
-  last.live_nodes = net_.size();
+  drain_.live_nodes = net_.size();
 
   ChurnReport r;
   r.epochs = epochs_;
-  for (const ChurnEpoch& e : epochs_) {
+  r.drain = drain_;
+  auto accumulate = [&r](const ChurnEpoch& e) {
     r.joins += e.joins;
     r.leaves += e.leaves;
     r.fails += e.fails;
@@ -298,7 +307,9 @@ ChurnReport ChurnDriver::finalize() {
     r.stretch_n += e.stretch_n;
     r.maintenance_msgs += e.maintenance_msgs;
     r.churn_msgs += e.churn_msgs;
-  }
+  };
+  for (const ChurnEpoch& e : epochs_) accumulate(e);
+  accumulate(drain_);  // drained completions still count toward the totals
   r.events_fired = net_.events().fired() - fired_at_start_;
   return r;
 }

@@ -98,6 +98,14 @@ struct ChurnEpoch {
 /// Aggregates over the whole run plus the per-epoch series.
 struct ChurnReport {
   std::vector<ChurnEpoch> epochs;
+  /// Terminal bucket for the drain phase: once the horizon is reached and
+  /// the recurring processes are stopped, completions of still-in-flight
+  /// operations (and their traffic) land here instead of being silently
+  /// clamped into the last epoch — the last epoch's availability/traffic
+  /// figures describe only its own window.  `drain.t0` is the horizon,
+  /// `drain.t1` the time the queue actually drained; the aggregate totals
+  /// below include it.
+  ChurnEpoch drain;
   std::size_t joins = 0, leaves = 0, fails = 0;
   std::size_t queries = 0, found = 0;
   std::size_t queries_post_failure = 0, found_post_failure = 0;
@@ -182,6 +190,8 @@ class ChurnDriver {
   std::uint64_t fired_at_start_ = 0;
   bool running_ = false;
   bool ran_ = false;
+  bool draining_ = false;   ///< horizon reached; stats go to drain_
+  ChurnEpoch drain_;        ///< terminal bucket (see ChurnReport::drain)
   std::optional<EventId> churn_event_;
   std::optional<EventId> query_event_;
   std::optional<EventId> sync_maint_event_;

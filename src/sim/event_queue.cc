@@ -6,31 +6,34 @@ EventId EventQueue::schedule_at(double when, Action action) {
   TAP_CHECK(when >= now_, "schedule_at: cannot schedule in the past");
   TAP_CHECK(static_cast<bool>(action), "schedule_at: empty action");
   const EventId id = next_id_++;
-  if (actions_.size() <= id) actions_.resize(id + 1);
-  actions_[id] = std::move(action);
+  actions_.emplace(id, std::move(action));
   heap_.push(Entry{when, id});
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id >= actions_.size() || !actions_[id]) return false;
-  actions_[id] = nullptr;  // release captured state eagerly
-  cancelled_.insert(id);
+  // Only ids with a live action are cancellable; an already-fired, already-
+  // cancelled or never-issued id is rejected without leaving any tombstone
+  // state behind (the stale heap entry, if one exists, is popped lazily).
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);  // release captured state eagerly
   return true;
 }
 
 bool EventQueue::step() {
   while (!heap_.empty()) {
     const Entry e = heap_.top();
-    heap_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    auto it = actions_.find(e.id);
+    if (it == actions_.end()) {
+      heap_.pop();  // cancellation tombstone
       continue;
     }
+    heap_.pop();
     TAP_ASSERT(e.time >= now_);
     now_ = e.time;
-    Action action = std::move(actions_[e.id]);
-    actions_[e.id] = nullptr;
+    Action action = std::move(it->second);
+    actions_.erase(it);
     ++fired_;
     action();
     return true;
@@ -49,9 +52,8 @@ void EventQueue::run_until(double t_end) {
   TAP_CHECK(t_end >= now_, "run_until: cannot rewind the clock");
   while (!heap_.empty()) {
     const Entry e = heap_.top();
-    if (cancelled_.count(e.id)) {
-      heap_.pop();
-      cancelled_.erase(e.id);
+    if (actions_.find(e.id) == actions_.end()) {
+      heap_.pop();  // cancellation tombstone
       continue;
     }
     if (e.time > t_end) break;

@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/assert.h"
@@ -41,8 +41,9 @@ class EventQueue {
     return schedule_at(now_ + delay, std::move(action));
   }
 
-  /// Cancels a pending event.  Returns false if the event already fired
-  /// (or was already cancelled).
+  /// Cancels a pending event and releases its action (and captures)
+  /// immediately.  Returns false — with no state change — if the id is not
+  /// currently pending: already fired, already cancelled, or never issued.
   bool cancel(EventId id);
 
   /// Fires the earliest pending event.  Returns false if the queue is
@@ -57,9 +58,9 @@ class EventQueue {
   void run_until(double t_end);
 
   [[nodiscard]] std::size_t pending() const noexcept {
-    return heap_.size() - cancelled_.size();
+    return actions_.size();
   }
-  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] bool empty() const noexcept { return actions_.empty(); }
 
   /// Total number of events fired over the queue's lifetime.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
@@ -80,8 +81,12 @@ class EventQueue {
   EventId next_id_ = 0;
   std::uint64_t fired_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<Action> actions_;  // indexed by EventId
-  std::unordered_set<EventId> cancelled_;
+  // Pending events only: an entry is erased (releasing the closure and its
+  // captures) when the event fires or is cancelled, so retention is bounded
+  // by the pending count, never by the lifetime event total.  A heap entry
+  // with no map entry is a cancellation tombstone, skipped and popped
+  // lazily; ids are never reused, so a tombstone cannot alias a live event.
+  std::unordered_map<EventId, Action> actions_;
 };
 
 }  // namespace tap

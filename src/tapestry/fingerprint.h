@@ -9,7 +9,9 @@
 // quiescence (they read tables and stores without synchronisation).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "src/tapestry/network.h"
 
@@ -44,6 +46,36 @@ class Fnv1a {
         for (const auto& e : t.at(l, j).entries())
           h.mix(e.id.value() * 2 + (e.pinned ? 1 : 0));
       for (const NodeId& b : t.backpointers(l)) h.mix(b.value());
+    }
+  }
+  return h.value();
+}
+
+/// Invariant-convergent fingerprint for the thread-parallel join wave:
+/// live membership plus every node's row occupancy pattern, visited in
+/// sorted id order so registry insertion order (which depends on thread
+/// scheduling) cannot leak in.  Under Property 1 the occupancy pattern is
+/// a pure function of the membership set — slot (l, j) of node n is
+/// non-empty iff a live node with prefix n[0..l)·j exists — so two runs
+/// with the same seed and ANY worker count must produce identical values
+/// here even though the *members* filling each slot (and therefore
+/// fingerprint_tables) may differ with message ordering.  This is the
+/// §4.4 convergence witness: same membership, no unfilled watched holes.
+[[nodiscard]] inline std::uint64_t fingerprint_occupancy(const Network& net) {
+  std::vector<const TapestryNode*> live;
+  for (const auto& n : net.registry().nodes())
+    if (n->alive) live.push_back(n.get());
+  std::sort(live.begin(), live.end(),
+            [](const TapestryNode* a, const TapestryNode* b) {
+              return a->id() < b->id();
+            });
+  detail::Fnv1a h;
+  for (const TapestryNode* n : live) {
+    h.mix(n->id().value());
+    const RoutingTable& t = n->table();
+    for (unsigned l = 0; l < t.levels(); ++l) {
+      const std::uint64_t* row = t.row_occupancy(l);
+      for (unsigned w = 0; w < t.occupancy_words(); ++w) h.mix(row[w]);
     }
   }
   return h.value();

@@ -124,26 +124,33 @@ void MaintenanceEngine::link_and_xfer_root(TapestryNode& host,
   dir_.reroute_changed_pointers(host, before, trace);
 }
 
-std::vector<NodeId> MaintenanceEngine::trim_closest(const TapestryNode& nn,
-                                                    std::vector<NodeId> list,
-                                                    std::size_t k) const {
+std::vector<NodeId> trim_closest_candidates(const NodeRegistry& reg,
+                                            const TapestryNode& nn,
+                                            std::vector<NodeId> list,
+                                            std::size_t k) {
   // Dedupe, drop dead nodes and the node itself, order by distance.
   std::sort(list.begin(), list.end());
   list.erase(std::unique(list.begin(), list.end()), list.end());
   list.erase(std::remove_if(list.begin(), list.end(),
                             [&](const NodeId& x) {
-                              return x == nn.id() || !reg_.is_live(x);
+                              return x == nn.id() || !reg.is_live(x);
                             }),
              list.end());
   std::stable_sort(list.begin(), list.end(),
                    [&](const NodeId& a, const NodeId& b) {
-                     const double da = reg_.dist(nn, reg_.checked(a));
-                     const double db = reg_.dist(nn, reg_.checked(b));
+                     const double da = reg.dist(nn, reg.checked(a));
+                     const double db = reg.dist(nn, reg.checked(b));
                      if (da != db) return da < db;
                      return a < b;
                    });
   if (list.size() > k) list.resize(k);
   return list;
+}
+
+std::vector<NodeId> MaintenanceEngine::trim_closest(const TapestryNode& nn,
+                                                    std::vector<NodeId> list,
+                                                    std::size_t k) const {
+  return trim_closest_candidates(reg_, nn, std::move(list), k);
 }
 
 void MaintenanceEngine::build_row_from_list(TapestryNode& nn,

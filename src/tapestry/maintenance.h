@@ -23,6 +23,22 @@
 
 namespace tap {
 
+/// One dynamic insertion of a thread-parallel join wave (see join_bulk).
+struct JoinRequest {
+  Location loc{};
+  std::optional<NodeId> id{};       ///< default: fresh random id
+  std::optional<NodeId> gateway{};  ///< default: uniformly random live node
+};
+
+/// The §3 k-list trim, shared by the serial join (join.cc) and the
+/// threaded driver (threaded_join.cc) so both run the SAME rule: dedupe,
+/// drop dead nodes and the node itself, order by (distance, id), keep the
+/// k closest.  Pure reads — callers provide whatever synchronisation the
+/// candidate list itself needed.
+[[nodiscard]] std::vector<NodeId> trim_closest_candidates(
+    const NodeRegistry& reg, const TapestryNode& nn, std::vector<NodeId> list,
+    std::size_t k);
+
 class MaintenanceEngine final : public RepairHandler {
  public:
   MaintenanceEngine(NodeRegistry& registry, Router& router,
@@ -39,6 +55,19 @@ class MaintenanceEngine final : public RepairHandler {
   NodeId join_via(NodeId gateway, Location loc,
                   std::optional<NodeId> id = std::nullopt,
                   Trace* trace = nullptr);
+  /// Thread-parallel dynamic insertion (§4.4 on real threads): drives the
+  /// whole batch through ThreadedJoinDriver — each worker thread runs one
+  /// join's multicast/watch-list/pin state machine synchronously, racing
+  /// the others through the per-node stripe locks — and returns the new
+  /// node ids in request order.  `workers` = 0 uses hardware concurrency.
+  /// Determinism contract: ids/gateways are drawn serially up front, so
+  /// same seed + any worker count yields the same membership and a table
+  /// set satisfying the convergence invariants (Property 1, backpointer
+  /// symmetry, no leftover pins, surrogate agreement) — message orderings,
+  /// and therefore exact neighbor choices, may differ between runs.
+  std::vector<NodeId> join_bulk(const std::vector<JoinRequest>& requests,
+                                std::size_t workers = 0);
+
   /// Voluntary departure (§5.1): notifies backpointer holders with
   /// replacement hints, re-roots object pointers, then disconnects.
   void leave(NodeId node, Trace* trace = nullptr);

@@ -104,6 +104,15 @@ class Network {
     return maintenance_.join_via(gateway, loc, id, trace);
   }
 
+  /// Thread-parallel dynamic insertion: the whole batch of §4.4 joins runs
+  /// on real `sim/thread_pool` workers racing each other through per-node
+  /// stripe locks (see MaintenanceEngine::join_bulk for the determinism
+  /// contract).  Returns the new node ids in request order.
+  std::vector<NodeId> join_bulk(const std::vector<JoinRequest>& requests,
+                                std::size_t workers = 0) {
+    return maintenance_.join_bulk(requests, workers);
+  }
+
   /// Voluntary departure (§5.1): notifies backpointer holders with
   /// replacement hints, re-roots object pointers, then disconnects.
   void leave(NodeId node, Trace* trace = nullptr) {
@@ -128,9 +137,12 @@ class Network {
   /// Batched publish for bulk overlay construction: publish paths walked
   /// concurrently through the Router's mutation-free read path, deposits
   /// drained per registry shard (see ObjectDirectory::publish_batch).
+  /// `guarded` takes the per-node stripe locks on each routing decision —
+  /// required when the batch deliberately races a join_bulk wave.
   void publish_batch(const std::vector<ObjectDirectory::PublishRequest>& batch,
-                     std::size_t workers = 0, Trace* trace = nullptr) {
-    directory_.publish_batch(batch, workers, trace);
+                     std::size_t workers = 0, Trace* trace = nullptr,
+                     bool guarded = false) {
+    directory_.publish_batch(batch, workers, trace, guarded);
   }
 
   /// Removes the replica mapping (guid -> server) along its root paths.

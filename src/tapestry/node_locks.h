@@ -1,0 +1,75 @@
+// NodeLockTable: striped per-node mutexes for the thread-parallel join
+// path (§4.4 run on real threads).
+//
+// The registry's index is already lock-free for readers, and the object
+// stores bring their own synchronisation (ShardedStore's guid stripes) —
+// what has none is the per-node *protocol* state: the RoutingTable (slots,
+// occupancy masks, backpointers) and the transient insertion flags
+// (`inserting`, `psurrogate`).  When joins run on real threads, every
+// access to that state goes through this table: node ids hash onto a fixed
+// array of mutexes, so the lock footprint is O(stripes) regardless of
+// overlay size and nodes registered mid-wave are covered automatically.
+//
+// Deadlock discipline: a thread holds at most one Guard at a time.  The
+// two-node Guard (table mutation + backpointer mirror on the other side)
+// acquires its stripes in address order — the global order every thread
+// shares — and collapses to a single lock when both ids hash to the same
+// stripe.  Operations that would touch a third node (eviction side
+// effects) drop their locks first and then re-synchronise the affected
+// pair; see ThreadedJoinDriver::sync_backpointer.
+#pragma once
+
+#include <array>
+#include <mutex>
+
+#include "src/common/rng.h"
+#include "src/tapestry/id.h"
+
+namespace tap {
+
+class NodeLockTable {
+ public:
+  static constexpr std::size_t kStripeCount = 1024;
+
+  [[nodiscard]] std::mutex& stripe(const NodeId& id) const noexcept {
+    return mu_[splitmix64(id.value()) & (kStripeCount - 1)];
+  }
+
+  /// RAII lock over one node's stripe, or over two nodes' stripes acquired
+  /// in address order (deduplicated when they collide).
+  class Guard {
+   public:
+    Guard(const NodeLockTable& t, const NodeId& a) : first_(&t.stripe(a)) {
+      first_->lock();
+    }
+    Guard(const NodeLockTable& t, const NodeId& a, const NodeId& b) {
+      std::mutex* x = &t.stripe(a);
+      std::mutex* y = &t.stripe(b);
+      if (x == y) {
+        first_ = x;
+        first_->lock();
+        return;
+      }
+      if (x > y) std::swap(x, y);
+      first_ = x;
+      second_ = y;
+      first_->lock();
+      second_->lock();
+    }
+    ~Guard() {
+      if (second_ != nullptr) second_->unlock();
+      first_->unlock();
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    std::mutex* first_ = nullptr;
+    std::mutex* second_ = nullptr;
+  };
+
+ private:
+  mutable std::array<std::mutex, kStripeCount> mu_;
+};
+
+}  // namespace tap

@@ -80,11 +80,17 @@ void ObjectDirectory::publish(NodeId server, const Guid& guid, Trace* trace) {
 }
 
 void ObjectDirectory::publish_batch(const std::vector<PublishRequest>& batch,
-                                    std::size_t workers, Trace* trace) {
+                                    std::size_t workers, Trace* trace,
+                                    bool guarded) {
   if (batch.empty()) return;
   if (params_.prr_secondary_search) {
     // Secondary deposits mutate neighbor stores mid-walk; keep the serial
-    // semantics rather than complicating the concurrent drain.
+    // semantics rather than complicating the concurrent drain.  That
+    // fallback routes with the unguarded mutating walk, so it must never
+    // be reached from a caller racing a join wave.
+    TAP_CHECK(!guarded,
+              "publish_batch: guarded mode is incompatible with the "
+              "prr_secondary_search serial fallback");
     for (const PublishRequest& r : batch) publish(r.server, r.guid, trace);
     return;
   }
@@ -130,9 +136,13 @@ void ObjectDirectory::publish_batch(const std::vector<PublishRequest>& batch,
 
   // Phase 1: walk every publish path with the mutation-free peek router —
   // any number of threads may read the quiescent mesh — collecting the
-  // deposits and per-task cost accounting.  Drained group by group.
+  // deposits and per-task cost accounting.  Drained group by group.  In
+  // guarded mode each routing decision additionally takes the current
+  // node's stripe lock, so the walk synchronises with a thread-parallel
+  // join wave mutating the tables underneath it.
   std::vector<std::vector<Deposit>> deposits(n_tasks);
   std::vector<Trace> task_traces(n_tasks);
+  const NodeLockTable& locks = reg_.node_locks();
   parallel_for(
       radix,
       [&](std::size_t d) {
@@ -145,8 +155,11 @@ void ObjectDirectory::publish_batch(const std::vector<PublishRequest>& batch,
             deposits[t].push_back(
                 Deposit{cur, PointerRecord{task.server, last_hop, state.level,
                                            state.past_hole, expires}});
-            auto next =
+            std::optional<NodeLockTable::Guard> g;
+            if (guarded) g.emplace(locks, cur->id());
+            const auto next =
                 router_.route_step_peek(cur->id(), task.target, state);
+            g.reset();
             if (!next.has_value()) break;  // cur is the root
             TapestryNode* nxt = reg_.find(*next);
             TAP_ASSERT(nxt != nullptr);
@@ -751,9 +764,14 @@ void ObjectDirectory::republish_all(Trace* trace) {
 
 void ObjectDirectory::expire_pointers(std::size_t workers) {
   const double now = events_.now();
-  const auto& nodes = reg_.nodes();
+  // Snapshot under the registry's append mutex rather than iterating
+  // nodes_ raw: a thread-parallel join wave may be registering nodes while
+  // this sweep races it, and the snapshot pins a stable prefix (joins
+  // never touch stores, so the per-node sweeps themselves race nothing —
+  // with a striped backend not even concurrent guarded deposits).
+  const std::vector<TapestryNode*> nodes = reg_.nodes_snapshot();
   if (workers <= 1) {
-    for (const auto& n : nodes)
+    for (TapestryNode* n : nodes)
       if (n->alive) n->store().remove_expired(now);
     return;
   }

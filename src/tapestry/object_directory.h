@@ -61,8 +61,17 @@ class ObjectDirectory {
   /// match exactly; trace latency matches up to floating-point summation
   /// order.  The §2.4 secondary-deposit variant falls back to the serial
   /// loop.
+  /// `guarded` switches the path walks from the lock-free peek to the
+  /// per-hop node-stripe locks (the Router::route_to_root_guarded
+  /// discipline): required when the mesh is NOT quiescent — i.e. when a
+  /// thread-parallel join wave is mutating routing tables while this
+  /// batch deliberately races it.  On a quiescent mesh the result is
+  /// identical either way; under a race each hop observes whatever table
+  /// state the contacted node holds at that instant, and the §6.5
+  /// republish backstop restores Property 4 once the wave settles.
   void publish_batch(const std::vector<PublishRequest>& batch,
-                     std::size_t workers = 0, Trace* trace = nullptr);
+                     std::size_t workers = 0, Trace* trace = nullptr,
+                     bool guarded = false);
 
   // --- event-driven publication and location ---
   // Per-hop decomposition of publish/locate onto the EventQueue: each

@@ -4,6 +4,57 @@
 
 namespace tap {
 
+std::vector<MulticastChild> multicast_children(
+    NodeRegistry& reg, const TapestryNode& at, const NodeId& nn,
+    unsigned prefix_len, unsigned alpha, unsigned hole_digit,
+    const std::unordered_set<std::uint64_t>& processed) {
+  const NodeId at_id = at.id();
+  const unsigned digits = reg.params().id.num_digits;
+  const unsigned radix = reg.params().id.radix();
+  std::vector<MulticastChild> children;
+
+  // Walk our own prefix chain, collecting forwarding targets row by row;
+  // self-messages are free and immediate, so the levels where we are the
+  // chosen recipient collapse into the caller's single visit.  Per slot
+  // the recipients are one unpinned member plus ALL pinned members
+  // (Lemma 4); the inserter itself is never forwarded to.
+  for (unsigned l = prefix_len; l < digits; ++l) {
+    bool row_has_other = false;
+    for (unsigned j = 0; j < radix; ++j) {
+      bool unpinned_taken = false;
+      for (const auto& e : at.table().at(l, j).entries()) {
+        if (e.id == nn) continue;
+        if (e.id == at_id) {
+          unpinned_taken = true;  // the self-message collapses into here
+          continue;
+        }
+        const TapestryNode* m = reg.find(e.id);
+        if (m == nullptr || !m->alive) continue;
+        row_has_other = true;
+        if (e.pinned) {
+          children.push_back({e.id, l + 1});
+        } else if (!unpinned_taken) {
+          unpinned_taken = true;
+          children.push_back({e.id, l + 1});
+        }
+      }
+    }
+    if (!row_has_other) break;  // alone from this level on: we are a leaf
+  }
+
+  // MULTICASTTOFILLEDHOLE (Figure 11 line 9): if the hole this session
+  // fills is already occupied by someone else, forward to them too so
+  // conflicting inserters learn of each other (Lemma 5).
+  for (const auto& e : at.table().at(alpha, hole_digit).entries()) {
+    if (e.id == nn || e.id == at_id) continue;
+    if (processed.count(e.id.value()) != 0) continue;
+    const TapestryNode* m = reg.find(e.id);
+    if (m == nullptr || !m->alive) continue;
+    children.push_back({e.id, alpha + 1});
+  }
+  return children;
+}
+
 ParallelJoinCoordinator::ParallelJoinCoordinator(Network& net, double jitter)
     : net_(net), jitter_(jitter) {
   TAP_CHECK(jitter >= 0.0, "jitter must be non-negative");
@@ -177,57 +228,15 @@ void ParallelJoinCoordinator::handle_multicast(std::size_t session_idx,
   net_.maintenance().add_to_table_if_closer(at, nn);
   net_.directory().reroute_changed_pointers(at, at_before, &s.trace);
 
-  const unsigned digits = net_.params().id.num_digits;
-  const unsigned radix = net_.params().id.radix();
-
-  // Walk our own prefix chain, collecting forwarding targets row by row;
-  // self-messages are free and immediate, so the levels where we are the
-  // chosen recipient collapse into this single handler.  Per slot the
-  // recipients are one unpinned member plus all pinned members (Lemma 4);
-  // the inserter itself is never forwarded to.
-  struct Child {
-    NodeId id{};
-    unsigned prefix_len = 0;
-  };
-  std::vector<Child> children;
-  for (unsigned l = prefix_len; l < digits; ++l) {
-    bool row_has_other = false;
-    for (unsigned j = 0; j < radix; ++j) {
-      bool unpinned_taken = false;
-      for (const auto& e : at.table().at(l, j).entries()) {
-        if (e.id == s.nn) continue;
-        if (e.id == at_id) {
-          unpinned_taken = true;  // the self-message continues below
-          continue;
-        }
-        TapestryNode* m = net_.registry().find(e.id);
-        if (m == nullptr || !m->alive) continue;
-        row_has_other = true;
-        if (e.pinned) {
-          children.push_back({e.id, l + 1});
-        } else if (!unpinned_taken) {
-          unpinned_taken = true;
-          children.push_back({e.id, l + 1});
-        }
-      }
-    }
-    if (!row_has_other) break;  // alone from this level on: we are a leaf
-  }
+  // Forwarding targets: the Lemma 4/5 rule shared with the threaded
+  // driver (multicast_children above).
+  const std::vector<MulticastChild> children =
+      multicast_children(net_.registry(), at, s.nn, prefix_len, s.alpha,
+                         s.hole_digit, s.processed);
 
   // FUNCTION (LINKANDXFERROOT) was applied inline above — link plus
   // pointer transfer; record this node on the α-list exactly once.
   s.visited.push_back(at_id);
-
-  // MULTICASTTOFILLEDHOLE (Figure 11 line 9): if the hole this session
-  // fills is already occupied by someone else, forward to them too so
-  // conflicting inserters learn of each other (Lemma 5).
-  for (const auto& e : at.table().at(s.alpha, s.hole_digit).entries()) {
-    if (e.id == s.nn || e.id == at_id) continue;
-    if (s.processed.count(e.id.value()) != 0) continue;
-    TapestryNode* m = net_.registry().find(e.id);
-    if (m == nullptr || !m->alive) continue;
-    children.push_back({e.id, s.alpha + 1});
-  }
 
   if (children.empty()) {
     release_pin(session_idx, at_id);
@@ -238,7 +247,7 @@ void ParallelJoinCoordinator::handle_multicast(std::size_t session_idx,
 
   pending_[session_idx][at_id.value()] =
       PendingAcks{children.size(), parent, net_.events().now()};
-  for (const Child& c : children)
+  for (const MulticastChild& c : children)
     deliver_multicast(session_idx, c.id, at_id, c.prefix_len, watch);
 }
 

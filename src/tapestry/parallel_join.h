@@ -37,6 +37,27 @@
 
 namespace tap {
 
+/// One forwarding target of the §4.4 acknowledged multicast.
+struct MulticastChild {
+  NodeId id{};
+  unsigned prefix_len = 0;
+};
+
+/// The §4.4 forwarding-target rule, shared by the event coordinator and
+/// the threaded driver so the two execute the SAME protocol: walking
+/// `at`'s prefix chain from `prefix_len`, per slot one unpinned member
+/// plus all pinned members (Lemma 4), stopping at the first row where
+/// `at` is alone; plus the members already filling the session's
+/// (alpha, hole_digit) slot so conflicting same-hole inserters learn of
+/// each other (MULTICASTTOFILLEDHOLE, Lemma 5).  Pure function of the
+/// node's table and the session constants; the caller provides whatever
+/// synchronisation the read needs (the threaded driver holds `at`'s
+/// stripe, the coordinator is single-threaded).
+[[nodiscard]] std::vector<MulticastChild> multicast_children(
+    NodeRegistry& reg, const TapestryNode& at, const NodeId& nn,
+    unsigned prefix_len, unsigned alpha, unsigned hole_digit,
+    const std::unordered_set<std::uint64_t>& processed);
+
 class ParallelJoinCoordinator {
  public:
   struct Request {

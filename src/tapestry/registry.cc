@@ -121,10 +121,17 @@ void NodeRegistry::validate_registration(const NodeId& id,
   TAP_CHECK(loc < space_.size(), "location outside the metric space");
 }
 
-TapestryNode& NodeRegistry::register_node(NodeId id, Location loc) {
+TapestryNode& NodeRegistry::register_node(NodeId id, Location loc,
+                                          bool inserting,
+                                          std::optional<NodeId> psurrogate) {
   validate_registration(id, loc);
   auto owned = std::make_unique<TapestryNode>(id, loc, params_);
   TapestryNode* node = owned.get();
+  // Insertion flags land before the index publish: a reader that finds the
+  // node sees it already marked inserting (release/acquire on the index
+  // slot orders these plain writes before any concurrent read).
+  node->inserting = inserting;
+  node->psurrogate = psurrogate;
   {
     std::lock_guard<std::mutex> lock(nodes_mu_);
     nodes_.push_back(std::move(owned));
@@ -132,6 +139,14 @@ TapestryNode& NodeRegistry::register_node(NodeId id, Location loc) {
   shard_insert(shards_[shard_of(id)], id.value(), node);
   live_count_.fetch_add(1, std::memory_order_relaxed);
   return *node;
+}
+
+std::vector<TapestryNode*> NodeRegistry::nodes_snapshot() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  std::vector<TapestryNode*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;
 }
 
 void NodeRegistry::register_bulk(

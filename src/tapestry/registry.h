@@ -39,6 +39,7 @@
 #include "src/metric/metric_space.h"
 #include "src/sim/trace.h"
 #include "src/tapestry/node.h"
+#include "src/tapestry/node_locks.h"
 #include "src/tapestry/params.h"
 
 namespace tap {
@@ -68,7 +69,13 @@ class NodeRegistry {
   [[nodiscard]] bool is_live(const NodeId& id) const;
 
   // --- membership bookkeeping ---
-  TapestryNode& register_node(NodeId id, Location loc);
+  /// Registers one node.  The optional insertion flags are set on the node
+  /// *before* it is published to the lock-free index, so a concurrent
+  /// reader can never observe a mid-insertion node with `inserting` still
+  /// false (the §4.4 core-start rule depends on that flag being visible
+  /// with the node).
+  TapestryNode& register_node(NodeId id, Location loc, bool inserting = false,
+                              std::optional<NodeId> psurrogate = std::nullopt);
   /// Registers a batch of nodes — ids must be fresh and unique — with node
   /// construction (the dominant cost: levels * radix neighbor sets each)
   /// fanned out across `workers` threads.  Insertion order and the final
@@ -91,6 +98,20 @@ class NodeRegistry {
   [[nodiscard]] const std::vector<std::unique_ptr<TapestryNode>>& nodes()
       const noexcept {
     return nodes_;
+  }
+
+  /// Stable pointers to every node registered so far, copied under the
+  /// append mutex — the safe way to enumerate nodes while registration may
+  /// be running on other threads (a thread-parallel join wave).  The
+  /// snapshot observes some prefix of the concurrent registrations; node
+  /// pointers stay valid for the registry's lifetime.
+  [[nodiscard]] std::vector<TapestryNode*> nodes_snapshot() const;
+
+  /// Striped per-node mutexes guarding routing-table and insertion-flag
+  /// access on the thread-parallel join path (see node_locks.h).  Serial
+  /// (quiescent) callers never touch them.
+  [[nodiscard]] const NodeLockTable& node_locks() const noexcept {
+    return node_locks_;
   }
 
   /// Shard an id belongs to (by id prefix — its most significant bits).
@@ -157,9 +178,10 @@ class NodeRegistry {
   unsigned shard_shift_;  // id.value() >> shard_shift_ = shard index bits
   std::array<Shard, kShardCount> shards_;
 
-  std::mutex nodes_mu_;  // guards appends to nodes_
+  mutable std::mutex nodes_mu_;  // guards appends to nodes_
   std::vector<std::unique_ptr<TapestryNode>> nodes_;
   std::atomic<std::size_t> live_count_{0};
+  NodeLockTable node_locks_;
 };
 
 }  // namespace tap

@@ -292,15 +292,26 @@ RouteResult Router::route_to_root(NodeId from, const Id& target,
   }
 }
 
-RouteResult Router::route_to_root_peek(NodeId from, const Id& target,
-                                       Trace* trace) const {
+RouteResult Router::walk_to_root_peek(NodeId from, const Id& target,
+                                      Trace* trace,
+                                      const NodeLockTable* locks) const {
   const TapestryNode* cur = &reg_.checked(from);
-  TAP_CHECK(cur->alive, "route_to_root_peek: start node must be alive");
+  {
+    std::optional<NodeLockTable::Guard> g;
+    if (locks != nullptr) g.emplace(*locks, from);
+    TAP_CHECK(cur->alive, "route_to_root_peek: start node must be alive");
+  }
   RouteResult res;
   res.path.push_back(from);
   RouteState state;
   for (;;) {
-    auto next = route_step_peek(cur->id(), target, state);
+    // One stripe per routing decision in guarded mode: the step reads only
+    // the current node's table (member liveness probes go through the
+    // lock-free registry index).
+    std::optional<NodeLockTable::Guard> g;
+    if (locks != nullptr) g.emplace(*locks, cur->id());
+    const auto next = route_step_peek(cur->id(), target, state);
+    g.reset();
     if (!next.has_value()) {
       res.root = cur->id();
       return res;
@@ -313,6 +324,16 @@ RouteResult Router::route_to_root_peek(NodeId from, const Id& target,
     res.path.push_back(nxt.id());
     cur = &nxt;
   }
+}
+
+RouteResult Router::route_to_root_peek(NodeId from, const Id& target,
+                                       Trace* trace) const {
+  return walk_to_root_peek(from, target, trace, nullptr);
+}
+
+RouteResult Router::route_to_root_guarded(NodeId from, const Id& target,
+                                          Trace* trace) const {
+  return walk_to_root_peek(from, target, trace, &reg_.node_locks());
 }
 
 NodeId Router::surrogate_root(const Id& target) const {

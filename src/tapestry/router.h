@@ -87,6 +87,16 @@ class Router {
   RouteResult route_to_root_peek(NodeId from, const Id& target,
                                  Trace* trace = nullptr) const;
 
+  /// route_to_root_peek for a mesh that is NOT quiescent: each routing
+  /// decision runs under the current node's stripe in the registry's
+  /// NodeLockTable, so the walk is safe against concurrent routing-table
+  /// mutation (a thread-parallel join wave).  Exactly one stripe is held
+  /// at a time — the per-hop granularity a real deployment has, where each
+  /// hop observes whatever table state the contacted node holds right
+  /// then.  On a quiescent mesh the result is identical to the peek walk.
+  RouteResult route_to_root_guarded(NodeId from, const Id& target,
+                                    Trace* trace = nullptr) const;
+
   /// The unique surrogate root for `target` (Theorem 2), computed from an
   /// arbitrary start without cost accounting.  Oracle-flavored convenience
   /// used by tests and the general-metric comparisons.
@@ -103,6 +113,13 @@ class Router {
                            const std::vector<NodeId>& exclude = {});
 
  private:
+  /// Shared walk loop behind route_to_root_peek (locks == nullptr) and
+  /// route_to_root_guarded (locks != nullptr): one copy of the hop /
+  /// latency / surrogate-hop / path accounting, with the per-decision
+  /// stripe lock as the only difference.
+  RouteResult walk_to_root_peek(NodeId from, const Id& target, Trace* trace,
+                                const NodeLockTable* locks) const;
+
   /// Live primary of a slot with lazy repair: prunes dead members it
   /// trips over (§5.2) and, if the slot empties, hunts a replacement.
   /// Private so the mutating-repair entry points stay at route_step /

@@ -307,6 +307,56 @@ TEST(ChurnEngine, HeartbeatTimerRepairsCrashDamage) {
   EXPECT_TRUE(g.net->locate(g.ids[40], guid).found);
 }
 
+// ------------------------------------------------------------- drain bucket
+
+// Regression: epoch_now() used to clamp every post-horizon timestamp into
+// the final epoch, so completions of operations still in flight when the
+// scenario ended were silently attributed to the last epoch and skewed its
+// availability/traffic statistics.  Drained events get a terminal bucket.
+TEST(ChurnEngine, DrainedCompletionsLandInTerminalBucketNotLastEpoch) {
+  TapestryParams p = small_params();
+  p.pointer_ttl = 8.0;
+  // Slow hops make in-flight queries span the horizon reliably.
+  p.hop_delay_scale = 4.0;
+  auto g = test::grow_ring_network(48, 31, p);
+  ChurnScenario sc = small_scenario(31, false);
+  sc.query_rate = 40.0;  // a dense tail of queries straddles the horizon
+  ChurnDriver driver(*g.net, sc);
+  const ChurnReport rep = driver.run();
+
+  // The scenario must genuinely exercise the drain path.
+  ASSERT_GT(rep.drain.queries, 0u)
+      << "no query completed after the horizon; scenario too tame to "
+         "regress-test the drain bucket";
+  EXPECT_GE(rep.drain.t1, rep.drain.t0);
+  EXPECT_DOUBLE_EQ(rep.drain.t0, rep.epochs.back().t1);
+
+  // Epoch buckets only hold what completed inside their own windows; the
+  // drained completions are not clamped into the last epoch.
+  std::size_t epoch_queries = 0, epoch_found = 0;
+  for (const ChurnEpoch& e : rep.epochs) {
+    epoch_queries += e.queries;
+    epoch_found += e.found;
+  }
+  EXPECT_EQ(epoch_queries + rep.drain.queries, rep.queries)
+      << "totals must equal epoch buckets plus the drain bucket";
+  EXPECT_EQ(epoch_found + rep.drain.found, rep.found);
+
+  // Churn processes stop at the horizon: the drain bucket never records
+  // joins/leaves/fails, only completions and their traffic.
+  EXPECT_EQ(rep.drain.joins, 0u);
+  EXPECT_EQ(rep.drain.leaves, 0u);
+  EXPECT_EQ(rep.drain.fails, 0u);
+
+  // And the terminal bucket is replay-deterministic like everything else.
+  auto g2 = test::grow_ring_network(48, 31, p);
+  ChurnDriver driver2(*g2.net, sc);
+  const ChurnReport rep2 = driver2.run();
+  EXPECT_EQ(rep.drain.queries, rep2.drain.queries);
+  EXPECT_EQ(rep.drain.found, rep2.drain.found);
+  EXPECT_EQ(rep.drain.maintenance_msgs, rep2.drain.maintenance_msgs);
+}
+
 // ------------------------------------------------------------------- soak
 
 TEST(ChurnEngine, EventEngineSoakEndsConsistent) {

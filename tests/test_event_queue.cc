@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -123,6 +124,112 @@ TEST(EventQueueProperty, RandomCancellationSetNeverFires) {
     for (std::size_t i = 0; i < n; ++i)
       EXPECT_EQ(fired[i], !cancelled[i]) << "seed " << seed << " event " << i;
   }
+}
+
+TEST(EventQueueProperty, CancelAfterFireLeavesNoTombstone) {
+  // The queue used to track cancellations in a separate cancelled-id set
+  // whose consistency with the heap pending() arithmetic rested entirely
+  // on cancel's id-validation guard; the reclaiming-map rework removed
+  // that set.  These tests pin the contract the rework must preserve:
+  // rejected cancels (fired, double, bogus ids) leave no state behind,
+  // and pending()/empty()/drain loops stay coherent afterwards.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(q.schedule_at(1.0 + i, [] {}));
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  for (const EventId id : ids) EXPECT_FALSE(q.cancel(id));
+  // pending() must not underflow/wrap after the rejected cancels...
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  // ...and a drain loop over newly scheduled work still terminates.
+  int fired = 0;
+  q.schedule_in(1.0, [&] { ++fired; });
+  EXPECT_EQ(q.pending(), 1u);
+  while (!q.empty()) q.step();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueProperty, DoubleCancelSecondIsRejected) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id)) << "second cancel of the same id must reject";
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  q.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueProperty, BogusIdCancelIsRejectedWithoutStateChange) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(EventId{999'999})) << "never-issued id";
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// ---------------------------------------------------------------- retention
+
+namespace {
+/// External retention witness: counts captures alive inside the queue.  A
+/// queue that releases actions on fire/cancel keeps exactly one of these
+/// per pending event; a non-reclaiming implementation (the old
+/// EventId-indexed vector) accumulates one per event ever scheduled.
+struct Payload {
+  explicit Payload(std::size_t& n) : live(n) { ++live; }
+  ~Payload() { --live; }
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  std::size_t& live;
+};
+}  // namespace
+
+TEST(EventQueueProperty, SoakRetainsNothingProportionalToFiredEvents) {
+  // Regression: actions_ was a vector indexed by the monotone EventId that
+  // never shrank — every fired/cancelled closure (and its captures) was
+  // retained for the queue's lifetime, so long churn soaks grew without
+  // bound.  The live-payload count must track the *pending* count only,
+  // through a soak that fires, cancels and reschedules far more events
+  // than are ever outstanding.
+  Rng rng(4242);
+  std::size_t live_payloads = 0;
+  EventQueue q;
+  std::vector<EventId> live;
+  std::size_t peak_pending = 0;
+  const std::size_t kRounds = 50'000;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    {
+      // Scoped so the queue's closure holds the only reference by the
+      // time the retention assertion below runs.
+      auto payload = std::make_shared<Payload>(live_payloads);
+      live.push_back(q.schedule_in(
+          static_cast<double>(1 + rng.next_u64(16)),
+          [payload] { (void)payload; }));
+    }
+    if (rng.bernoulli(0.3) && !live.empty()) {
+      const std::size_t pick = rng.next_u64(live.size());
+      q.cancel(live[pick]);  // may already have fired: rejection is fine
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (rng.bernoulli(0.5)) q.step();
+    peak_pending = std::max(peak_pending, q.pending());
+    ASSERT_EQ(live_payloads, q.pending())
+        << "fired/cancelled actions must release their captures immediately";
+  }
+  EXPECT_GT(q.fired(), kRounds / 4) << "the soak must actually fire events";
+  // Retention is bounded by what is genuinely outstanding, not by the
+  // lifetime event count.
+  EXPECT_LT(peak_pending, kRounds / 2);
+  q.run();
+  EXPECT_EQ(live_payloads, 0u);
+  EXPECT_EQ(q.pending(), 0u);
 }
 
 // ---------------------------------------------------------------- run_until

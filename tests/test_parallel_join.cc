@@ -190,6 +190,62 @@ TEST(ParallelJoin, LargeBatchOnSmallCore) {
   }
 }
 
+TEST(ParallelJoin, PeekAgreesWithMutatingRouteMidFlight) {
+  // route_to_root_peek vs route_to_root while joins are mid-flight with
+  // pinned entries present (event-coordinator side; the threaded-driver
+  // side lives in test_threaded_join.cc).  A reference pass learns each
+  // join's [start, core] window; the probe pass replays the identical
+  // schedule (probes neither mutate tables nor draw from the network Rng,
+  // so the protocol timeline is unperturbed) and compares both route
+  // variants in the thick of the multicasts.
+  auto build = [] { return grow_ring_network(64, 127); };
+  auto reqs_for = [](const test::GrownNetwork& g) {
+    std::vector<ParallelJoinCoordinator::Request> reqs;
+    for (int i = 0; i < 12; ++i)
+      reqs.push_back(req(64 + i,
+                         g.ids[static_cast<std::size_t>(i) * 5 % g.ids.size()],
+                         0.003 * i));
+    return reqs;
+  };
+
+  auto reference = build();
+  ParallelJoinCoordinator ref_coord(*reference.net, 0.05);
+  const auto ref_outcomes = ref_coord.run(reqs_for(reference));
+
+  auto g = build();
+  std::size_t compared = 0, with_pins = 0;
+  auto any_pins = [&] {
+    for (const NodeId& id : g.net->node_ids()) {
+      const auto& t = g.net->node(id).table();
+      for (unsigned l = 0; l < t.levels(); ++l)
+        for (unsigned j = 0; j < t.radix(); ++j)
+          if (!t.at(l, j).pinned_members().empty()) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < ref_outcomes.size(); ++i) {
+    // Midpoint of the join's multicast window: its pin is live then.
+    const double t =
+        0.5 * (ref_outcomes[i].start_time + ref_outcomes[i].core_time);
+    g.net->events().schedule_at(t, [&, i] {
+      if (any_pins()) ++with_pins;
+      Rng local(static_cast<std::uint64_t>(i) * 77 + 1);
+      const auto ids = g.net->node_ids();
+      const NodeId src = ids[local.next_u64(ids.size())];
+      const Guid target = make_guid(*g.net, 3000 + i);
+      const NodeId peek = g.net->router().route_to_root_peek(src, target).root;
+      const NodeId mut = g.net->route_to_root(src, target).root;
+      EXPECT_EQ(peek.value(), mut.value()) << "probe " << i;
+      ++compared;
+    });
+  }
+  ParallelJoinCoordinator coord(*g.net, 0.05);
+  coord.run(reqs_for(g));
+  EXPECT_EQ(compared, ref_outcomes.size());
+  EXPECT_GT(with_pins, 0u) << "probes must sample mid-flight pinned state";
+  g.net->check_property1();
+}
+
 TEST(ParallelJoin, DeterministicGivenSeed) {
   auto run_once = [](std::uint64_t seed) {
     auto g = grow_ring_network(32, seed);

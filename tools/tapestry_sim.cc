@@ -52,6 +52,9 @@
 //   --scenario=bigbuild      enable the pipeline
 //   --threads=N              worker threads (0 = hardware)           [0]
 //   --join-wave=W            concurrent dynamic joins on top         [0]
+//   --join-threads=N         drive the join wave on N real threads
+//                            (ThreadedJoinDriver) instead of the
+//                            simulated-time event coordinator        [0]
 //
 // Churn-scenario flags (--scenario=churn; event-driven §6.5 experiments,
 // deterministically reproducible from --seed):
@@ -124,8 +127,9 @@ struct Options {
   std::size_t min_nodes = 0;   // 0 => nodes/2
 
   // Bigbuild-scenario mode.
-  std::size_t threads = 0;     // 0 => hardware concurrency
-  std::size_t join_wave = 0;   // concurrent dynamic joins on top
+  std::size_t threads = 0;       // 0 => hardware concurrency
+  std::size_t join_wave = 0;     // concurrent dynamic joins on top
+  std::size_t join_threads = 0;  // 0 => event coordinator; N => real threads
 
   // Object-store backend.
   std::string store = "memory";
@@ -183,6 +187,8 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--threads", &v)) o.threads = std::stoul(v);
     else if (parse_flag(argv[i], "--join-wave", &v))
       o.join_wave = std::stoul(v);
+    else if (parse_flag(argv[i], "--join-threads", &v))
+      o.join_threads = std::stoul(v);
     else if (parse_flag(argv[i], "--store", &v)) o.store = v;
     else if (parse_flag(argv[i], "--store-dir", &v)) o.store_dir = v;
     else if (parse_flag(argv[i], "--checkpoint-interval", &v))
@@ -325,9 +331,18 @@ int run_churn_scenario(const Options& o, Network& net) {
                   e.queries_skipped, e.mean_stretch(), e.maintenance_msgs,
                   e.churn_msgs);
     }
+    const ChurnEpoch& d = rep.drain;
+    std::printf("drain,%.2f,%.2f,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%zu,%zu,%zu,"
+                "%.3f,%zu,%zu\n",
+                d.t0, d.t1, d.live_nodes, d.joins, d.leaves, d.fails,
+                d.queries, d.found, d.availability(), d.queries_post_failure,
+                d.found_post_failure, d.queries_skipped, d.mean_stretch(),
+                d.maintenance_msgs, d.churn_msgs);
+    // The totals include the drain bucket, so the window runs to the
+    // drain's end, not the horizon.
     std::printf("total,0.00,%.2f,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%zu,%zu,%zu,"
                 "%.3f,%zu,%zu\n",
-                o.horizon, net.size(), rep.joins, rep.leaves, rep.fails,
+                rep.drain.t1, net.size(), rep.joins, rep.leaves, rep.fails,
                 rep.queries, rep.found, rep.availability(),
                 rep.queries_post_failure, rep.found_post_failure,
                 rep.queries_skipped, rep.mean_stretch(),
@@ -360,6 +375,20 @@ int run_churn_scenario(const Options& o, Network& net) {
                 i, window, e.live_nodes, e.joins, e.leaves, e.fails,
                 e.queries, e.availability() * 100.0, postfail,
                 e.mean_stretch(), e.maintenance_msgs);
+  }
+  if (rep.drain.queries > 0 || rep.drain.maintenance_msgs > 0 ||
+      rep.drain.churn_msgs > 0) {
+    const ChurnEpoch& d = rep.drain;
+    char window[32];
+    std::snprintf(window, sizeof window, "%.1f-%.1f", d.t0, d.t1);
+    char postfail[32];
+    std::snprintf(postfail, sizeof postfail, "%zu/%zu", d.found_post_failure,
+                  d.queries_post_failure);
+    std::printf("  %-5s %-13s %5zu %5zu %5zu %5zu %8zu %6.2f%% %9s %8.2f "
+                "%10zu\n",
+                "drain", window, d.live_nodes, d.joins, d.leaves, d.fails,
+                d.queries, d.availability() * 100.0, postfail,
+                d.mean_stretch(), d.maintenance_msgs);
   }
   std::printf("  totals: availability %.2f%% (%zu/%zu, %zu skipped), "
               "post-failure %.2f%%, stretch %.2f\n",
@@ -492,7 +521,17 @@ int run_bigbuild_scenario(const Options& o, const MetricSpace& space,
   const double build_ms = wall_ms(t0);
 
   double wave_ms = 0.0;
-  if (o.join_wave > 0) {
+  if (o.join_wave > 0 && o.join_threads > 0) {
+    // Real threads: each worker drives one §4.4 join state machine,
+    // racing the others through the per-node stripe locks.
+    std::vector<JoinRequest> reqs(o.join_wave);
+    for (std::size_t i = 0; i < o.join_wave; ++i) reqs[i].loc = core + i;
+    t0 = std::chrono::steady_clock::now();
+    net.join_bulk(reqs, o.join_threads);
+    wave_ms = wall_ms(t0);
+  } else if (o.join_wave > 0) {
+    // Simulated time: the event coordinator interleaves the same protocol
+    // on one thread.
     Rng wave_rng(o.seed ^ 0x9a7e);
     const auto core_ids = net.node_ids();
     std::vector<ParallelJoinCoordinator::Request> reqs(o.join_wave);
@@ -540,10 +579,11 @@ int run_bigbuild_scenario(const Options& o, const MetricSpace& space,
 
   if (o.csv) {
     std::printf(
-        "space,nodes,join_wave,threads,objects,queries,build_ms,wave_ms,"
-        "publish_ms,success,hops_mean,entries_per_node\n");
-    std::printf("%s,%zu,%zu,%zu,%zu,%zu,%.1f,%.1f,%.1f,%.4f,%.2f,%.1f\n",
-                o.space.c_str(), o.nodes, o.join_wave, threads, o.objects,
+        "space,nodes,join_wave,join_threads,threads,objects,queries,build_ms,"
+        "wave_ms,publish_ms,success,hops_mean,entries_per_node\n");
+    std::printf("%s,%zu,%zu,%zu,%zu,%zu,%zu,%.1f,%.1f,%.1f,%.4f,%.2f,%.1f\n",
+                o.space.c_str(), o.nodes, o.join_wave, o.join_threads,
+                threads, o.objects,
                 queries, build_ms, wave_ms, publish_ms,
                 queries == 0 ? 1.0 : double(found) / double(queries),
                 hops.empty() ? 0.0 : hops.mean(),
@@ -556,7 +596,11 @@ int run_bigbuild_scenario(const Options& o, const MetricSpace& space,
   std::printf("  build:    %zu-node core in %.0f ms (bulk registration + "
               "parallel static tables)\n",
               core, build_ms);
-  if (o.join_wave > 0)
+  if (o.join_wave > 0 && o.join_threads > 0)
+    std::printf("  wave:     %zu simultaneous insertions on %zu real "
+                "threads in %.0f ms\n",
+                o.join_wave, o.join_threads, wave_ms);
+  else if (o.join_wave > 0)
     std::printf("  wave:     %zu simultaneous insertions in %.0f ms\n",
                 o.join_wave, wave_ms);
   std::printf("  publish:  %zu deposits batched in %.0f ms "
