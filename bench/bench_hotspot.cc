@@ -1,0 +1,277 @@
+// bench_hotspot — zipf locate path: per-node hop caches + demand-driven
+// replica placement (ISSUE 6).
+//
+// Two experiments, both seed-deterministic:
+//
+//   A. Static 256-node mesh over a 16-digit binary ID space (the deep-walk
+//      regime where a hop cache has room to cut: routes resolve one bit
+//      per hop, so walks run ~7-11 messages), 128 objects, 16k zipf(1.0)
+//      lookups from random clients.  Three configurations over identical
+//      workloads: uncached (the seed's locate path), per-node locate
+//      cache, and cache + demand-driven hotspot replication.  Because hop
+//      counts are message counts on a quiescent mesh, the p99 comparison
+//      is machine-independent.  The cached run executes twice and must
+//      fingerprint identically (exact determinism gate).
+//
+//   B. Flash crowd under churn: a uniform-popularity ChurnDriver baseline
+//      vs a zipf run where one object's popularity spikes 1000x mid-run
+//      with cache + hotspot replication enabled.  Gate: availability with
+//      the skewed, flash-crowded workload is no worse than the uniform
+//      baseline's.
+//
+// perf-smoke gates (tools/check_bench.py, bench/baselines/
+// bench_hotspot.json): determinism and found-agreement exact; cached p99
+// hops strictly below uncached (ratio floor); hotspot load spread
+// (max/mean queries absorbed per resolver) below the uncached spread;
+// flash availability ratio floor.
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "src/sim/churn_driver.h"
+
+namespace {
+
+using namespace tap;
+using namespace tap::bench;
+
+constexpr std::uint64_t kSeed = 617;
+constexpr std::size_t kNodes = 256;
+constexpr std::size_t kObjects = 128;
+constexpr std::size_t kQueries = 16'000;
+constexpr double kZipfS = 1.0;
+constexpr std::size_t kCache = 128;
+
+struct StaticOut {
+  Summary hops;
+  std::size_t queries = 0, found = 0;
+  std::size_t load_max = 0, load_nodes = 0;
+  LocateCache::Stats cache{};
+  std::size_t promotions = 0;
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] double spread() const {
+    if (load_nodes == 0 || found == 0) return 0.0;
+    const double mean = static_cast<double>(found) /
+                        static_cast<double>(load_nodes);
+    return static_cast<double>(load_max) / mean;
+  }
+};
+
+/// One full static experiment: identical overlay, objects and query
+/// schedule for every configuration; only the cache size and the hotspot
+/// manager differ.
+StaticOut run_static(std::size_t cache_size, bool hotspot) {
+  Rng rng(kSeed);
+  auto space = make_space("ring", 2 * kNodes, rng);
+  TapestryParams params = default_params();
+  params.id = IdSpec{1, 16};  // one bit per hop: deep walks (see header)
+  params.locate_cache_size = cache_size;
+  auto net = build_static(*space, kNodes, params, kSeed);
+  const auto ids = net->node_ids();
+
+  Rng wl(kSeed ^ 0x407);
+  std::vector<Guid> objects;
+  objects.reserve(kObjects);
+  for (std::size_t i = 0; i < kObjects; ++i) {
+    const Guid g = bench_guid(*net, i);
+    objects.push_back(g);
+    net->publish(ids[wl.next_u64(ids.size())], g);
+  }
+
+  // Synchronous manager, promotions fire inside record_query; no event
+  // queue runs, so there is no decay and no demotion tick — exactly the
+  // steady-state-demand regime experiment A measures.
+  std::unique_ptr<HotspotManager> mgr;
+  if (hotspot) {
+    HotspotParams hp;
+    hp.max_extra_replicas = 2;
+    mgr = std::make_unique<HotspotManager>(net->registry(), net->directory(),
+                                           net->events(), hp,
+                                           /*synchronous=*/true);
+  }
+
+  const PopularityDist pop = PopularityDist::zipf(kObjects, kZipfS);
+  Rng qr(kSeed ^ 0xbeef);
+  std::unordered_map<std::uint64_t, std::size_t> load;
+  StaticOut out;
+  out.queries = kQueries;
+  out.fingerprint = 0xcbf29ce484222325ull;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const Guid& target = objects[pop.draw(qr)];
+    const NodeId client = ids[qr.next_u64(ids.size())];
+    const LocateResult r = net->locate(client, target);
+    if (r.found) {
+      ++out.found;
+      out.hops.add(static_cast<double>(r.hops));
+      ++load[r.pointer_node.value()];
+    }
+    if (mgr != nullptr) mgr->record_query(target, client, r.found);
+    out.fingerprint = splitmix64(out.fingerprint ^ (r.hops * 2 + r.found));
+    out.fingerprint = splitmix64(out.fingerprint ^ r.pointer_node.value());
+  }
+  for (const auto& [node, n] : load) {
+    out.load_max = std::max(out.load_max, n);
+    (void)node;
+  }
+  out.load_nodes = load.size();
+  out.cache = net->directory().locate_cache().stats();
+  if (mgr != nullptr) out.promotions = mgr->stats().promotions;
+  return out;
+}
+
+struct FlashOut {
+  double availability = 0.0;
+  double post_failure = 0.0;
+  double hops_p99 = 0.0;
+  std::size_t promotions = 0;
+};
+
+/// One churn run; `flash` switches from the uniform baseline to the
+/// zipf + flash-crowd + cache + hotspot configuration.
+FlashOut run_flash(bool flash) {
+  Rng rng(kSeed + 1);
+  auto space = make_space("ring", 256, rng);
+  TapestryParams params = default_params();
+  params.pointer_ttl = 8.0;
+  if (flash) params.locate_cache_size = kCache;
+  auto net = build_static(*space, 128, params, kSeed + 1);
+
+  ChurnScenario sc;
+  sc.horizon = 20.0;
+  sc.epoch = 5.0;
+  sc.join_rate = 0.4;
+  sc.leave_rate = 0.3;
+  sc.fail_rate = 0.3;
+  sc.min_nodes = 64;
+  sc.query_rate = 30.0;
+  sc.objects = 64;
+  sc.replicas = 1;
+  sc.republish_interval = 4.0;
+  sc.expiry_interval = 1.0;
+  sc.heartbeat_interval = 4.0;
+  sc.seed = kSeed + 1;
+  if (flash) {
+    sc.popularity = ChurnScenario::Popularity::kZipf;
+    sc.zipf_s = kZipfS;
+    sc.flash_at = 10.0;
+    sc.flash_factor = 1000.0;
+    sc.flash_index = 0;
+    sc.hotspot_replication = true;
+  }
+
+  ChurnDriver driver(*net, sc);
+  const ChurnReport rep = driver.run();
+  FlashOut out;
+  out.availability = rep.availability();
+  out.post_failure = rep.availability_post_failure();
+  out.hops_p99 = rep.hops.empty() ? 0.0 : rep.hops.percentile(99);
+  out.promotions = rep.hotspot_promotions;
+  return out;
+}
+
+int run(bool json) {
+  const StaticOut uncached = run_static(0, false);
+  const StaticOut cached = run_static(kCache, false);
+  const StaticOut cached2 = run_static(kCache, false);
+  const StaticOut hot = run_static(kCache, true);
+
+  const bool deterministic = cached.fingerprint == cached2.fingerprint;
+  const bool agreement =
+      uncached.found == cached.found && cached.found == hot.found;
+  const double p99_uncached = uncached.hops.percentile(99);
+  const double p99_cached = cached.hops.percentile(99);
+  const double p99_hot = hot.hops.percentile(99);
+  const double p99_improvement =
+      p99_cached == 0.0 ? 0.0 : p99_uncached / p99_cached;
+  const double hit_rate =
+      cached.cache.hits + cached.cache.misses == 0
+          ? 0.0
+          : static_cast<double>(cached.cache.hits) /
+                static_cast<double>(cached.cache.hits + cached.cache.misses);
+  const double spread_improvement =
+      hot.spread() == 0.0 ? 0.0 : uncached.spread() / hot.spread();
+
+  const FlashOut uniform = run_flash(false);
+  const FlashOut flashed = run_flash(true);
+  const double flash_ratio = uniform.availability == 0.0
+                                 ? 0.0
+                                 : flashed.availability /
+                                       uniform.availability;
+
+  if (json) {
+    std::printf(
+        "{\"bench\":\"bench_hotspot\",\"metrics\":{"
+        "\"determinism\":%d,\"found_agreement\":%d,"
+        "\"uncached_p99_hops\":%.2f,\"cached_p99_hops\":%.2f,"
+        "\"hotspot_p99_hops\":%.2f,\"p99_improvement\":%.3f,"
+        "\"cache_hit_rate\":%.3f,\"cache_fallbacks\":%zu,"
+        "\"load_spread_uncached\":%.2f,\"load_spread_hotspot\":%.2f,"
+        "\"spread_improvement\":%.3f,\"hotspot_promotions\":%zu,"
+        "\"uniform_availability\":%.4f,\"flash_availability\":%.4f,"
+        "\"flash_vs_uniform_availability\":%.4f,"
+        "\"flash_hotspot_promotions\":%zu}}\n",
+        deterministic ? 1 : 0, agreement ? 1 : 0, p99_uncached, p99_cached,
+        p99_hot, p99_improvement, hit_rate, cached.cache.fallbacks,
+        uncached.spread(), hot.spread(), spread_improvement, hot.promotions,
+        uniform.availability, flashed.availability, flash_ratio,
+        flashed.promotions);
+    return deterministic && agreement ? 0 : 1;
+  }
+
+  print_header("E15 — zipf locate path: hop caches + hotspot replication",
+               "ISSUE 6: per-node locate caches cut p99 hops on skewed "
+               "workloads; demand-driven replicas bound per-node load; a "
+               "flash crowd stays as available as the uniform baseline");
+  std::printf("A. static mesh: %zu nodes, 16-digit binary ids, %zu objects, "
+              "%zu zipf(%.1f) lookups, cache %zu entries/node\n\n",
+              kNodes, kObjects, kQueries, kZipfS, kCache);
+  std::printf("  %-16s %8s %8s %8s %10s %8s\n", "config", "found", "p50",
+              "p99", "load max", "spread");
+  auto row = [](const char* name, const StaticOut& o) {
+    std::printf("  %-16s %8zu %8.1f %8.1f %10zu %8.2f\n", name, o.found,
+                o.hops.percentile(50), o.hops.percentile(99), o.load_max,
+                o.spread());
+  };
+  row("uncached", uncached);
+  row("cached", cached);
+  row("cached+hotspot", hot);
+  std::printf("\n  cache: %.1f%% hit rate (%zu hits, %zu fallbacks); "
+              "determinism %s, found agreement %s\n",
+              hit_rate * 100.0, cached.cache.hits, cached.cache.fallbacks,
+              deterministic ? "exact" : "BROKEN",
+              agreement ? "exact" : "BROKEN");
+  std::printf("  p99 hops %.1f -> %.1f cached (%.2fx); load spread "
+              "%.2f -> %.2f with %zu promotions (%.2fx)\n",
+              p99_uncached, p99_cached, p99_improvement, uncached.spread(),
+              hot.spread(), hot.promotions, spread_improvement);
+  std::printf("\nB. flash crowd under churn (one object spikes 1000x at "
+              "t=10):\n\n");
+  std::printf("  %-16s %14s %14s %8s\n", "workload", "availability",
+              "post-failure", "p99");
+  std::printf("  %-16s %13.2f%% %13.2f%% %8.1f\n", "uniform",
+              uniform.availability * 100.0, uniform.post_failure * 100.0,
+              uniform.hops_p99);
+  std::printf("  %-16s %13.2f%% %13.2f%% %8.1f\n", "zipf+flash+hot",
+              flashed.availability * 100.0, flashed.post_failure * 100.0,
+              flashed.hops_p99);
+  std::printf("\n  flash vs uniform availability: %.3fx "
+              "(%zu hotspot promotions during the run)\n",
+              flash_ratio, flashed.promotions);
+  return deterministic && agreement ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else {
+      std::fprintf(stderr, "usage: bench_hotspot [--json]\n");
+      return 2;
+    }
+  }
+  return run(json);
+}

@@ -19,6 +19,56 @@ Guid scenario_guid(const TapestryParams& params, std::uint64_t seed,
 
 }  // namespace
 
+// ---------------------------------------------------------------------
+// PopularityDist
+// ---------------------------------------------------------------------
+
+PopularityDist PopularityDist::uniform(std::size_t n) {
+  PopularityDist d;
+  d.n_ = n;
+  return d;  // no weight table: draw() stays the historical next_u64 call
+}
+
+PopularityDist PopularityDist::zipf(std::size_t n, double s) {
+  PopularityDist d;
+  d.n_ = n;
+  d.weights_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r)
+    d.weights_.push_back(std::pow(static_cast<double>(r + 1), -s));
+  d.rebuild();
+  return d;
+}
+
+void PopularityDist::rebuild() {
+  cdf_.clear();
+  cdf_.reserve(weights_.size());
+  double acc = 0.0;
+  for (const double w : weights_) {
+    acc += w;
+    cdf_.push_back(acc);
+  }
+}
+
+void PopularityDist::boost(std::size_t index, double factor) {
+  TAP_CHECK(index < n_, "boost: object index out of range");
+  if (weights_.empty()) weights_.assign(n_, 1.0);
+  weights_[index] *= factor;
+  rebuild();
+}
+
+std::size_t PopularityDist::draw(Rng& rng) const {
+  TAP_CHECK(n_ > 0, "draw from an empty distribution");
+  if (cdf_.empty()) return rng.next_u64(n_);
+  const double u = rng.next_double() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  return idx < n_ ? idx : n_ - 1;
+}
+
+// ---------------------------------------------------------------------
+// ChurnDriver
+// ---------------------------------------------------------------------
+
 ChurnDriver::ChurnDriver(Network& net, ChurnScenario scenario)
     : net_(net), sc_(scenario), rng_(scenario.seed ^ 0xc4a2b5ull) {
   TAP_CHECK(sc_.horizon > 0.0, "scenario horizon must be positive");
@@ -148,7 +198,7 @@ void ChurnDriver::schedule_queries() {
 
 void ChurnDriver::issue_query() {
   if (objects_.empty() || net_.size() == 0) return;
-  const Guid guid = objects_[rng_.next_u64(objects_.size())];
+  const Guid guid = objects_[pop_.draw(rng_)];
   if (net_.servers_of(guid).empty()) {
     // No live replica anywhere: nothing to find, nothing to count — the
     // paper's availability is over objects that still exist.
@@ -163,10 +213,15 @@ void ChurnDriver::issue_query() {
       net_.now() - last_failure_ < sc_.post_failure_window;
   log_event('Q', guid.to_string() + " from " + client.to_string());
 
-  auto handle = [this, direct, post_failure](const LocateResult& r) {
+  auto handle = [this, guid, client, direct,
+                 post_failure](const LocateResult& r) {
     ChurnEpoch& e = epoch_now();
     ++e.queries;
-    if (r.found) ++e.found;
+    if (r.found) {
+      ++e.found;
+      e.hops.add(static_cast<double>(r.hops));
+      ++load_[r.pointer_node.value()];  // the holder that resolved it
+    }
     if (post_failure) {
       ++e.queries_post_failure;
       if (r.found) ++e.found_post_failure;
@@ -177,6 +232,7 @@ void ChurnDriver::issue_query() {
     }
     log_event('R', std::string(r.found ? "hit" : "miss") + " hops=" +
                        std::to_string(r.hops));
+    if (hotspot_ != nullptr) hotspot_->record_query(guid, client, r.found);
   };
   if (sc_.synchronous)
     handle(net_.locate(client, guid));
@@ -239,6 +295,24 @@ ChurnReport ChurnDriver::run() {
   }
 
   publish_initial_objects();
+  pop_ = sc_.popularity == ChurnScenario::Popularity::kZipf
+             ? PopularityDist::zipf(objects_.size(), sc_.zipf_s)
+             : PopularityDist::uniform(objects_.size());
+  if (sc_.flash_at > 0.0 && !objects_.empty()) {
+    // One object's popularity spikes mid-run (offset from the run start).
+    flash_event_ = net_.events().schedule_in(sc_.flash_at, [this] {
+      flash_event_.reset();
+      if (!running_) return;
+      const std::size_t idx = sc_.flash_index % objects_.size();
+      pop_.boost(idx, sc_.flash_factor);
+      log_event('B', "flash-crowd " + objects_[idx].to_string() + " x" +
+                         std::to_string(sc_.flash_factor));
+    });
+  }
+  if (sc_.hotspot_replication)
+    hotspot_ = std::make_unique<HotspotManager>(
+        net_.registry(), net_.directory(), net_.events(), sc_.hotspot,
+        sc_.synchronous, &maint_trace_);
   if (sc_.synchronous) {
     schedule_sync_maintenance();
   } else {
@@ -248,6 +322,7 @@ ChurnReport ChurnDriver::run() {
       net_.start_heartbeats(sc_.heartbeat_interval, &maint_trace_);
   }
   running_ = true;
+  if (hotspot_ != nullptr) hotspot_->start();
   schedule_churn();
   schedule_queries();
   schedule_checkpoint();
@@ -267,6 +342,8 @@ ChurnReport ChurnDriver::run() {
   if (query_event_.has_value()) net_.events().cancel(*query_event_);
   if (sync_maint_event_.has_value()) net_.events().cancel(*sync_maint_event_);
   if (checkpoint_event_.has_value()) net_.events().cancel(*checkpoint_event_);
+  if (flash_event_.has_value()) net_.events().cancel(*flash_event_);
+  if (hotspot_ != nullptr) hotspot_->stop();
   net_.stop_soft_state();
   net_.stop_heartbeats();
   net_.events().run();
@@ -307,10 +384,22 @@ ChurnReport ChurnDriver::finalize() {
     r.stretch_n += e.stretch_n;
     r.maintenance_msgs += e.maintenance_msgs;
     r.churn_msgs += e.churn_msgs;
+    r.hops.add_all(e.hops.samples());
   };
   for (const ChurnEpoch& e : epochs_) accumulate(e);
   accumulate(drain_);  // drained completions still count toward the totals
   r.events_fired = net_.events().fired() - fired_at_start_;
+  for (const auto& [node, n] : load_) r.load_max = std::max(r.load_max, n);
+  r.load_nodes = load_.size();
+  const LocateCache::Stats& cs = net_.directory().locate_cache().stats();
+  r.cache_hits = cs.hits;
+  r.cache_misses = cs.misses;
+  r.cache_fallbacks = cs.fallbacks;
+  if (hotspot_ != nullptr) {
+    const HotspotManager::Stats hs = hotspot_->stats();
+    r.hotspot_promotions = hs.promotions;
+    r.hotspot_demotions = hs.demotions;
+  }
   return r;
 }
 

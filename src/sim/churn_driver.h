@@ -23,13 +23,51 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/stats.h"
+#include "src/tapestry/hotspot.h"
 #include "src/tapestry/network.h"
 
 namespace tap {
+
+/// Seed-deterministic object-popularity distribution for query target
+/// selection.  Uniform draws stay byte-identical to the historical
+/// `rng.next_u64(n)` call (one u64 from the stream, same value), so every
+/// pre-existing scenario replays unchanged; weighted (zipf / flash-boosted)
+/// draws consume one `next_double` instead and invert a cumulative weight
+/// table.
+class PopularityDist {
+ public:
+  PopularityDist() = default;
+
+  /// Every object equally likely — the default workload.
+  static PopularityDist uniform(std::size_t n);
+  /// Zipf(s): object at popularity rank r (= index r) has weight
+  /// 1 / (r+1)^s.  s = 0 degenerates to a weighted uniform.
+  static PopularityDist zipf(std::size_t n, double s);
+
+  /// Draws an object index from the driver's workload Rng.
+  [[nodiscard]] std::size_t draw(Rng& rng) const;
+
+  /// Multiplies object `index`'s weight by `factor` (flash crowd).  A
+  /// uniform distribution switches to its weighted equivalent — its draws
+  /// then consume next_double like any weighted distribution.
+  void boost(std::size_t index, double factor);
+
+  [[nodiscard]] bool weighted() const noexcept { return !cdf_.empty(); }
+
+ private:
+  void rebuild();
+
+  std::size_t n_ = 0;
+  std::vector<double> weights_;  // empty while exactly uniform
+  std::vector<double> cdf_;      // running sums of weights_; back() = total
+};
 
 /// Scenario script: Poisson processes plus timer intervals, all in
 /// simulated time units.  A rate of zero disables that process; an
@@ -46,6 +84,20 @@ struct ChurnScenario {
 
   // Query workload.
   double query_rate = 20.0;
+  /// Object-popularity skew of the query targets.  kUniform replays the
+  /// historical workload byte for byte; kZipf ranks objects by index.
+  enum class Popularity { kUniform, kZipf };
+  Popularity popularity = Popularity::kUniform;
+  double zipf_s = 1.0;  ///< zipf exponent (kZipf only)
+  /// Flash crowd: at `flash_at` time units into the run, multiply object
+  /// `flash_index`'s popularity weight by `flash_factor`.  0 disables.
+  double flash_at = 0.0;
+  double flash_factor = 1000.0;
+  std::size_t flash_index = 0;
+  /// Demand-driven replica placement (src/tapestry/hotspot.h), fed from
+  /// every query completion; knobs in `hotspot`.
+  bool hotspot_replication = false;
+  HotspotParams hotspot{};
   double post_failure_window =
       4.0;  ///< queries issued this soon after a crash are bucketed
             ///< separately (availability_post_failure)
@@ -84,6 +136,7 @@ struct ChurnEpoch {
   std::size_t maintenance_msgs = 0;  ///< heartbeat + republish (this epoch)
   std::size_t churn_msgs = 0;        ///< join/leave protocol (this epoch)
   std::size_t live_nodes = 0;        ///< population at epoch end
+  Summary hops;  ///< per-query hop counts of found queries (completion time)
 
   [[nodiscard]] double availability() const {
     return queries == 0 ? 1.0
@@ -115,6 +168,19 @@ struct ChurnReport {
   std::size_t maintenance_msgs = 0;
   std::size_t churn_msgs = 0;
   std::uint64_t events_fired = 0;  ///< EventQueue events over the run
+  Summary hops;  ///< found-query hops across all epochs plus the drain
+  // Per-node query load: how many found queries each pointer holder
+  // resolved (max / number of distinct resolvers; `found` is the total, so
+  // mean load over resolvers is found / load_nodes).
+  std::size_t load_max = 0;
+  std::size_t load_nodes = 0;
+  // Locate-cache counters for the run (zeros when the cache is disabled).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_fallbacks = 0;
+  // Demand-driven replication counters (zeros unless hotspot_replication).
+  std::size_t hotspot_promotions = 0;
+  std::size_t hotspot_demotions = 0;
 
   [[nodiscard]] double availability() const {
     return queries == 0 ? 1.0
@@ -177,6 +243,9 @@ class ChurnDriver {
   Rng rng_;  ///< workload randomness, independent of the network's Rng
 
   std::vector<Guid> objects_;
+  PopularityDist pop_;
+  std::unique_ptr<HotspotManager> hotspot_;
+  std::unordered_map<std::uint64_t, std::size_t> load_;  ///< resolver -> found
   std::vector<Location> free_locs_;
   std::vector<ChurnEpoch> epochs_;
   std::vector<std::string> log_;
@@ -196,6 +265,7 @@ class ChurnDriver {
   std::optional<EventId> query_event_;
   std::optional<EventId> sync_maint_event_;
   std::optional<EventId> checkpoint_event_;
+  std::optional<EventId> flash_event_;
 };
 
 }  // namespace tap

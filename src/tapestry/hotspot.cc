@@ -1,0 +1,257 @@
+#include "src/tapestry/hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tapestry/object_directory.h"
+#include "src/tapestry/registry.h"
+
+namespace tap {
+
+// ---------------------------------------------------------------------
+// LocateCache
+// ---------------------------------------------------------------------
+
+std::optional<LocateCache::Entry> LocateCache::lookup(const NodeId& at,
+                                                      const Guid& base,
+                                                      double now) {
+  if (!enabled()) return std::nullopt;
+  auto nit = nodes_.find(at.value());
+  if (nit == nodes_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  PerNode& pn = nit->second;
+  auto it = pn.index.find(base);
+  if (it == pn.index.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->second.expires < now) {
+    pn.lru.erase(it->second);
+    pn.index.erase(it);
+    ++stats_.expired;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  pn.lru.splice(pn.lru.begin(), pn.lru, it->second);  // refresh LRU position
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void LocateCache::insert(const NodeId& at, const Guid& base, Entry entry,
+                         double now) {
+  if (!enabled()) return;
+  entry.expires = std::min(entry.expires, now + ttl_);
+  if (entry.expires < now) return;  // born dead; nothing worth remembering
+  PerNode& pn = nodes_[at.value()];
+  ++stats_.insertions;
+  if (auto it = pn.index.find(base); it != pn.index.end()) {
+    it->second->second = entry;
+    pn.lru.splice(pn.lru.begin(), pn.lru, it->second);
+    return;
+  }
+  pn.lru.emplace_front(base, entry);
+  pn.index.emplace(base, pn.lru.begin());
+  if (pn.lru.size() > capacity_) {
+    pn.index.erase(pn.lru.back().first);
+    pn.lru.pop_back();
+  }
+}
+
+void LocateCache::erase(const NodeId& at, const Guid& base) {
+  auto nit = nodes_.find(at.value());
+  if (nit == nodes_.end()) return;
+  PerNode& pn = nit->second;
+  auto it = pn.index.find(base);
+  if (it == pn.index.end()) return;
+  pn.lru.erase(it->second);
+  pn.index.erase(it);
+}
+
+void LocateCache::invalidate_object(const Guid& base) {
+  for (auto& [node, pn] : nodes_) {
+    auto it = pn.index.find(base);
+    if (it == pn.index.end()) continue;
+    pn.lru.erase(it->second);
+    pn.index.erase(it);
+    ++stats_.invalidated;
+  }
+}
+
+void LocateCache::invalidate_node(const NodeId& dead) {
+  if (auto nit = nodes_.find(dead.value()); nit != nodes_.end()) {
+    stats_.invalidated += nit->second.lru.size();
+    nodes_.erase(nit);
+  }
+  for (auto& [node, pn] : nodes_) {
+    for (auto it = pn.lru.begin(); it != pn.lru.end();) {
+      if (it->second.holder == dead || it->second.server == dead) {
+        pn.index.erase(it->first);
+        it = pn.lru.erase(it);
+        ++stats_.invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::size_t LocateCache::entries() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [node, pn] : nodes_) n += pn.lru.size();
+  return n;
+}
+
+std::size_t LocateCache::entries_at(const NodeId& at) const {
+  auto nit = nodes_.find(at.value());
+  return nit == nodes_.end() ? 0 : nit->second.lru.size();
+}
+
+// ---------------------------------------------------------------------
+// HotspotManager
+// ---------------------------------------------------------------------
+
+HotspotManager::HotspotManager(NodeRegistry& registry,
+                               ObjectDirectory& directory, EventQueue& events,
+                               HotspotParams params, bool synchronous,
+                               Trace* trace)
+    : reg_(registry), dir_(directory), events_(events), hp_(params),
+      synchronous_(synchronous), trace_(trace) {
+  TAP_CHECK(hp_.half_life > 0.0, "hotspot half_life must be positive");
+  TAP_CHECK(hp_.demote_threshold < hp_.promote_threshold,
+            "hotspot demote_threshold must sit below promote_threshold");
+}
+
+HotspotManager::~HotspotManager() { stop(); }
+
+double HotspotManager::decay_factor(double age) const {
+  return age <= 0.0 ? 1.0 : std::exp2(-age / hp_.half_life);
+}
+
+void HotspotManager::start() {
+  stop();
+  if (hp_.check_interval > 0.0) schedule_tick();
+}
+
+void HotspotManager::stop() {
+  if (tick_event_.has_value()) {
+    events_.cancel(*tick_event_);
+    tick_event_.reset();
+  }
+}
+
+void HotspotManager::schedule_tick() {
+  tick_event_ = events_.schedule_in(hp_.check_interval, [this] {
+    tick_event_.reset();
+    tick();
+    schedule_tick();
+  });
+}
+
+void HotspotManager::record_query(const Guid& base, const NodeId& client,
+                                  bool found) {
+  auto it = states_.find(base);
+  if (it == states_.end()) {
+    if (states_.size() >= hp_.max_tracked) return;  // bounded; see params
+    it = states_.emplace(base, ObjState{}).first;
+  }
+  ObjState& s = it->second;
+  const double now = events_.now();
+  const double f = decay_factor(now - s.stamp);
+  s.weight = s.weight * f + 1.0;
+  s.stamp = now;
+  for (Site& site : s.sites) site.weight *= f;
+
+  auto sit = std::find_if(s.sites.begin(), s.sites.end(),
+                          [&](const Site& x) { return x.client == client; });
+  if (sit != s.sites.end()) {
+    sit->weight += 1.0;
+  } else if (s.sites.size() < hp_.demand_sites) {
+    s.sites.push_back(Site{client, 1.0});
+  } else {
+    // Full: displace the lightest remembered site if the newcomer's single
+    // query already outweighs it (deterministic: first minimum wins).
+    auto lightest = std::min_element(
+        s.sites.begin(), s.sites.end(),
+        [](const Site& a, const Site& b) { return a.weight < b.weight; });
+    if (lightest->weight < 1.0) *lightest = Site{client, 1.0};
+  }
+
+  // Promotion needs a live replica to copy from — a miss proves nothing is
+  // fetchable right now, so only successful queries can trigger it.
+  if (found) consider_promote(base, s);
+}
+
+void HotspotManager::consider_promote(const Guid& base, ObjState& s) {
+  while (s.extra.size() < hp_.max_extra_replicas &&
+         s.weight >= hp_.promote_threshold *
+                         static_cast<double>(s.extra.size() + 1)) {
+    // Place the replica at the heaviest live demand site that is not
+    // already serving the object (ties: first in insertion order).  The
+    // `extra` list is checked too: an async publish may not have
+    // registered with servers_of yet.
+    const auto servers = dir_.servers_of(base);
+    const Site* best = nullptr;
+    for (const Site& site : s.sites) {
+      if (!reg_.is_live(site.client)) continue;
+      if (std::find(servers.begin(), servers.end(), site.client) !=
+              servers.end() ||
+          std::find(s.extra.begin(), s.extra.end(), site.client) !=
+              s.extra.end())
+        continue;
+      if (best == nullptr || site.weight > best->weight) best = &site;
+    }
+    if (best == nullptr) return;  // nowhere useful to put one
+    if (synchronous_)
+      dir_.publish(best->client, base, trace_);
+    else
+      dir_.publish_async(best->client, base, trace_);
+    s.extra.push_back(best->client);
+    ++promotions_;
+  }
+}
+
+void HotspotManager::demote_last(const Guid& base, ObjState& s) {
+  const NodeId victim = s.extra.back();
+  s.extra.pop_back();
+  // A crashed extra replica needs no withdrawal: its pointers die with the
+  // soft state and servers_of already ignores it.
+  if (reg_.is_live(victim)) dir_.unpublish(victim, base, trace_);
+  ++demotions_;
+}
+
+void HotspotManager::tick() {
+  const double now = events_.now();
+  // Snapshot and sort the keys so the demotion (and its unpublish traffic)
+  // order is independent of hash-map iteration order.
+  std::vector<Guid> keys;
+  keys.reserve(states_.size());
+  for (const auto& [g, s] : states_) keys.push_back(g);
+  std::sort(keys.begin(), keys.end());
+  for (const Guid& g : keys) {
+    ObjState& s = states_[g];
+    s.weight *= decay_factor(now - s.stamp);
+    s.stamp = now;
+    if (!s.extra.empty() && s.weight < hp_.demote_threshold)
+      demote_last(g, s);  // one per tick: flash crowds drain gradually
+    if (s.extra.empty() && s.weight < 1e-3) states_.erase(g);
+  }
+}
+
+double HotspotManager::demand(const Guid& base) const {
+  auto it = states_.find(base);
+  if (it == states_.end()) return 0.0;
+  return it->second.weight * decay_factor(events_.now() - it->second.stamp);
+}
+
+HotspotManager::Stats HotspotManager::stats() const {
+  Stats st;
+  st.promotions = promotions_;
+  st.demotions = demotions_;
+  st.tracked = states_.size();
+  for (const auto& [g, s] : states_) st.extra_live += s.extra.size();
+  return st;
+}
+
+}  // namespace tap

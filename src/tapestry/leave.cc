@@ -23,8 +23,11 @@ void MaintenanceEngine::leave(NodeId id, Trace* trace) {
   for (const Guid& g : dir_.guids_served_by(id)) dir_.unpublish(id, g, trace);
 
   // From here on the node is gone for routing purposes: repairs and
-  // replacement searches must not hand it back out.
+  // replacement searches must not hand it back out.  (The unpublishes
+  // above already dropped every cached hint naming this node as replica;
+  // this sweeps its own LRU and any hint naming it as pointer holder.)
   reg_.mark_dead(a);
+  dir_.invalidate_node_cache(id);
 
   // 1. Notify every backpointer holder, level by level, with replacement
   //    candidates: the secondaries of our own-digit slot at that level

@@ -63,7 +63,10 @@ void MaintenanceEngine::fail(NodeId id) {
   // The tombstone keeps its table, store and backpointers: last-hop chains
   // crossing the corpse stay traversable for DELETEPOINTERSBACKWARD, and
   // lazy repair discovers the corpse exactly where a live system would —
-  // by failing to talk to it.
+  // by failing to talk to it.  Locate-cache hints involving the corpse are
+  // dropped eagerly; queries already jumping toward it fail holder
+  // verification and fall back to the walk on their own.
+  dir_.invalidate_node_cache(id);
 }
 
 void MaintenanceEngine::purge_dead_neighbor(TapestryNode& at, NodeId dead,

@@ -26,7 +26,7 @@ ObjectDirectory::ObjectDirectory(NodeRegistry& registry, Router& router,
                                  const TapestryParams& params,
                                  EventQueue& events, Rng& rng)
     : reg_(registry), router_(router), params_(params), events_(events),
-      rng_(rng) {}
+      rng_(rng), cache_(params.locate_cache_size, params.locate_cache_ttl) {}
 
 // ---------------------------------------------------------------------
 // Publish / unpublish
@@ -249,6 +249,11 @@ void ObjectDirectory::unpublish(NodeId server, const Guid& guid,
                   servers.end());
     if (servers.empty()) replicas_.erase(it);
   }
+  // Cached hints may name the withdrawn replica; drop them all rather than
+  // letting every holder verification discover the removal one probe at a
+  // time.  (Verification would still keep the answers correct — this is
+  // the eager half of the invalidation contract.)
+  cache_.invalidate_object(guid);
 }
 
 // ---------------------------------------------------------------------
@@ -297,19 +302,37 @@ std::optional<PointerRecord> ObjectDirectory::pick_live_replica(
   return best;
 }
 
+void ObjectDirectory::cache_fill_path(const Guid& base,
+                                      const std::vector<NodeId>& path,
+                                      const Guid& via, const NodeId& holder,
+                                      const PointerRecord& rec) {
+  if (!cache_.enabled()) return;
+  const double now = events_.now();
+  for (const NodeId& at : path) {
+    if (at == holder) continue;  // the holder has the real record
+    cache_.insert(at, base,
+                  LocateCache::Entry{via, holder, rec.server, rec.expires_at},
+                  now);
+  }
+}
+
 LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
                                              const Guid& target,
-                                             Trace* trace) {
+                                             Trace* trace, const Guid* base) {
   LocateResult res;
   Trace local(false);
   Trace* t = trace != nullptr ? trace : &local;
   const std::size_t msgs0 = t->messages();
   const double lat0 = t->latency();
+  const bool use_cache = base != nullptr && cache_.enabled();
+  std::vector<NodeId> walked;  // query path, for cache population
 
-  auto resolve = [&](TapestryNode& holder, const PointerRecord& rec) {
+  auto resolve = [&](TapestryNode& holder, const PointerRecord& rec,
+                     const Guid& via) {
     res.found = true;
     res.pointer_node = holder.id();
     res.server = rec.server;
+    if (use_cache) cache_fill_path(*base, walked, via, holder.id(), rec);
     // Forward the query along neighbor links to the replica.
     if (!(rec.server == holder.id())) {
       RouteResult leg = router_.route_to_root(holder.id(), rec.server, t);
@@ -327,10 +350,36 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
   for (;;) {
     // Check the current node for a pointer before routing further.
     if (auto rec = pick_live_replica(*cur, target, *cur); rec.has_value()) {
-      resolve(*cur, *rec);
+      walked.push_back(cur->id());
+      resolve(*cur, *rec, target);
       return res;
     }
 
+    // A remembered resolution short-circuits the walk: jump one message to
+    // the cached pointer holder and re-read its real store there.  Success
+    // resolves exactly as an uncached arrival at that holder would; failure
+    // (holder dead, record gone/expired/rerouted, replica dead) erases the
+    // hint, pays the probe round trip, and resumes the walk right here.
+    if (use_cache) {
+      if (auto ce = cache_.lookup(cur->id(), *base, events_.now());
+          ce.has_value()) {
+        TapestryNode* h = reg_.find(ce->holder);
+        if (h != nullptr && h->alive && !(h->id() == cur->id())) {
+          reg_.acct(t, *cur, *h);  // forward to the remembered holder
+          if (auto rec = pick_live_replica(*h, ce->target, *h);
+              rec.has_value()) {
+            walked.push_back(cur->id());
+            resolve(*h, *rec, ce->target);
+            return res;
+          }
+          reg_.acct(t, *h, *cur);  // verification failed: bounce back
+          cache_.note_fallback();
+        }
+        cache_.erase(cur->id(), *base);
+      }
+    }
+
+    walked.push_back(cur->id());
     if (!visited.insert(cur->id().value()).second) break;  // loop -> miss
 
     const unsigned level_before = state.level;
@@ -354,7 +403,7 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
           reg_.acct(t, *cur, *m, 2);  // probe round trip
           if (auto rec = pick_live_replica(*m, target, *cur);
               rec.has_value()) {
-            resolve(*m, *rec);
+            resolve(*m, *rec, target);
             return res;
           }
         }
@@ -412,7 +461,7 @@ LocateResult ObjectDirectory::locate(NodeId client, const Guid& guid,
   std::size_t spent_hops = 0;
   for (unsigned a = 0; a < attempts; ++a) {
     const unsigned salt = (first + a) % params_.root_multiplicity;
-    res = locate_attempt(c, salted_guid(guid, salt), t);
+    res = locate_attempt(c, salted_guid(guid, salt), t, &guid);
     if (res.found) {
       res.hops += spent_hops;
       res.latency += spent_latency;
@@ -451,6 +500,16 @@ struct ObjectDirectory::AsyncLocateOp {
   RouteState state{};
   std::unordered_set<std::uint64_t> visited{};
   Router::ExcludeSet excluded{};
+  // Nodes this attempt's walk has passed through; on success each one gets
+  // a locate-cache hint pointing at the resolving holder.
+  std::vector<NodeId> path{};
+  // A cache hit in flight: the query jumped from cache_from toward the
+  // remembered holder and will verify the real store there
+  // (locate_cache_step); the hint's salted name rides along because it may
+  // differ from this attempt's target.
+  Guid cache_target{};
+  NodeId cache_holder{};
+  NodeId cache_from{};
   // Final pointer -> replica leg (§2.2, Figure 3), decomposed per hop like
   // the walk to the pointer: set once a pointer is found.  (Which phase a
   // query is in is encoded by the scheduled callback — locate_step vs
@@ -584,6 +643,7 @@ void ObjectDirectory::begin_locate_attempt(
   op->state = RouteState{};
   op->visited.clear();
   op->excluded.clear();
+  op->path.clear();
   op->replica_target = NodeId{};
   op->leg_state = RouteState{};
   op->res = LocateResult{};  // a failed leg may have left partial fields
@@ -623,9 +683,11 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
   TapestryNode& cur = *curp;
   Trace* t = &op->per_op;
 
-  auto resolve = [&](TapestryNode& holder, const PointerRecord& rec) {
+  auto resolve = [&](TapestryNode& holder, const PointerRecord& rec,
+                     const Guid& via) {
     op->res.pointer_node = holder.id();
     op->res.server = rec.server;
+    cache_fill_path(op->base, op->path, via, holder.id(), rec);
     if (rec.server == holder.id()) {  // the pointer holder is the replica
       op->res.found = true;
       finish_locate(op);
@@ -643,10 +705,36 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
 
   // Check the current node for a pointer before routing further.
   if (auto rec = pick_live_replica(cur, op->target, cur); rec.has_value()) {
-    resolve(cur, *rec);
+    op->path.push_back(cur.id());
+    resolve(cur, *rec, op->target);
     return;
   }
 
+  // A remembered resolution short-circuits the walk: jump one message to
+  // the cached holder and verify its real store when the message lands
+  // (locate_cache_step) — the holder's state *then* decides, exactly as
+  // for any other in-flight hop.  Checked after the authoritative store
+  // and before the loop guard: a failed verification resumes the walk
+  // here, and that resumption must not count as a revisit.
+  if (cache_.enabled()) {
+    if (auto ce = cache_.lookup(cur.id(), op->base, events_.now());
+        ce.has_value()) {
+      TapestryNode* h = reg_.find(ce->holder);
+      if (h != nullptr && h->alive && !(h->id() == cur.id())) {
+        reg_.acct(t, cur, *h);  // forward to the remembered holder
+        op->path.push_back(cur.id());
+        op->cache_target = ce->target;
+        op->cache_holder = ce->holder;
+        op->cache_from = cur.id();
+        events_.schedule_in(reg_.dist(cur, *h) * params_.hop_delay_scale,
+                            [this, op] { locate_cache_step(op); });
+        return;
+      }
+      cache_.erase(cur.id(), op->base);
+    }
+  }
+
+  op->path.push_back(cur.id());
   if (!op->visited.insert(cur.id().value()).second) {  // loop -> miss (§4.3)
     next_locate_attempt(op);
     return;
@@ -672,7 +760,7 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
         reg_.acct(t, cur, *m, 2);  // probe round trip
         if (auto rec = pick_live_replica(*m, op->target, cur);
             rec.has_value()) {
-          resolve(*m, *rec);
+          resolve(*m, *rec, op->target);
           return;
         }
       }
@@ -700,6 +788,52 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
     return;
   }
   next_locate_attempt(op);  // definitive miss for this root
+}
+
+void ObjectDirectory::locate_cache_step(
+    const std::shared_ptr<AsyncLocateOp>& op) {
+  // The jump message has landed (or tried to): verify the remembered
+  // holder's real store against the hint.  Everything may have changed
+  // while the message flew — holder crashed, record unpublished, expired
+  // or rerouted away, named replica dead — and each of those must behave
+  // exactly as the uncached walk would have: resume routing, don't fail.
+  TapestryNode* h = reg_.find(op->cache_holder);
+  if (h != nullptr && h->alive) {
+    if (auto rec = pick_live_replica(*h, op->cache_target, *h);
+        rec.has_value()) {
+      // Same resolution an uncached arrival at this holder would produce.
+      op->res.pointer_node = h->id();
+      op->res.server = rec->server;
+      cache_fill_path(op->base, op->path, op->cache_target, h->id(), *rec);
+      if (rec->server == h->id()) {
+        op->res.found = true;
+        finish_locate(op);
+        return;
+      }
+      op->replica_target = rec->server;
+      op->leg_state = RouteState{};
+      op->cur = h->id();
+      events_.schedule_in(0.0, [this, op] { locate_replica_step(op); });
+      return;
+    }
+  }
+  // Verification failed: drop the hint and bounce back to where the walk
+  // left off.  If that node died meanwhile, the attempt is lost like any
+  // other carrier death.
+  cache_.erase(op->cache_from, op->base);
+  cache_.note_fallback();
+  TapestryNode* from = reg_.find(op->cache_from);
+  if (from == nullptr || !from->alive) {
+    next_locate_attempt(op);
+    return;
+  }
+  double delay = 0.0;
+  if (h != nullptr) {
+    reg_.acct(&op->per_op, *h, *from);  // the bounce-back message
+    delay = reg_.dist(*h, *from) * params_.hop_delay_scale;
+  }
+  op->cur = op->cache_from;
+  events_.schedule_in(delay, [this, op] { locate_step(op); });
 }
 
 void ObjectDirectory::locate_replica_step(

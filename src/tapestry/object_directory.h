@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/sim/event_queue.h"
+#include "src/tapestry/hotspot.h"
 #include "src/tapestry/registry.h"
 #include "src/tapestry/router.h"
 
@@ -187,11 +188,28 @@ class ObjectDirectory {
   /// the pointer.  Non-const because walking routes may prune dead links.
   void check_property4();
 
+  // --- locate cache (hotspot.h) ---
+  /// The per-node locate cache (disabled when params.locate_cache_size is
+  /// 0).  Both locate paths consult it at every node of the walk before
+  /// routing onward and repopulate it on success; every hit re-reads the
+  /// remembered holder's store before resolving, so cached and uncached
+  /// locates agree on found/not-found (see hotspot.h).
+  [[nodiscard]] LocateCache& locate_cache() noexcept { return cache_; }
+  [[nodiscard]] const LocateCache& locate_cache() const noexcept {
+    return cache_;
+  }
+  /// Drops every cache entry involving a dead/departed node — its own LRU
+  /// and any hint naming it as holder or replica.  MaintenanceEngine calls
+  /// this from fail()/leave(); queries already in flight toward the corpse
+  /// fail holder verification and fall back to the walk regardless.
+  void invalidate_node_cache(const NodeId& id) { cache_.invalidate_node(id); }
+
  private:
   struct AsyncLocateOp;
   struct AsyncPublishOp;
   void begin_locate_attempt(const std::shared_ptr<AsyncLocateOp>& op);
   void locate_step(const std::shared_ptr<AsyncLocateOp>& op);
+  void locate_cache_step(const std::shared_ptr<AsyncLocateOp>& op);
   void locate_replica_step(const std::shared_ptr<AsyncLocateOp>& op);
   void next_locate_attempt(const std::shared_ptr<AsyncLocateOp>& op);
   void finish_locate(const std::shared_ptr<AsyncLocateOp>& op);
@@ -202,9 +220,16 @@ class ObjectDirectory {
 
   void publish_one(TapestryNode& server, const Guid& salted, Trace* trace);
   void unpublish_one(TapestryNode& server, const Guid& salted, Trace* trace);
-  /// One query attempt toward one (salted) root name.
+  /// One query attempt toward one (salted) root name.  `base` keys the
+  /// locate cache (nullptr skips caching, e.g. for internal probes).
   LocateResult locate_attempt(TapestryNode& client, const Guid& target,
-                              Trace* trace);
+                              Trace* trace, const Guid* base = nullptr);
+  /// Deposits a locate-cache hint pointing at `holder` on every node the
+  /// successful query walked through (paths toward a root converge, so
+  /// hot objects get cached exactly where future queries will pass).
+  void cache_fill_path(const Guid& base, const std::vector<NodeId>& path,
+                       const Guid& via, const NodeId& holder,
+                       const PointerRecord& rec);
   /// Picks the closest live replica among records; prunes dead-server
   /// records it trips over.  Returns nullopt when none is live.
   std::optional<PointerRecord> pick_live_replica(
@@ -219,6 +244,9 @@ class ObjectDirectory {
 
   // Ground-truth replica registry: base guid -> servers.
   std::unordered_map<Guid, std::vector<NodeId>> replicas_;
+
+  // Per-node locate cache (sized by params.locate_cache_size; 0 = off).
+  LocateCache cache_;
 
   // Event-driven state.
   std::size_t in_flight_ = 0;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <string>
 
@@ -26,6 +27,34 @@ enum class RoutingMode {
   /// at and after the first hole prefer digits matching in the most
   /// significant bits, breaking ties toward numerically higher digits.
   kPrrLike,
+};
+
+/// Knobs of the demand-driven replica placement policy (see
+/// src/tapestry/hotspot.h).  All rates are exponentially decayed query
+/// counts; time constants are in simulated time units.
+struct HotspotParams {
+  /// Half-life of the per-object demand estimate: a query contributes
+  /// half its weight this long after it completed.
+  double half_life = 4.0;
+  /// Decayed query count at which the first extra replica is published;
+  /// replica k+1 requires (k+1) times this, spacing promotions out as
+  /// demand keeps climbing.
+  double promote_threshold = 12.0;
+  /// Decayed query count below which the newest extra replica is
+  /// withdrawn again (one per decay tick, so flash crowds drain
+  /// gradually).  Must be below promote_threshold or replicas thrash.
+  double demote_threshold = 2.0;
+  /// Cap on extra replicas per object (beyond those the workload
+  /// published).
+  unsigned max_extra_replicas = 2;
+  /// Period of the recurring decay/demotion tick; <= 0 disables it.
+  double check_interval = 2.0;
+  /// Upper bound on concurrently tracked objects; demand for objects
+  /// beyond it goes unrecorded until states decay away.
+  std::size_t max_tracked = 4096;
+  /// How many distinct querying clients to remember per object —
+  /// promotion places the replica at the heaviest remembered one.
+  std::size_t demand_sites = 8;
 };
 
 struct TapestryParams {
@@ -61,6 +90,17 @@ struct TapestryParams {
   /// individual operations are fast relative to soft-state timers — the
   /// paper's model treats per-message delay as negligible against TTLs.
   double hop_delay_scale = 1e-3;
+
+  /// Capacity of each node's locate cache (src/tapestry/hotspot.h): the
+  /// per-node LRU of guid -> (pointer holder, replica) hints consulted by
+  /// locate before routing onward.  0 (the default) disables caching —
+  /// the locate path is then byte-identical to the uncached build.
+  std::size_t locate_cache_size = 0;
+
+  /// Additional age cap on locate-cache entries.  An entry never outlives
+  /// the pointer record it was learned from; a finite value here tightens
+  /// that further.  Infinity (default) defers entirely to pointer_ttl.
+  double locate_cache_ttl = std::numeric_limits<double>::infinity();
 
   /// §2.4: "PRR searches on the primary and secondary neighbors before
   /// taking an additional hop towards the object root."  When set, a

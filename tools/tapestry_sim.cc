@@ -72,6 +72,21 @@
 //   --heartbeat-interval=T   heartbeat repair period (0 = off)       [4]
 //   --ttl=T                  pointer TTL                 [2 * republish]
 //   --min-nodes=N            churn floor (no departures below)  [nodes/2]
+//
+// Demand-aware locate flags (any scenario; see src/tapestry/hotspot.h):
+//   --cache=N                per-node locate-cache entries (0 = off)  [0]
+//   --cache-ttl=T            extra age cap on cache entries (0 = none) [0]
+//   --popularity=uniform|zipf  query-target skew (churn scenarios) [uniform]
+//   --zipf-s=S               zipf exponent                          [1.0]
+//   --hotspot                demand-driven replica placement        [off]
+//   --flash-at=T             flash crowd: boost one object's popularity
+//                            T units into the run (0 = off)         [0]
+//   --flash-factor=X         flash-crowd multiplier                 [1000]
+//   --flash-index=I          which object spikes                    [0]
+//   --scenario=hotspot       churn scenario preconfigured for the flash
+//                            crowd: zipf popularity, --cache=128 and
+//                            --hotspot unless overridden, flash at
+//                            horizon/2
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -125,6 +140,16 @@ struct Options {
   double heartbeat_interval = 4.0;
   double ttl = 0.0;            // 0 => 2 * republish_interval
   std::size_t min_nodes = 0;   // 0 => nodes/2
+
+  // Demand-aware locate path (src/tapestry/hotspot.h).
+  std::size_t cache = 0;       // locate-cache entries per node (0 = off)
+  double cache_ttl = 0.0;      // 0 => defer to the pointer TTL
+  std::string popularity;      // empty => uniform (zipf under hotspot)
+  double zipf_s = 1.0;
+  bool hotspot = false;
+  double flash_at = 0.0;       // 0 = no flash crowd
+  double flash_factor = 1000.0;
+  std::size_t flash_index = 0;
 
   // Bigbuild-scenario mode.
   std::size_t threads = 0;       // 0 => hardware concurrency
@@ -184,6 +209,16 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--ttl", &v)) o.ttl = std::stod(v);
     else if (parse_flag(argv[i], "--min-nodes", &v))
       o.min_nodes = std::stoul(v);
+    else if (parse_flag(argv[i], "--cache", &v)) o.cache = std::stoul(v);
+    else if (parse_flag(argv[i], "--cache-ttl", &v))
+      o.cache_ttl = std::stod(v);
+    else if (parse_flag(argv[i], "--popularity", &v)) o.popularity = v;
+    else if (parse_flag(argv[i], "--zipf-s", &v)) o.zipf_s = std::stod(v);
+    else if (parse_flag(argv[i], "--flash-at", &v)) o.flash_at = std::stod(v);
+    else if (parse_flag(argv[i], "--flash-factor", &v))
+      o.flash_factor = std::stod(v);
+    else if (parse_flag(argv[i], "--flash-index", &v))
+      o.flash_index = std::stoul(v);
     else if (parse_flag(argv[i], "--threads", &v)) o.threads = std::stoul(v);
     else if (parse_flag(argv[i], "--join-wave", &v))
       o.join_wave = std::stoul(v);
@@ -193,6 +228,7 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--store-dir", &v)) o.store_dir = v;
     else if (parse_flag(argv[i], "--checkpoint-interval", &v))
       o.checkpoint_interval = std::stod(v);
+    else if (std::strcmp(argv[i], "--hotspot") == 0) o.hotspot = true;
     else if (std::strcmp(argv[i], "--retry") == 0) o.retry = true;
     else if (std::strcmp(argv[i], "--secondary") == 0) o.secondary = true;
     else if (std::strcmp(argv[i], "--static") == 0) o.use_static = true;
@@ -211,8 +247,23 @@ Options parse(int argc, char** argv) {
                 ? 2.0 * o.republish_interval
                 : std::numeric_limits<double>::infinity();
   if (o.scenario != "static" && o.scenario != "churn" &&
-      o.scenario != "bigbuild" && o.scenario != "recover") {
+      o.scenario != "bigbuild" && o.scenario != "recover" &&
+      o.scenario != "hotspot") {
     std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
+    std::exit(2);
+  }
+  if (o.scenario == "hotspot") {
+    // Flash-crowd preset: a churn run with skewed popularity, the locate
+    // cache and demand-driven replication on, and one object spiking
+    // mid-run.  Explicit flags win over the preset.
+    if (o.popularity.empty()) o.popularity = "zipf";
+    if (o.cache == 0) o.cache = 128;
+    o.hotspot = true;
+    if (o.flash_at == 0.0) o.flash_at = o.horizon / 2.0;
+  }
+  if (o.popularity.empty()) o.popularity = "uniform";
+  if (o.popularity != "uniform" && o.popularity != "zipf") {
+    std::fprintf(stderr, "unknown popularity: %s\n", o.popularity.c_str());
     std::exit(2);
   }
   if (o.store != "memory" && o.store != "sharded" && o.store != "persist") {
@@ -308,6 +359,14 @@ int run_churn_scenario(const Options& o, Network& net) {
   sc.heartbeat_interval = o.heartbeat_interval;
   sc.seed = o.seed;
   sc.synchronous = o.engine == "sync";
+  sc.popularity = o.popularity == "zipf"
+                      ? ChurnScenario::Popularity::kZipf
+                      : ChurnScenario::Popularity::kUniform;
+  sc.zipf_s = o.zipf_s;
+  sc.flash_at = o.flash_at;
+  sc.flash_factor = o.flash_factor;
+  sc.flash_index = o.flash_index;
+  sc.hotspot_replication = o.hotspot;
   if (o.checkpoint_interval > 0.0) {
     sc.checkpoint_interval = o.checkpoint_interval;
     sc.checkpoint_dir = o.store_dir;
@@ -317,36 +376,42 @@ int run_churn_scenario(const Options& o, Network& net) {
   const ChurnReport rep = driver.run();
 
   if (o.csv) {
+    // hops_p50/hops_p99 are over found queries bucketed by completion
+    // time — the per-epoch view of what the locate cache buys.
+    auto hops_p = [](const Summary& s, double p) {
+      return s.empty() ? 0.0 : s.percentile(p);
+    };
     std::printf(
         "epoch,t0,t1,nodes,joins,leaves,fails,queries,found,availability,"
         "post_fail_queries,post_fail_found,skipped,stretch_mean,"
-        "maint_msgs,churn_msgs\n");
+        "hops_p50,hops_p99,maint_msgs,churn_msgs\n");
     for (std::size_t i = 0; i < rep.epochs.size(); ++i) {
       const ChurnEpoch& e = rep.epochs[i];
       std::printf("%zu,%.2f,%.2f,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%zu,%zu,%zu,"
-                  "%.3f,%zu,%zu\n",
+                  "%.3f,%.1f,%.1f,%zu,%zu\n",
                   i, e.t0, e.t1, e.live_nodes, e.joins, e.leaves, e.fails,
                   e.queries, e.found, e.availability(),
                   e.queries_post_failure, e.found_post_failure,
-                  e.queries_skipped, e.mean_stretch(), e.maintenance_msgs,
-                  e.churn_msgs);
+                  e.queries_skipped, e.mean_stretch(), hops_p(e.hops, 50),
+                  hops_p(e.hops, 99), e.maintenance_msgs, e.churn_msgs);
     }
     const ChurnEpoch& d = rep.drain;
     std::printf("drain,%.2f,%.2f,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%zu,%zu,%zu,"
-                "%.3f,%zu,%zu\n",
+                "%.3f,%.1f,%.1f,%zu,%zu\n",
                 d.t0, d.t1, d.live_nodes, d.joins, d.leaves, d.fails,
                 d.queries, d.found, d.availability(), d.queries_post_failure,
                 d.found_post_failure, d.queries_skipped, d.mean_stretch(),
-                d.maintenance_msgs, d.churn_msgs);
+                hops_p(d.hops, 50), hops_p(d.hops, 99), d.maintenance_msgs,
+                d.churn_msgs);
     // The totals include the drain bucket, so the window runs to the
     // drain's end, not the horizon.
     std::printf("total,0.00,%.2f,%zu,%zu,%zu,%zu,%zu,%zu,%.4f,%zu,%zu,%zu,"
-                "%.3f,%zu,%zu\n",
+                "%.3f,%.1f,%.1f,%zu,%zu\n",
                 rep.drain.t1, net.size(), rep.joins, rep.leaves, rep.fails,
                 rep.queries, rep.found, rep.availability(),
                 rep.queries_post_failure, rep.found_post_failure,
-                rep.queries_skipped, rep.mean_stretch(),
-                rep.maintenance_msgs, rep.churn_msgs);
+                rep.queries_skipped, rep.mean_stretch(), hops_p(rep.hops, 50),
+                hops_p(rep.hops, 99), rep.maintenance_msgs, rep.churn_msgs);
     return 0;
   }
 
@@ -395,6 +460,31 @@ int run_churn_scenario(const Options& o, Network& net) {
               rep.availability() * 100.0, rep.found, rep.queries,
               rep.queries_skipped, rep.availability_post_failure() * 100.0,
               rep.mean_stretch());
+  if (!rep.hops.empty())
+    std::printf("  hops:    %s\n", rep.hops.describe().c_str());
+  if (o.cache > 0) {
+    const std::size_t lookups = rep.cache_hits + rep.cache_misses;
+    std::printf("  cache:   %zu hits / %zu lookups (%.1f%%), "
+                "%zu fallbacks\n",
+                rep.cache_hits, lookups,
+                lookups == 0 ? 0.0
+                             : 100.0 * static_cast<double>(rep.cache_hits) /
+                                   static_cast<double>(lookups),
+                rep.cache_fallbacks);
+  }
+  if (o.hotspot) {
+    const double mean_load =
+        rep.load_nodes == 0 ? 0.0
+                            : static_cast<double>(rep.found) /
+                                  static_cast<double>(rep.load_nodes);
+    std::printf("  hotspot: %zu promotions, %zu demotions; load max %zu "
+                "over %zu resolvers (spread %.2f)\n",
+                rep.hotspot_promotions, rep.hotspot_demotions, rep.load_max,
+                rep.load_nodes,
+                mean_load == 0.0 ? 0.0
+                                 : static_cast<double>(rep.load_max) /
+                                       mean_load);
+  }
   std::printf("  traffic: %zu maintenance msgs (%.0f/unit), %zu churn msgs; "
               "%llu events fired\n",
               rep.maintenance_msgs, rep.maintenance_msgs / o.horizon,
@@ -633,7 +723,10 @@ int main(int argc, char** argv) {
   params.prr_secondary_search = o.secondary;
   params.routing = o.routing == "prr" ? RoutingMode::kPrrLike
                                       : RoutingMode::kTapestryNative;
-  if (o.scenario == "churn") params.pointer_ttl = o.ttl;
+  if (o.scenario == "churn" || o.scenario == "hotspot")
+    params.pointer_ttl = o.ttl;
+  params.locate_cache_size = o.cache;
+  if (o.cache_ttl > 0.0) params.locate_cache_ttl = o.cache_ttl;
   if (o.store == "sharded") params.store_backend = StoreBackend::kSharded;
   if (o.store == "persist") {
     params.store_backend = StoreBackend::kPersistent;
@@ -656,7 +749,8 @@ int main(int argc, char** argv) {
       net.join(i, std::nullopt, &build_trace);
   }
 
-  if (o.scenario == "churn") return run_churn_scenario(o, net);
+  if (o.scenario == "churn" || o.scenario == "hotspot")
+    return run_churn_scenario(o, net);
 
   // Workload.
   Rng wl(o.seed ^ 0x4c0ad);
