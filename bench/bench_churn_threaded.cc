@@ -1,0 +1,172 @@
+// E15 — Fully threaded churn soak.
+//
+// ThreadedChurnSoak (src/sim/churn_driver.h) on one overlay: every round
+// runs thread-parallel join, fail-stop repair and voluntary-leave waves
+// back to back while racer threads drive guarded batch publishes, §6.5
+// expiry sweeps and guarded-peek locate probes against the same mesh.
+// The soak runs twice from the same seed — once at 1 worker, once at
+// --threads — and the bench gates the §5 repair contract: identical
+// terminal membership and Property 1 occupancy fingerprints, converged
+// invariants, and every tracked object locatable WITHOUT a republish
+// (§4.2 rerouting happened inside the waves).
+//
+// Flags: --nodes=N [256]  --rounds=R [4]  --threads=T [4]  --seed=S [1]
+//        --json (machine-readable metrics for CI)
+//
+// JSON metrics (tools/check_bench.py compares them against
+// bench/baselines/bench_churn_threaded.json):
+//   property1_ok / symmetry_ok /
+//   no_pins_left / membership_match /
+//   occupancy_match                 convergence contract, exact
+//   locate_found                    availability with no republish, exact
+//   repair_throughput               victims repaired per wall-clock second
+//                                   in the parallel leg; floor gate
+#include <chrono>
+#include <cstring>
+
+#include "bench_util.h"
+#include "src/sim/churn_driver.h"
+#include "src/sim/thread_pool.h"
+
+namespace tap::bench {
+namespace {
+
+struct SoakResult {
+  ThreadedChurnReport rep;
+  double soak_ms = 0.0;
+};
+
+SoakResult run_soak(const MetricSpace& space, const TapestryParams& params,
+                    std::size_t nodes, std::size_t rounds, std::size_t workers,
+                    std::uint64_t seed) {
+  Network net(space, params, seed);
+  std::vector<Location> locs(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) locs[i] = i;
+  net.insert_static_bulk(locs, workers == 0 ? 1 : workers);
+  net.rebuild_static_tables(workers == 0 ? 1 : workers);
+
+  ThreadedChurnScenario sc;
+  sc.rounds = rounds;
+  sc.joins_per_round = std::max<std::size_t>(4, nodes / 16);
+  sc.fails_per_round = std::max<std::size_t>(2, nodes / 32);
+  sc.leaves_per_round = std::max<std::size_t>(2, nodes / 32);
+  sc.min_nodes = nodes / 2;
+  sc.objects = 32;
+  sc.publishes_per_round = 8;
+  sc.workers = workers;
+  sc.seed = seed;
+
+  SoakResult r;
+  ThreadedChurnSoak soak(net, sc);
+  const auto t0 = std::chrono::steady_clock::now();
+  r.rep = soak.run();
+  r.soak_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+}  // namespace
+}  // namespace tap::bench
+
+int main(int argc, char** argv) {
+  using namespace tap;
+  using namespace tap::bench;
+
+  std::size_t nodes = 256, rounds = 4, threads = 4;
+  std::uint64_t seed = 1;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--nodes=", 8) == 0)
+      nodes = std::stoul(argv[i] + 8);
+    else if (std::strncmp(argv[i], "--rounds=", 9) == 0)
+      rounds = std::stoul(argv[i] + 9);
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = std::stoul(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--seed=", 7) == 0)
+      seed = std::stoull(argv[i] + 7);
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Rng rng(seed);
+  const std::size_t joins_total =
+      rounds * std::max<std::size_t>(4, nodes / 16);
+  auto space = make_space("ring", nodes + joins_total + 16, rng);
+  TapestryParams params = default_params();
+  params.store_backend = StoreBackend::kSharded;
+
+  const SoakResult serial =
+      run_soak(*space, params, nodes, rounds, 1, seed);
+  const SoakResult parallel =
+      run_soak(*space, params, nodes, rounds, threads, seed);
+
+  const bool membership_match =
+      serial.rep.membership_fp == parallel.rep.membership_fp;
+  const bool occupancy_match =
+      serial.rep.occupancy_fp == parallel.rep.occupancy_fp;
+  const bool property1_ok =
+      serial.rep.property1_ok && parallel.rep.property1_ok;
+  const bool symmetry_ok = serial.rep.symmetry_ok && parallel.rep.symmetry_ok;
+  const bool no_pins = serial.rep.no_pins && parallel.rep.no_pins;
+  const double locate_found =
+      std::min(serial.rep.availability(), parallel.rep.availability());
+
+  const bool contract_ok = property1_ok && symmetry_ok && no_pins &&
+                           membership_match && occupancy_match &&
+                           locate_found == 1.0;
+
+  if (json) {
+    std::printf(
+        "{\"bench\":\"bench_churn_threaded\",\"metrics\":{"
+        "\"property1_ok\":%d,\"symmetry_ok\":%d,\"no_pins_left\":%d,"
+        "\"membership_match\":%d,\"occupancy_match\":%d,"
+        "\"locate_found\":%.4f,\"repair_throughput\":%.1f,"
+        "\"soak_ms_serial\":%.1f,\"soak_ms_parallel\":%.1f,"
+        "\"probes\":%zu,\"probe_transients\":%zu,"
+        "\"threads\":%zu,\"hardware_threads\":%zu}}\n",
+        property1_ok ? 1 : 0, symmetry_ok ? 1 : 0, no_pins ? 1 : 0,
+        membership_match ? 1 : 0, occupancy_match ? 1 : 0, locate_found,
+        parallel.rep.repairs_per_sec(), serial.soak_ms, parallel.soak_ms,
+        parallel.rep.probes, parallel.rep.probe_transients, threads,
+        default_worker_count());
+    return contract_ok ? 0 : 1;
+  }
+
+  print_header("E15 — fully threaded churn soak",
+               "§5 repair waves racing guarded store traffic: invariant "
+               "convergence at any worker count, no republish backstop");
+  print_space_info(*space, seed);
+  TextTable table({"workers", "soak ms", "repairs/s", "avail", "P1", "sym",
+                   "pins"});
+  table.add_row({"1", fmt(serial.soak_ms, 1),
+                 fmt(serial.rep.repairs_per_sec(), 0),
+                 fmt(serial.rep.availability(), 4),
+                 serial.rep.property1_ok ? "ok" : "FAIL",
+                 serial.rep.symmetry_ok ? "ok" : "FAIL",
+                 serial.rep.no_pins ? "none" : "LEFT!"});
+  table.add_row({fmt(threads), fmt(parallel.soak_ms, 1),
+                 fmt(parallel.rep.repairs_per_sec(), 0),
+                 fmt(parallel.rep.availability(), 4),
+                 parallel.rep.property1_ok ? "ok" : "FAIL",
+                 parallel.rep.symmetry_ok ? "ok" : "FAIL",
+                 parallel.rep.no_pins ? "none" : "LEFT!"});
+  table.print();
+  std::printf(
+      "\n%zu rounds on a %zu-node core: %zu joins, %zu fails, %zu leaves in "
+      "the parallel leg;\n%zu racer publishes, %zu expiry sweeps, %zu "
+      "guarded probes (%zu mid-wave transients)\nmembership %s, occupancy "
+      "pattern %s across worker counts; every tracked object\nlocated with "
+      "NO republish: %s\n",
+      rounds, nodes, parallel.rep.joins, parallel.rep.fails,
+      parallel.rep.leaves, parallel.rep.publishes, parallel.rep.expiry_sweeps,
+      parallel.rep.probes, parallel.rep.probe_transients,
+      membership_match ? "identical" : "MISMATCH!",
+      occupancy_match ? "identical" : "MISMATCH!",
+      locate_found == 1.0 ? "yes" : "NO!");
+  return contract_ok ? 0 : 1;
+}

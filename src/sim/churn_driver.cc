@@ -1,8 +1,14 @@
 #include "src/sim/churn_driver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
+#include <unordered_set>
+
+#include "src/tapestry/fingerprint.h"
 
 namespace tap {
 
@@ -401,6 +407,230 @@ ChurnReport ChurnDriver::finalize() {
     r.hotspot_demotions = hs.demotions;
   }
   return r;
+}
+
+// ---------------------------------------------------------------------
+// ThreadedChurnSoak
+// ---------------------------------------------------------------------
+
+ThreadedChurnSoak::ThreadedChurnSoak(Network& net, ThreadedChurnScenario sc)
+    : net_(net), sc_(sc), rng_(sc.seed ^ 0x50a4c7ull) {
+  TAP_CHECK(net_.params().store_backend == StoreBackend::kSharded,
+            "the threaded churn soak needs the sharded store backend: racer "
+            "publishes and expiry sweeps mutate stores mid-wave");
+  TAP_CHECK(net_.params().locate_cache_size == 0,
+            "the threaded churn soak needs the locate cache disabled: cache "
+            "maps are not synchronized against the repair waves");
+  TAP_CHECK(sc_.min_nodes >= 2, "min_nodes must keep at least two nodes");
+  TAP_CHECK(net_.size() >= sc_.min_nodes,
+            "initial population is already below min_nodes");
+  TAP_CHECK(sc_.rounds > 0, "a soak needs at least one round");
+  TAP_CHECK(sc_.objects > 0, "a soak needs a tracked object population");
+  // Join pool: locations never occupied (tombstones keep theirs, exactly
+  // as in ChurnDriver); voluntary leavers return theirs each round.
+  std::vector<bool> used(net_.space().size(), false);
+  for (const auto& n : net_.registry().nodes()) used[n->location()] = true;
+  for (std::size_t loc = 0; loc < used.size(); ++loc)
+    if (!used[loc]) free_locs_.push_back(loc);
+}
+
+Guid ThreadedChurnSoak::soak_guid() {
+  return scenario_guid(net_.params(), sc_.seed ^ 0x9e11ull, ++guid_ctr_);
+}
+
+ThreadedChurnSoak::RoundPlan ThreadedChurnSoak::plan_round() {
+  RoundPlan plan;
+  const std::vector<NodeId> ids = net_.node_ids();
+
+  // Joins: vacated or never-used locations, fresh random ids (drawn inside
+  // join_bulk's serial preamble — part of its determinism contract).
+  const std::size_t joins = std::min(sc_.joins_per_round, free_locs_.size());
+  for (std::size_t i = 0; i < joins; ++i) {
+    JoinRequest r;
+    r.loc = free_locs_.back();
+    free_locs_.pop_back();
+    plan.joins.push_back(r);
+  }
+
+  // Victims: live non-servers, fail and leave sets disjoint.  Servers are
+  // exempt because the round's availability gate is "every tracked object
+  // locatable with NO republish" — that needs the server set stable while
+  // the waves run (a leaving server's preamble would unpublish it).
+  std::unordered_set<std::uint64_t> servers;
+  for (const auto& entry : tracked_)
+    if (net_.contains(entry.second)) servers.insert(entry.second.value());
+  std::unordered_set<std::uint64_t> doomed;
+  std::size_t live_after = ids.size() + plan.joins.size();
+  auto draw = [&](std::size_t want, std::vector<NodeId>* out) {
+    std::size_t attempts = 0;
+    while (out->size() < want && attempts < 8 * ids.size() + 64) {
+      ++attempts;
+      if (live_after <= sc_.min_nodes) return;
+      const NodeId c = ids[rng_.next_u64(ids.size())];
+      if (servers.count(c.value()) != 0 || doomed.count(c.value()) != 0)
+        continue;
+      doomed.insert(c.value());
+      out->push_back(c);
+      --live_after;
+    }
+  };
+  draw(sc_.fails_per_round, &plan.fails);
+  draw(sc_.leaves_per_round, &plan.leaves);
+
+  // Racer publishes: new objects served by this round's survivors, pushed
+  // through the guarded batch path while the waves run.
+  for (std::size_t i = 0; i < sc_.publishes_per_round; ++i) {
+    ObjectDirectory::PublishRequest pub;
+    pub.guid = soak_guid();
+    std::size_t attempts = 0;
+    do {
+      pub.server = ids[rng_.next_u64(ids.size())];
+    } while (doomed.count(pub.server.value()) != 0 && ++attempts < 256);
+    if (doomed.count(pub.server.value()) != 0) break;
+    plan.racer_pubs.push_back(pub);
+  }
+  return plan;
+}
+
+ThreadedChurnReport ThreadedChurnSoak::run() {
+  ThreadedChurnReport rep;
+
+  // Initial object population, published serially at quiescence.
+  {
+    const std::vector<NodeId> ids = net_.node_ids();
+    for (std::size_t i = 0; i < sc_.objects; ++i) {
+      const Guid g = soak_guid();
+      const NodeId server = ids[rng_.next_u64(ids.size())];
+      net_.publish(server, g);
+      tracked_.emplace_back(g, server);
+    }
+  }
+
+  for (std::size_t round = 0; round < sc_.rounds; ++round) {
+    RoundPlan plan = plan_round();
+
+    // Voluntary leavers vacate their underlay addresses; corpses keep
+    // theirs (tombstones, matching ChurnDriver).
+    for (const NodeId v : plan.leaves)
+      free_locs_.push_back(net_.node(v).location());
+
+    // Survivor list for the prober, captured before anything dies.
+    std::unordered_set<std::uint64_t> doomed;
+    for (const NodeId v : plan.fails) doomed.insert(v.value());
+    for (const NodeId v : plan.leaves) doomed.insert(v.value());
+    std::vector<NodeId> sources;
+    for (const NodeId id : net_.node_ids())
+      if (doomed.count(id.value()) == 0) sources.push_back(id);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> probes{0}, transients{0}, sweeps{0};
+
+    // Racer 1: one guarded batch publish racing the waves (§2.2 deposits
+    // under per-hop stripe locks).
+    std::thread publisher([&] {
+      if (!plan.racer_pubs.empty())
+        net_.publish_batch(plan.racer_pubs, 2, nullptr, /*guarded=*/true);
+    });
+    // Racer 2: §6.5 expiry sweeps in a loop until the waves finish.
+    std::thread expirer([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        net_.expire_pointers(2);
+        sweeps.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    // Racer 3: guarded-peek root walks from survivors.  A walk tripping
+    // over a mid-repair row surfaces as CheckError — a legal transient,
+    // counted and swallowed; torn reads and crashes are TSan's job.
+    std::thread prober([&] {
+      Rng prng(sc_.seed ^ (0xbeef00ull + round));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const NodeId src = sources[prng.next_u64(sources.size())];
+        const Guid& target = tracked_[prng.next_u64(tracked_.size())].first;
+        try {
+          (void)net_.router().route_to_root_guarded(src, target);
+        } catch (const CheckError&) {
+          transients.fetch_add(1, std::memory_order_relaxed);
+        }
+        probes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+    // The waves: join, then fail-stop repair, then voluntary leave — all
+    // on `workers` real threads against the racers above.
+    if (!plan.joins.empty()) (void)net_.join_bulk(plan.joins, sc_.workers);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!plan.fails.empty())
+      net_.fail_and_repair_bulk(plan.fails, sc_.workers);
+    if (!plan.leaves.empty()) net_.leave_bulk(plan.leaves, sc_.workers);
+    rep.repair_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    stop.store(true, std::memory_order_relaxed);
+    publisher.join();
+    expirer.join();
+    prober.join();
+
+    // A racer-published chain may have deposited on a node that died
+    // mid-walk; one quiescent conformance pass re-pushes those records
+    // along current next hops (§4.2) — still no republish.
+    (void)net_.directory().repair_pointer_chains();
+    for (const auto& pub : plan.racer_pubs)
+      tracked_.emplace_back(pub.guid, pub.server);
+    rep.publishes += plan.racer_pubs.size();
+
+    // Quiescent availability sweep: every tracked object (servers are all
+    // still live by construction) from a random live client, no republish.
+    const std::vector<NodeId> ids = net_.node_ids();
+    for (const auto& entry : tracked_) {
+      if (!net_.contains(entry.second)) continue;
+      ++rep.queries;
+      if (net_.locate(ids[rng_.next_u64(ids.size())], entry.first).found)
+        ++rep.found;
+    }
+
+    rep.joins += plan.joins.size();
+    rep.fails += plan.fails.size();
+    rep.leaves += plan.leaves.size();
+    rep.probes += probes.load();
+    rep.probe_transients += transients.load();
+    rep.expiry_sweeps += sweeps.load();
+    ++rep.rounds;
+  }
+
+  // Terminal invariants and fingerprints — the cross-worker-count
+  // convergence gates bench_churn_threaded compares.
+  try {
+    net_.check_property1();
+    rep.property1_ok = true;
+  } catch (const CheckError&) {
+  }
+  try {
+    net_.check_backpointer_symmetry();
+    rep.symmetry_ok = true;
+  } catch (const CheckError&) {
+  }
+  rep.no_pins = true;
+  for (const auto& n : net_.registry().nodes()) {
+    if (!n->alive) continue;
+    const RoutingTable& t = n->table();
+    for (unsigned l = 0; l < t.levels() && rep.no_pins; ++l)
+      for (unsigned j = 0; j < t.radix(); ++j)
+        if (!t.at(l, j).pinned_members().empty()) {
+          rep.no_pins = false;
+          break;
+        }
+  }
+  {
+    std::vector<std::uint64_t> vals;
+    for (const NodeId id : net_.node_ids()) vals.push_back(id.value());
+    std::sort(vals.begin(), vals.end());
+    detail::Fnv1a h;
+    for (const std::uint64_t v : vals) h.mix(v);
+    rep.membership_fp = h.value();
+  }
+  rep.occupancy_fp = fingerprint_occupancy(net_);
+  return rep;
 }
 
 }  // namespace tap

@@ -268,4 +268,92 @@ class ChurnDriver {
   std::optional<EventId> flash_event_;
 };
 
+// ---------------------------------------------------------------------
+// ThreadedChurnSoak: wall-clock churn on real threads
+// ---------------------------------------------------------------------
+
+/// Round-based churn soak where everything races on one overlay at once:
+/// each round draws a join batch, a fail batch and a leave batch serially
+/// (the determinism contract of join_bulk / leave_bulk), then runs the
+/// three thread-parallel waves back to back while racer threads hammer the
+/// same mesh with guarded batch publishes, §6.5 expiry sweeps and
+/// guarded-peek locate probes.  After the racers stop, one quiescent
+/// pointer-chain repair conforms anything the racers published mid-wave,
+/// every tracked object is located WITHOUT republishing, and the §4
+/// structural invariants are checked.
+///
+/// Requires the sharded store backend and the locate cache disabled; both
+/// are TAP_CHECKed.  Same seed + any worker count converges to identical
+/// membership and occupancy fingerprints — the bench's contract gate.
+struct ThreadedChurnScenario {
+  std::size_t rounds = 4;
+  std::size_t joins_per_round = 8;
+  std::size_t leaves_per_round = 4;   ///< voluntary §5.1, non-servers only
+  std::size_t fails_per_round = 4;    ///< fail-stop §5.2, non-servers only
+  std::size_t min_nodes = 24;         ///< no departures below this population
+  std::size_t objects = 24;           ///< published up front, one server each
+  std::size_t publishes_per_round = 8;  ///< racer-published during the waves
+  std::size_t workers = 0;            ///< wave width; 0 = hardware concurrency
+  std::uint64_t seed = 1;
+};
+
+struct ThreadedChurnReport {
+  std::size_t rounds = 0;
+  std::size_t joins = 0, leaves = 0, fails = 0;
+  std::size_t publishes = 0;         ///< objects racer-published mid-wave
+  std::size_t probes = 0;            ///< guarded-peek walks issued by the racer
+  std::size_t probe_transients = 0;  ///< CheckError observed mid-wave (benign)
+  std::size_t expiry_sweeps = 0;
+  std::size_t queries = 0, found = 0;  ///< quiescent locates, no republish
+  bool property1_ok = false;
+  bool symmetry_ok = false;
+  bool no_pins = false;
+  double repair_seconds = 0.0;  ///< wall time inside fail/leave waves only
+  std::uint64_t membership_fp = 0;  ///< FNV over sorted live id values
+  std::uint64_t occupancy_fp = 0;   ///< fingerprint_occupancy at quiescence
+
+  [[nodiscard]] double availability() const {
+    return queries == 0 ? 1.0
+                        : static_cast<double>(found) /
+                              static_cast<double>(queries);
+  }
+  [[nodiscard]] double repairs_per_sec() const {
+    return repair_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(leaves + fails) / repair_seconds;
+  }
+  [[nodiscard]] bool converged() const {
+    return property1_ok && symmetry_ok && no_pins;
+  }
+};
+
+class ThreadedChurnSoak {
+ public:
+  ThreadedChurnSoak(Network& net, ThreadedChurnScenario scenario);
+
+  ThreadedChurnSoak(const ThreadedChurnSoak&) = delete;
+  ThreadedChurnSoak& operator=(const ThreadedChurnSoak&) = delete;
+
+  /// Runs every round and returns the report.  Single-shot.
+  ThreadedChurnReport run();
+
+ private:
+  struct RoundPlan {
+    std::vector<JoinRequest> joins;
+    std::vector<NodeId> fails;
+    std::vector<NodeId> leaves;
+    std::vector<ObjectDirectory::PublishRequest> racer_pubs;
+  };
+  RoundPlan plan_round();
+  Guid soak_guid();
+
+  Network& net_;
+  ThreadedChurnScenario sc_;
+  Rng rng_;  ///< workload randomness, independent of the network's Rng
+
+  std::vector<std::pair<Guid, NodeId>> tracked_;  ///< (object, its server)
+  std::vector<Location> free_locs_;
+  std::uint64_t guid_ctr_ = 0;
+};
+
 }  // namespace tap

@@ -27,7 +27,10 @@ std::optional<LocateCache::Entry> LocateCache::lookup(const NodeId& at,
     ++stats_.misses;
     return std::nullopt;
   }
-  if (it->second->second.expires < now) {
+  // The expiry edge is inclusive to match the store's (§6.5 conformance:
+  // now == expires_at is already expired), so a hint can never name a
+  // pointer that the holder's own sweep would refuse to return.
+  if (it->second->second.expires <= now) {
     pn.lru.erase(it->second);
     pn.index.erase(it);
     ++stats_.expired;
@@ -43,7 +46,7 @@ void LocateCache::insert(const NodeId& at, const Guid& base, Entry entry,
                          double now) {
   if (!enabled()) return;
   entry.expires = std::min(entry.expires, now + ttl_);
-  if (entry.expires < now) return;  // born dead; nothing worth remembering
+  if (entry.expires <= now) return;  // born dead; nothing worth remembering
   PerNode& pn = nodes_[at.value()];
   ++stats_.insertions;
   if (auto it = pn.index.find(base); it != pn.index.end()) {
@@ -121,9 +124,17 @@ HotspotManager::HotspotManager(NodeRegistry& registry,
   TAP_CHECK(hp_.half_life > 0.0, "hotspot half_life must be positive");
   TAP_CHECK(hp_.demote_threshold < hp_.promote_threshold,
             "hotspot demote_threshold must sit below promote_threshold");
+  // Node death reaches the directory (invalidate_node_cache) before any
+  // other replication bookkeeping runs; piggyback on it so dead hosts are
+  // dropped from `extra` the moment they die, not at the next promotion.
+  dir_.set_node_death_hook(
+      [this](const NodeId& dead) { prune_dead_extras(dead); });
 }
 
-HotspotManager::~HotspotManager() { stop(); }
+HotspotManager::~HotspotManager() {
+  stop();
+  dir_.set_node_death_hook(nullptr);
+}
 
 double HotspotManager::decay_factor(double age) const {
   return age <= 0.0 ? 1.0 : std::exp2(-age / hp_.half_life);
@@ -153,7 +164,13 @@ void HotspotManager::record_query(const Guid& base, const NodeId& client,
                                   bool found) {
   auto it = states_.find(base);
   if (it == states_.end()) {
-    if (states_.size() >= hp_.max_tracked) return;  // bounded; see params
+    // At the tracking cap, reclaim the coldest entry that holds no extra
+    // replicas rather than silently ignoring the newcomer — a flash crowd
+    // on a fresh guid after warm-up must still be able to earn replicas.
+    if (states_.size() >= hp_.max_tracked && !evict_coldest()) {
+      ++track_drops_;
+      return;
+    }
     it = states_.emplace(base, ObjState{}).first;
   }
   ObjState& s = it->second;
@@ -183,7 +200,44 @@ void HotspotManager::record_query(const Guid& base, const NodeId& client,
   if (found) consider_promote(base, s);
 }
 
+bool HotspotManager::evict_coldest() {
+  const double now = events_.now();
+  auto coldest = states_.end();
+  double coldest_w = 0.0;
+  for (auto it = states_.begin(); it != states_.end(); ++it) {
+    const ObjState& s = it->second;
+    if (!s.extra.empty()) continue;  // owns replicas; demotion reclaims it
+    const double w = s.weight * decay_factor(now - s.stamp);
+    // Min by (decayed weight, guid) so the victim is independent of
+    // unordered_map iteration order.
+    if (coldest == states_.end() || w < coldest_w ||
+        (w == coldest_w && it->first < coldest->first)) {
+      coldest = it;
+      coldest_w = w;
+    }
+  }
+  if (coldest == states_.end()) return false;
+  states_.erase(coldest);
+  ++cold_evictions_;
+  return true;
+}
+
+void HotspotManager::prune_dead_extras(const NodeId& dead) {
+  for (auto& [g, s] : states_) {
+    auto tail = std::remove(s.extra.begin(), s.extra.end(), dead);
+    extra_pruned_ += static_cast<std::size_t>(s.extra.end() - tail);
+    s.extra.erase(tail, s.extra.end());
+  }
+}
+
 void HotspotManager::consider_promote(const Guid& base, ObjState& s) {
+  // Replica slots must name live hosts: an extra whose node crashed since
+  // promotion would otherwise pin the max_extra_replicas cap forever while
+  // serving nothing, blocking re-promotion of a still-hot object.
+  auto tail = std::remove_if(s.extra.begin(), s.extra.end(),
+                             [&](const NodeId& n) { return !reg_.is_live(n); });
+  extra_pruned_ += static_cast<std::size_t>(s.extra.end() - tail);
+  s.extra.erase(tail, s.extra.end());
   while (s.extra.size() < hp_.max_extra_replicas &&
          s.weight >= hp_.promote_threshold *
                          static_cast<double>(s.extra.size() + 1)) {
@@ -250,6 +304,9 @@ HotspotManager::Stats HotspotManager::stats() const {
   st.promotions = promotions_;
   st.demotions = demotions_;
   st.tracked = states_.size();
+  st.cold_evictions = cold_evictions_;
+  st.track_drops = track_drops_;
+  st.extra_pruned = extra_pruned_;
   for (const auto& [g, s] : states_) st.extra_live += s.extra.size();
   return st;
 }

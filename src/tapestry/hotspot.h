@@ -131,6 +131,9 @@ class HotspotManager {
     std::size_t demotions = 0;   ///< extra replicas withdrawn
     std::size_t tracked = 0;     ///< objects with live demand state
     std::size_t extra_live = 0;  ///< extra replicas currently registered
+    std::size_t cold_evictions = 0;  ///< tracked states evicted at the cap
+    std::size_t track_drops = 0;     ///< queries untracked (cap, no victim)
+    std::size_t extra_pruned = 0;    ///< dead hosts dropped from `extra`
   };
 
   /// `synchronous` selects publish() over publish_async() for promotions —
@@ -179,6 +182,11 @@ class HotspotManager {
   void consider_promote(const Guid& base, ObjState& s);
   void demote_last(const Guid& base, ObjState& s);
   void schedule_tick();
+  /// Reclaims the coldest tracked state that owns no extra replicas; false
+  /// when every tracked object still holds replicas (nothing evictable).
+  bool evict_coldest();
+  /// Drops `dead` from every object's `extra` list (node-death hook).
+  void prune_dead_extras(const NodeId& dead);
 
   NodeRegistry& reg_;
   ObjectDirectory& dir_;
@@ -190,6 +198,9 @@ class HotspotManager {
   std::unordered_map<Guid, ObjState> states_;
   std::size_t promotions_ = 0;
   std::size_t demotions_ = 0;
+  std::size_t cold_evictions_ = 0;
+  std::size_t track_drops_ = 0;
+  std::size_t extra_pruned_ = 0;
   std::optional<EventId> tick_event_;
 };
 

@@ -73,6 +73,27 @@ class MaintenanceEngine final : public RepairHandler {
   void leave(NodeId node, Trace* trace = nullptr);
   /// Involuntary fail-stop (§5.2): the node simply stops responding.
   void fail(NodeId node);
+  /// Thread-parallel voluntary departure (§5.1 on real threads): every
+  /// victim leaves at once, each worker thread driving one victim's
+  /// holder notifications, slot repair and REMOVELINK under the stripe
+  /// discipline, with §4.2 rerouting performed incrementally inside the
+  /// wave (no republish backstop).  Same determinism contract as
+  /// join_bulk: victims are validated and marked serially up front, so
+  /// same seed + any worker count yields identical surviving membership
+  /// and identical fingerprint_occupancy at quiescence.
+  void leave_bulk(const std::vector<NodeId>& victims, std::size_t workers = 0,
+                  Trace* trace = nullptr);
+  /// Thread-parallel fail-stop plus eager repair (§5.2 on real threads):
+  /// all victims stop at once, then every backpointer holder is purged in
+  /// parallel (slot removal, complete replacement hunt, in-wave reroute)
+  /// and a threaded sweep restores Property 1 — locatability is back the
+  /// moment the call returns, without republishing.
+  void fail_and_repair_bulk(const std::vector<NodeId>& victims,
+                            std::size_t workers = 0, Trace* trace = nullptr);
+  /// heartbeat_sweep fanned out across `workers` real threads (one per
+  /// node, striped locks).  Membership must be quiescent; guarded store
+  /// racers (publish batches, expiry sweeps, peeked queries) are fine.
+  void heartbeat_sweep_bulk(std::size_t workers = 0, Trace* trace = nullptr);
   /// Soft-state heartbeat maintenance (§5.2, §6.5): probe table entries,
   /// purge corpses, then hunt replacements for emptied slots to fixpoint.
   void heartbeat_sweep(Trace* trace = nullptr);

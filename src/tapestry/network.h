@@ -123,6 +123,29 @@ class Network {
   /// rest of the network repairs lazily as it discovers the corpse.
   void fail(NodeId node) { maintenance_.fail(node); }
 
+  /// Thread-parallel voluntary departure: every victim's §5.1 protocol
+  /// runs on real `sim/thread_pool` workers under the per-node stripe
+  /// locks, §4.2 rerouting included inside the wave (see
+  /// MaintenanceEngine::leave_bulk for the determinism contract).
+  void leave_bulk(const std::vector<NodeId>& victims, std::size_t workers = 0,
+                  Trace* trace = nullptr) {
+    maintenance_.leave_bulk(victims, workers, trace);
+  }
+
+  /// Thread-parallel fail-stop plus eager §5.2 repair: victims stop at
+  /// once, holders purge in parallel, a threaded sweep restores Property 1
+  /// and objects stay locatable without a republish.
+  void fail_and_repair_bulk(const std::vector<NodeId>& victims,
+                            std::size_t workers = 0, Trace* trace = nullptr) {
+    maintenance_.fail_and_repair_bulk(victims, workers, trace);
+  }
+
+  /// heartbeat_sweep across `workers` real threads (membership must be
+  /// quiescent; guarded store racers are fine).
+  void heartbeat_sweep_bulk(std::size_t workers = 0, Trace* trace = nullptr) {
+    maintenance_.heartbeat_sweep_bulk(workers, trace);
+  }
+
   // ------------------------------------------------------------------
   // Objects
   // ------------------------------------------------------------------

@@ -9,6 +9,7 @@
 // method).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 
@@ -37,8 +38,12 @@ class TapestryNode {
   }
 
   /// False once the node has failed (§5.2) or left (§5.1).  Dead nodes stay
-  /// allocated as tombstones so lazy repair can discover them.
-  bool alive = true;
+  /// allocated as tombstones so lazy repair can discover them.  Atomic so
+  /// guarded-peek walkers and repair waves may read liveness while a
+  /// serial preamble on another thread marks victims dead (threaded repair
+  /// kills nodes strictly before its parallel phase, so a reader sees a
+  /// consistent value either way — the atomic only de-races the flag).
+  std::atomic<bool> alive{true};
 
   /// True from registration until the insertion completes (§4.3): requests
   /// for objects the node does not hold are bounced to its surrogate.

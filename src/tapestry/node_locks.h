@@ -1,5 +1,8 @@
-// NodeLockTable: striped per-node mutexes for the thread-parallel join
-// path (§4.4 run on real threads).
+// NodeLockTable: striped per-node mutexes for the thread-parallel
+// protocol paths — §4.4 joins (threaded_join.h), §5.1 leaves / §5.2
+// fail-stop repair / heartbeat sweeps (threaded_repair.h), and the
+// guarded §4.2 pointer reroutes those repair waves perform inline
+// (ObjectDirectory::*_guarded).
 //
 // The registry's index is already lock-free for readers, and the object
 // stores bring their own synchronisation (ShardedStore's guid stripes) —
@@ -16,7 +19,8 @@
 // shares — and collapses to a single lock when both ids hash to the same
 // stripe.  Operations that would touch a third node (eviction side
 // effects) drop their locks first and then re-synchronise the affected
-// pair; see ThreadedJoinDriver::sync_backpointer.
+// pair; see striped::sync_backpointer (striped_links.h), the one copy of
+// these rules every threaded driver delegates to.
 #pragma once
 
 #include <array>

@@ -1147,6 +1147,115 @@ void ObjectDirectory::delete_backward(const NodeId& start, const Guid& guid,
 }
 
 // ---------------------------------------------------------------------
+// Guarded pointer maintenance (§4.2 inside thread-parallel repair waves)
+// ---------------------------------------------------------------------
+
+std::vector<ObjectDirectory::PendingReroute>
+ObjectDirectory::snapshot_pointer_hops_guarded(
+    const TapestryNode& at, const NodeLockTable& locks) const {
+  // The store snapshot synchronises itself (sharded backend); the table
+  // walk per record runs under `at`'s stripe so no concurrent repair
+  // half-writes a row out from under the selector.
+  const auto records = at.store().snapshot();
+  std::vector<PendingReroute> out;
+  out.reserve(records.size());
+  NodeLockTable::Guard g(locks, at.id());
+  for (const auto& [guid, rec] : records)
+    out.push_back(PendingReroute{guid, rec, pointer_next_hop(at, guid, rec)});
+  return out;
+}
+
+void ObjectDirectory::reroute_changed_pointers_guarded(
+    TapestryNode& at, const std::vector<PendingReroute>& before,
+    const NodeLockTable& locks, Trace* trace) {
+  for (const auto& p : before) {
+    const auto current = at.store().find(p.guid, p.record.server);
+    if (!current.has_value()) continue;
+    std::optional<NodeId> now_hop;
+    {
+      NodeLockTable::Guard g(locks, at.id());
+      now_hop = pointer_next_hop(at, p.guid, *current);
+    }
+    if (now_hop == p.next_hop) continue;
+    optimize_pointer_guarded(at, p.guid, *current, locks, trace);
+  }
+}
+
+void ObjectDirectory::optimize_pointer_guarded(TapestryNode& from,
+                                               const Guid& guid,
+                                               const PointerRecord& record,
+                                               const NodeLockTable& locks,
+                                               Trace* trace) {
+  // Same shape as optimize_pointer, but every routing decision uses the
+  // mutation-free peek selector under the deciding node's stripe — never
+  // the mutating route_step, whose lazy repair would re-enter the table
+  // surgery that belongs to the wave itself.  Store writes go through the
+  // backend's own synchronisation.  A row left transiently without a live
+  // slot mid-wave aborts the walk; repair_pointer_chains() re-pushes
+  // whatever was cut short once the wave settles.
+  const NodeId changed = from.id();
+  RouteState state{record.level, record.past_hole};
+  TapestryNode* prev = &from;
+  for (;;) {
+    std::optional<NodeId> step;
+    try {
+      NodeLockTable::Guard g(locks, prev->id());
+      step = router_.route_step_peek(prev->id(), guid, state);
+    } catch (const CheckError&) {
+      return;  // transiently unroutable under the race
+    }
+    if (!step.has_value()) return;
+    TapestryNode& v = reg_.live(*step);
+    reg_.acct(trace, *prev, v);
+    const auto existing = v.store().find(guid, record.server);
+    const std::optional<NodeId> old_sender =
+        existing.has_value() ? existing->last_hop : std::nullopt;
+    v.store().upsert(guid,
+                     PointerRecord{record.server, prev->id(), state.level,
+                                   state.past_hole, record.expires_at});
+    if (existing.has_value() && old_sender.has_value() &&
+        !(*old_sender == prev->id())) {
+      // delete_backward touches only stores (backend-synchronised), never
+      // routing tables, so the serial version is reusable as-is; its
+      // confirm-then-delete structure keeps racy interleavings on the
+      // under-deletion side, which soft-state expiry absorbs.
+      if (!(*old_sender == changed))
+        delete_backward(*old_sender, guid, record.server, changed, trace);
+      return;
+    }
+    prev = &v;
+  }
+}
+
+std::size_t ObjectDirectory::repair_pointer_chains(Trace* trace) {
+  // Serial, quiescent.  Interleaved guarded reroutes can strand a record:
+  // thread A snapshots holder H, thread B's walk then deposits a record on
+  // H, and A's table mutation + reroute never revisits it (A's snapshot
+  // predates the deposit).  Detect exactly that — a record whose current
+  // next hop does not hold it — and re-push forward from the holder.
+  std::size_t fixed = 0;
+  for (unsigned round = 0; round <= params_.id.num_digits; ++round) {
+    std::size_t fixed_this_round = 0;
+    for (const auto& n : reg_.nodes()) {
+      if (!n->alive) continue;
+      for (const auto& [guid, rec] : n->store().snapshot()) {
+        const auto hop = pointer_next_hop(*n, guid, rec);
+        if (!hop.has_value()) continue;  // at the record's root
+        TapestryNode* h = reg_.find(*hop);
+        if (h != nullptr && h->alive &&
+            h->store().find(guid, rec.server).has_value())
+          continue;
+        optimize_pointer(*n, guid, rec, trace);
+        ++fixed_this_round;
+      }
+    }
+    fixed += fixed_this_round;
+    if (fixed_this_round == 0) break;
+  }
+  return fixed;
+}
+
+// ---------------------------------------------------------------------
 // Ground truth / oracle accessors
 // ---------------------------------------------------------------------
 

@@ -173,6 +173,30 @@ class ObjectDirectory {
       const TapestryNode& at, const Guid& guid,
       const PointerRecord& record) const;
 
+  // --- guarded pointer maintenance (§4.2 inside thread-parallel waves) ---
+  // Stripe-locked variants of the block above for repair waves that mutate
+  // routing tables from many threads: every table read happens under the
+  // owning node's stripe in `locks`, one guard at a time (the node_locks.h
+  // discipline), and pointer deposits rely on the store backend's own
+  // synchronisation (StoreBackend::kSharded when genuinely racing).
+  [[nodiscard]] std::vector<PendingReroute> snapshot_pointer_hops_guarded(
+      const TapestryNode& at, const NodeLockTable& locks) const;
+  void reroute_changed_pointers_guarded(
+      TapestryNode& at, const std::vector<PendingReroute>& before,
+      const NodeLockTable& locks, Trace* trace);
+  void optimize_pointer_guarded(TapestryNode& from, const Guid& guid,
+                                const PointerRecord& record,
+                                const NodeLockTable& locks, Trace* trace);
+  /// Quiescent convergence pass after a threaded wave: re-pushes every
+  /// record whose snapshot-time next hop no longer holds it (two waves'
+  /// guarded reroutes can interleave so a deposit lands after its holder's
+  /// snapshot was taken; serial execution cannot).  Iterates to a fixed
+  /// point (bounded by the digit count) and returns the number of records
+  /// re-pushed.  With this pass, threaded repair restores Property-4-style
+  /// locatability inside the wave — the §6.5 republish backstop is not
+  /// involved.
+  std::size_t repair_pointer_chains(Trace* trace = nullptr);
+
   // --- ground truth / oracle accessors (tests and benches only) ---
   /// Registered replica servers of a (base) guid, live ones only.
   [[nodiscard]] std::vector<NodeId> servers_of(const Guid& guid) const;
@@ -202,7 +226,18 @@ class ObjectDirectory {
   /// and any hint naming it as holder or replica.  MaintenanceEngine calls
   /// this from fail()/leave(); queries already in flight toward the corpse
   /// fail holder verification and fall back to the walk regardless.
-  void invalidate_node_cache(const NodeId& id) { cache_.invalidate_node(id); }
+  void invalidate_node_cache(const NodeId& id) {
+    cache_.invalidate_node(id);
+    if (node_death_hook_) node_death_hook_(id);
+  }
+
+  /// Registers a callback fired from invalidate_node_cache — i.e. on every
+  /// §5 death/departure the maintenance layer reports.  HotspotManager uses
+  /// it to drop dead hosts from its replica bookkeeping the moment they
+  /// die.  Pass nullptr to unregister; at most one hook at a time.
+  void set_node_death_hook(std::function<void(const NodeId&)> hook) {
+    node_death_hook_ = std::move(hook);
+  }
 
  private:
   struct AsyncLocateOp;
@@ -252,6 +287,9 @@ class ObjectDirectory {
   std::size_t in_flight_ = 0;
   std::optional<EventId> republish_event_;
   std::optional<EventId> expiry_event_;
+
+  // Fired from invalidate_node_cache on node death/departure.
+  std::function<void(const NodeId&)> node_death_hook_;
 };
 
 }  // namespace tap

@@ -1,0 +1,84 @@
+// Striped table-link coherence primitives: the MaintenanceEngine
+// link/unlink operations executed under the NodeLockTable discipline
+// (node_locks.h), shared by every thread-parallel protocol driver —
+// ThreadedJoinDriver (§4.4 joins) and ThreadedRepairDriver (§5.1 leaves,
+// §5.2 fail repair, heartbeat sweeps).
+//
+// One copy of the rules so they cannot drift:
+//   * a mutation of owner's slot plus the mirroring backpointer on the
+//     other side happens under the two-node Guard (address-ordered,
+//     deduplicated stripes);
+//   * a third node touched as a side effect (the evictee of consider())
+//     is never locked while two stripes are held — the pair is
+//     re-validated after the locks drop (sync_backpointer), and the
+//     temporally last validation for an (owner, member, level) triple
+//     writes the truth;
+//   * a thread holds at most one Guard at any instant, so the scheme is
+//     deadlock-free by construction.
+#pragma once
+
+#include "src/tapestry/registry.h"
+
+namespace tap::striped {
+
+/// Validating backpointer mirror: sets member's backpointer to reflect
+/// owner's *current* slot membership (not a replay of any one mutation).
+inline void sync_backpointer(NodeRegistry& reg, const NodeLockTable& locks,
+                             const NodeId& owner, const NodeId& member,
+                             unsigned level) {
+  TapestryNode* o = reg.find(owner);
+  TapestryNode* m = reg.find(member);
+  if (o == nullptr || m == nullptr) return;
+  NodeLockTable::Guard g(locks, owner, member);
+  if (o->table().at(level, member.digit(level)).contains(member))
+    m->table().add_backpointer(level, owner);
+  else
+    m->table().remove_backpointer(level, owner);
+}
+
+/// MaintenanceEngine::link under the stripe discipline: consider + mirror
+/// inside the pair guard, evictee re-synced after the guard drops.
+inline bool link(NodeRegistry& reg, const NodeLockTable& locks,
+                 TapestryNode& owner, unsigned level, TapestryNode& nbr) {
+  TAP_ASSERT(!(owner.id() == nbr.id()));
+  TAP_ASSERT_MSG(owner.id().matches_prefix(nbr.id(), level),
+                 "neighbor does not share the slot's prefix");
+  const unsigned digit = nbr.id().digit(level);
+  NeighborSet::ConsiderResult res;
+  {
+    NodeLockTable::Guard g(locks, owner.id(), nbr.id());
+    res = owner.table().consider(level, digit, nbr.id(),
+                                 reg.dist(owner, nbr));
+    if (res.inserted) nbr.table().add_backpointer(level, owner.id());
+  }
+  if (res.evicted.has_value())
+    sync_backpointer(reg, locks, owner.id(), *res.evicted, level);
+  return res.inserted;
+}
+
+/// MaintenanceEngine::unlink under the stripe discipline.  NodeId by
+/// value: callers pass ids living inside the containers being mutated.
+inline void unlink(NodeRegistry& reg, const NodeLockTable& locks,
+                   TapestryNode& owner, unsigned level, NodeId nbr) {
+  if (nbr == owner.id()) return;  // never drop self-entries
+  NodeLockTable::Guard g(locks, owner.id(), nbr);
+  if (owner.table().remove(level, nbr.digit(level), nbr)) {
+    if (TapestryNode* n = reg.find(nbr))
+      n->table().remove_backpointer(level, owner.id());
+  }
+}
+
+/// The paper's ADDTOTABLEIFCLOSER over all shared-prefix levels.
+inline bool add_to_table_if_closer(NodeRegistry& reg,
+                                   const NodeLockTable& locks,
+                                   TapestryNode& host, TapestryNode& cand,
+                                   unsigned num_digits) {
+  if (host.id() == cand.id()) return false;
+  const unsigned gcp = host.id().common_prefix_len(cand.id());
+  bool any = false;
+  for (unsigned l = 0; l <= gcp && l < num_digits; ++l)
+    any = link(reg, locks, host, l, cand) || any;
+  return any;
+}
+
+}  // namespace tap::striped

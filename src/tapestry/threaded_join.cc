@@ -8,6 +8,7 @@
 
 #include "src/sim/thread_pool.h"
 #include "src/tapestry/parallel_join.h"
+#include "src/tapestry/striped_links.h"
 
 namespace tap {
 
@@ -141,55 +142,26 @@ void ThreadedJoinDriver::do_join(std::size_t index) {
 }
 
 // ---------------------------------------------------------------------
-// Locked table-link coherence (the MaintenanceEngine primitives under the
-// stripe discipline)
+// Locked table-link coherence: thin delegations to the shared striped
+// primitives (striped_links.h) so joins and repairs run one copy of the
+// lock discipline.
 // ---------------------------------------------------------------------
 
 bool ThreadedJoinDriver::link(TapestryNode& owner, unsigned level,
                               TapestryNode& nbr) {
-  TAP_ASSERT(!(owner.id() == nbr.id()));
-  TAP_ASSERT_MSG(owner.id().matches_prefix(nbr.id(), level),
-                 "neighbor does not share the slot's prefix");
-  const unsigned digit = nbr.id().digit(level);
-  NeighborSet::ConsiderResult res;
-  {
-    NodeLockTable::Guard g(locks_, owner.id(), nbr.id());
-    res = owner.table().consider(level, digit, nbr.id(),
-                                 reg_.dist(owner, nbr));
-    if (res.inserted) nbr.table().add_backpointer(level, owner.id());
-  }
-  // The evictee is a third node whose stripe we could not take while
-  // holding two others; re-validate its backpointer against the owner's
-  // current table once our locks are down.
-  if (res.evicted.has_value()) sync_backpointer(owner.id(), *res.evicted, level);
-  return res.inserted;
+  return striped::link(reg_, locks_, owner, level, nbr);
 }
 
 void ThreadedJoinDriver::sync_backpointer(const NodeId& owner,
                                           const NodeId& member,
                                           unsigned level) {
-  TapestryNode* o = reg_.find(owner);
-  TapestryNode* m = reg_.find(member);
-  if (o == nullptr || m == nullptr) return;
-  // Validating, not replaying: whatever triggered this sync, the
-  // backpointer is set to mirror the owner's *current* slot membership.
-  // Every forward mutation schedules a sync after it, so the temporally
-  // last sync for this (owner, member, level) writes the final truth.
-  NodeLockTable::Guard g(locks_, owner, member);
-  if (o->table().at(level, member.digit(level)).contains(member))
-    m->table().add_backpointer(level, owner);
-  else
-    m->table().remove_backpointer(level, owner);
+  striped::sync_backpointer(reg_, locks_, owner, member, level);
 }
 
 bool ThreadedJoinDriver::add_to_table_if_closer(TapestryNode& host,
                                                 TapestryNode& cand) {
-  if (host.id() == cand.id()) return false;
-  const unsigned gcp = host.id().common_prefix_len(cand.id());
-  bool any = false;
-  for (unsigned l = 0; l <= gcp && l < params_.id.num_digits; ++l)
-    any = link(host, l, cand) || any;
-  return any;
+  return striped::add_to_table_if_closer(reg_, locks_, host, cand,
+                                         params_.id.num_digits);
 }
 
 // ---------------------------------------------------------------------

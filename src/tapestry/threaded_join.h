@@ -32,11 +32,13 @@
 // agreement, backpointer symmetry), not on bit-identical transcripts;
 // fingerprint_occupancy (fingerprint.h) is the cross-worker-count witness.
 //
-// Object pointers: the threaded path does not do incremental §4.2 pointer
-// rerouting (those walks would couple every join to every store); the
-// §6.5 soft-state republish is the designated backstop, exactly as in the
-// paper's dynamic regime.  Callers racing publishes against a join wave
-// republish once at quiescence to restore Property 4.
+// Object pointers: the threaded *join* path does not do incremental §4.2
+// pointer rerouting (a joining node holds no pointers yet, and the walks
+// would couple every join to every store); the §6.5 soft-state republish
+// is the designated backstop for join waves.  Threaded *repair* waves are
+// different — leave_bulk / fail_and_repair_bulk (threaded_repair.h) reroute
+// incrementally inside the wave, per holder, under the same stripe
+// discipline, and do NOT rely on the republish backstop.
 #pragma once
 
 #include <cstdint>

@@ -332,6 +332,121 @@ TEST(HotspotManager, PromotesOnDemandAndDemotesOnDecay) {
       << "decayed demand must withdraw every extra replica";
 }
 
+TEST(LocateCache, ExpiryEdgesAreInclusive) {
+  // §6.5 conformance: a record whose deadline equals the clock is already
+  // expired (the store treats now == expires_at as dead), so the cache
+  // must agree on BOTH edges — never serve a hint at its deadline, never
+  // admit an entry born at its deadline.
+  const IdSpec spec{4, 8};
+  LocateCache cache(8, std::numeric_limits<double>::infinity());
+  const NodeId at(spec, 0x11);
+  const Guid g(spec, 7);
+  cache.insert(at, g,
+               LocateCache::Entry{g, NodeId(spec, 0x22), NodeId(spec, 0x33),
+                                  /*expires=*/5.0},
+               /*now=*/0.0);
+  EXPECT_TRUE(cache.lookup(at, g, 4.999).has_value());
+  EXPECT_FALSE(cache.lookup(at, g, 5.0).has_value())
+      << "now == expires must already be a miss, matching the store edge";
+  EXPECT_EQ(cache.stats().expired, 1u);
+  // Born exactly at the deadline: never cached at all.
+  cache.insert(at, g,
+               LocateCache::Entry{g, NodeId(spec, 0x22), NodeId(spec, 0x33),
+                                  /*expires=*/1.0},
+               /*now=*/1.0);
+  EXPECT_EQ(cache.entries_at(at), 0u)
+      << "an entry expiring at insertion time must be rejected";
+}
+
+TEST(HotspotManager, CapEvictsColdestInsteadOfDroppingNewDemand) {
+  // At max_tracked, new demand must displace the coldest replica-free
+  // state — not be silently ignored (the old behavior starved every
+  // object that got hot after the cap filled).
+  auto g = test::static_ring_network(32, 19, small_params());
+  HotspotParams hp;
+  hp.max_tracked = 3;
+  HotspotManager mgr(g.net->registry(), g.net->directory(), g.net->events(),
+                     hp, /*synchronous=*/true);
+  auto guid = [&](std::uint64_t v) { return make_guid(*g.net, 600 + v); };
+  // Distinct weights: g0 is the coldest.
+  mgr.record_query(guid(0), g.ids[4], true);
+  for (int i = 0; i < 2; ++i) mgr.record_query(guid(1), g.ids[4], true);
+  for (int i = 0; i < 3; ++i) mgr.record_query(guid(2), g.ids[4], true);
+  ASSERT_EQ(mgr.stats().tracked, 3u);
+
+  mgr.record_query(guid(3), g.ids[5], true);
+  EXPECT_EQ(mgr.stats().tracked, 3u);
+  EXPECT_EQ(mgr.stats().cold_evictions, 1u);
+  EXPECT_EQ(mgr.stats().track_drops, 0u);
+  EXPECT_EQ(mgr.demand(guid(0)), 0.0) << "the coldest state was reclaimed";
+  EXPECT_NEAR(mgr.demand(guid(3)), 1.0, 1e-9) << "new demand is tracked";
+
+  // States that own extra replicas are not evictable: when every tracked
+  // object holds replicas, overflow demand is counted as dropped instead.
+  HotspotParams flash;
+  flash.max_tracked = 1;
+  flash.promote_threshold = 2.0;
+  flash.demote_threshold = 0.5;
+  flash.max_extra_replicas = 1;
+  HotspotManager mgr2(g.net->registry(), g.net->directory(), g.net->events(),
+                      flash, /*synchronous=*/true);
+  const Guid hot = guid(8);
+  g.net->publish(g.ids[2], hot);
+  for (int i = 0; i < 4; ++i) mgr2.record_query(hot, g.ids[6], true);
+  ASSERT_GT(mgr2.stats().promotions, 0u);
+  mgr2.record_query(guid(9), g.ids[7], true);
+  EXPECT_EQ(mgr2.stats().cold_evictions, 0u)
+      << "a state holding replicas must never be evicted";
+  EXPECT_EQ(mgr2.stats().track_drops, 1u);
+  EXPECT_EQ(mgr2.demand(guid(9)), 0.0);
+}
+
+TEST(HotspotManager, CrashedPromotedSiteIsPrunedAndReplaced) {
+  // Crash a promoted replica site mid-flash: the node-death hook must
+  // drop it from the manager's `extra` book-keeping (no dead id holding a
+  // replica slot), and continued demand must publish a replacement at a
+  // surviving demand site.
+  auto g = test::static_ring_network(64, 20, small_params());
+  const Guid guid = make_guid(*g.net, 700);
+  const NodeId server = g.ids[3];
+  g.net->publish(server, guid);
+
+  HotspotParams hp;
+  hp.half_life = 8.0;
+  hp.promote_threshold = 6.0;
+  hp.max_extra_replicas = 1;
+  HotspotManager mgr(g.net->registry(), g.net->directory(), g.net->events(),
+                     hp, /*synchronous=*/true);
+
+  for (int round = 0; round < 4; ++round)
+    for (int c = 10; c < 14; ++c)
+      mgr.record_query(guid, g.ids[static_cast<std::size_t>(c)], true);
+  ASSERT_EQ(mgr.stats().promotions, 1u);
+  ASSERT_EQ(mgr.stats().extra_live, 1u);
+
+  // Find and crash the promoted site.
+  NodeId victim{};
+  for (const NodeId& s : g.net->servers_of(guid))
+    if (!(s == server)) victim = s;
+  g.net->fail(victim);
+  EXPECT_GE(mgr.stats().extra_pruned, 1u)
+      << "the death hook must drop the corpse from `extra`";
+  EXPECT_EQ(mgr.stats().extra_live, 0u);
+
+  // The flash is still on: the very next promotions check must replace
+  // the lost replica at a live demand site (the dead id must not keep
+  // occupying the max_extra_replicas budget).
+  for (int round = 0; round < 4; ++round)
+    for (int c = 10; c < 14; ++c)
+      if (!(g.ids[static_cast<std::size_t>(c)] == victim))
+        mgr.record_query(guid, g.ids[static_cast<std::size_t>(c)], true);
+  EXPECT_EQ(mgr.stats().promotions, 2u);
+  EXPECT_EQ(mgr.stats().extra_live, 1u);
+  const auto sites = g.net->servers_of(guid);
+  EXPECT_EQ(sites.size(), 2u) << "a replacement replica must be published";
+  for (const NodeId& s : sites) EXPECT_TRUE(g.net->contains(s));
+}
+
 TEST(HotspotManager, DemandDecaysBetweenQueries) {
   auto g = test::static_ring_network(32, 18, small_params());
   const Guid guid = make_guid(*g.net, 507);

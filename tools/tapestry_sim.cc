@@ -58,6 +58,11 @@
 //
 // Churn-scenario flags (--scenario=churn; event-driven §6.5 experiments,
 // deterministically reproducible from --seed):
+//   --churn-threads=N        run the wall-clock ThreadedChurnSoak instead
+//                            of the event-driven driver: N-thread
+//                            join/fail/leave repair waves racing guarded
+//                            publishes, expiry sweeps and peeked probes
+//                            (requires --store=sharded, --cache=0)     [0]
 //   --scenario=static|churn  one-shot measurement vs scripted churn [static]
 //   --engine=event|sync      per-hop EventQueue execution or the legacy
 //                            atomic/serialized engine                [event]
@@ -156,6 +161,9 @@ struct Options {
   std::size_t join_wave = 0;     // concurrent dynamic joins on top
   std::size_t join_threads = 0;  // 0 => event coordinator; N => real threads
 
+  // Threaded-churn-soak mode (--scenario=churn only).
+  std::size_t churn_threads = 0;  // 0 => event-driven ChurnDriver
+
   // Object-store backend.
   std::string store = "memory";
   std::string store_dir;       // empty => tapestry_store.<scenario>
@@ -224,6 +232,8 @@ Options parse(int argc, char** argv) {
       o.join_wave = std::stoul(v);
     else if (parse_flag(argv[i], "--join-threads", &v))
       o.join_threads = std::stoul(v);
+    else if (parse_flag(argv[i], "--churn-threads", &v))
+      o.churn_threads = std::stoul(v);
     else if (parse_flag(argv[i], "--store", &v)) o.store = v;
     else if (parse_flag(argv[i], "--store-dir", &v)) o.store_dir = v;
     else if (parse_flag(argv[i], "--checkpoint-interval", &v))
@@ -287,6 +297,20 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "unknown engine: %s\n", o.engine.c_str());
     std::exit(2);
   }
+  if (o.churn_threads > 0) {
+    if (o.scenario != "churn") {
+      std::fprintf(stderr, "--churn-threads requires --scenario=churn\n");
+      std::exit(2);
+    }
+    if (o.store != "sharded") {
+      std::fprintf(stderr, "--churn-threads requires --store=sharded\n");
+      std::exit(2);
+    }
+    if (o.cache != 0) {
+      std::fprintf(stderr, "--churn-threads requires --cache=0\n");
+      std::exit(2);
+    }
+  }
   return o;
 }
 
@@ -341,7 +365,55 @@ Guid make_guid(const Network& net, std::uint64_t raw) {
   return Guid(spec, splitmix64(raw ^ 0x51a) & mask);
 }
 
+// Wall-clock threaded churn soak (--churn-threads=N): rounds of
+// join/fail/leave repair waves on N real threads racing guarded store
+// traffic on the same overlay.  Exit code 0 iff the mesh converged
+// (Property 1, backpointer symmetry, no pins) and every tracked object
+// stayed locatable without a republish.
+int run_threaded_churn(const Options& o, Network& net) {
+  ThreadedChurnScenario sc;
+  sc.rounds = o.churn_rounds > 0 ? static_cast<std::size_t>(o.churn_rounds)
+                                 : std::size_t{4};
+  sc.joins_per_round = std::max<std::size_t>(4, o.nodes / 16);
+  sc.fails_per_round = std::max<std::size_t>(2, o.nodes / 32);
+  sc.leaves_per_round = std::max<std::size_t>(2, o.nodes / 32);
+  sc.min_nodes = o.min_nodes;
+  sc.objects = o.objects;
+  sc.publishes_per_round = 8;
+  sc.workers = o.churn_threads;
+  sc.seed = o.seed;
+
+  ThreadedChurnSoak soak(net, sc);
+  const ThreadedChurnReport rep = soak.run();
+
+  std::printf(
+      "tapestry_sim threaded churn — %zu nodes, %zu workers, seed %llu\n",
+      net.size(), sc.workers,
+      static_cast<unsigned long long>(o.seed));
+  std::printf(
+      "  %zu rounds: %zu joins, %zu fails, %zu leaves; %.3fs in repair "
+      "waves (%.0f repairs/s)\n",
+      rep.rounds, rep.joins, rep.fails, rep.leaves, rep.repair_seconds,
+      rep.repairs_per_sec());
+  std::printf(
+      "  racers: %zu publishes, %zu expiry sweeps, %zu probes "
+      "(%zu transient mid-wave misses)\n",
+      rep.publishes, rep.expiry_sweeps, rep.probes, rep.probe_transients);
+  std::printf("  availability: %zu/%zu located, no republish (%.4f)\n",
+              rep.found, rep.queries, rep.availability());
+  std::printf(
+      "  converged: property1=%s symmetry=%s pins=%s  membership=%016llx "
+      "occupancy=%016llx\n",
+      rep.property1_ok ? "ok" : "FAIL", rep.symmetry_ok ? "ok" : "FAIL",
+      rep.no_pins ? "none" : "LEFTOVER",
+      static_cast<unsigned long long>(rep.membership_fp),
+      static_cast<unsigned long long>(rep.occupancy_fp));
+  const bool ok = rep.converged() && rep.found == rep.queries;
+  return ok ? 0 : 1;
+}
+
 int run_churn_scenario(const Options& o, Network& net) {
+  if (o.churn_threads > 0) return run_threaded_churn(o, net);
   ChurnScenario sc;
   sc.horizon = o.horizon;
   sc.epoch = o.epoch_len;
