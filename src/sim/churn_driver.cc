@@ -8,6 +8,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "src/metric/transit_stub.h"
+#include "src/sim/metrics.h"
 #include "src/tapestry/fingerprint.h"
 
 namespace tap {
@@ -81,6 +83,13 @@ ChurnDriver::ChurnDriver(Network& net, ChurnScenario scenario)
   TAP_CHECK(sc_.epoch > 0.0, "scenario epoch must be positive");
   TAP_CHECK(sc_.checkpoint_interval <= 0.0 || !sc_.checkpoint_dir.empty(),
             "checkpoint_interval requires checkpoint_dir");
+  TAP_CHECK(sc_.partition_heal <= 0.0 ||
+                (sc_.partition_at > 0.0 &&
+                 sc_.partition_heal > sc_.partition_at),
+            "partition_heal requires an earlier partition_at");
+  TAP_CHECK(sc_.burst_every <= 0.0 || sc_.burst_len <= 0.0 ||
+                sc_.burst_factor > 0.0,
+            "burst_factor must be positive");
   // Locations not occupied by any node ever registered (tombstones keep
   // theirs — a corpse's underlay address is not reusable) are the join
   // pool; voluntary leavers return theirs.
@@ -127,7 +136,10 @@ void ChurnDriver::publish_initial_objects() {
 }
 
 void ChurnDriver::schedule_churn() {
-  const double rate = sc_.join_rate + sc_.leave_rate + sc_.fail_rate;
+  // The burst multiplier scales only the event rate; the join/leave/fail
+  // mix in do_churn_event keeps drawing against the base rates.
+  const double rate =
+      (sc_.join_rate + sc_.leave_rate + sc_.fail_rate) * churn_multiplier_;
   if (rate <= 0.0) return;
   churn_event_ = net_.events().schedule_in(rng_.exponential(rate), [this] {
     churn_event_.reset();
@@ -135,6 +147,16 @@ void ChurnDriver::schedule_churn() {
     do_churn_event();
     schedule_churn();
   });
+}
+
+void ChurnDriver::reschedule_churn() {
+  // Burst transitions redraw the next inter-event gap at the new rate;
+  // the exponential is memoryless, so dropping the pending draw is sound.
+  if (churn_event_.has_value()) {
+    net_.events().cancel(*churn_event_);
+    churn_event_.reset();
+  }
+  schedule_churn();
 }
 
 void ChurnDriver::do_churn_event() {
@@ -160,6 +182,7 @@ void ChurnDriver::do_churn_event() {
     free_locs_.pop_back();
     const NodeId id = net_.join(loc, std::nullopt, &churn_trace_);
     ++epoch_now().joins;
+    metrics::churn_joins_total().inc();
     log_event('J', id.to_string());
   } else if (dice < sc_.join_rate + sc_.leave_rate) {
     if (net_.size() <= sc_.min_nodes || ids.empty()) {
@@ -177,6 +200,7 @@ void ChurnDriver::do_churn_event() {
     free_locs_.push_back(net_.node(victim).location());
     net_.leave(victim, &churn_trace_);
     ++epoch_now().leaves;
+    metrics::churn_leaves_total().inc();
     log_event('L', victim.to_string());
   } else {
     if (net_.size() <= sc_.min_nodes || ids.empty()) {
@@ -187,8 +211,120 @@ void ChurnDriver::do_churn_event() {
     net_.fail(victim);
     last_failure_ = net_.now();
     ++epoch_now().fails;
+    metrics::churn_fails_total().inc();
     log_event('F', victim.to_string());
   }
+}
+
+void ChurnDriver::schedule_faults() {
+  if (sc_.partition_at > 0.0) {
+    partition_event_ = net_.events().schedule_in(sc_.partition_at, [this] {
+      partition_event_.reset();
+      if (!running_) return;
+      // Side B: odd ranks of the sorted live id list — a deterministic
+      // half-split independent of registration order.
+      std::vector<NodeId> ids = net_.node_ids();
+      std::sort(ids.begin(), ids.end());
+      std::vector<NodeId> side_b;
+      for (std::size_t i = 1; i < ids.size(); i += 2) side_b.push_back(ids[i]);
+      net_.set_partition(side_b);
+      log_event('X', "partition side_b=" + std::to_string(side_b.size()));
+    });
+  }
+  if (sc_.partition_heal > 0.0) {
+    heal_event_ = net_.events().schedule_in(sc_.partition_heal, [this] {
+      heal_event_.reset();
+      if (!running_) return;
+      net_.heal_partition();
+      log_event('H', "partition-heal");
+    });
+  }
+  if (sc_.rackfail_at > 0.0) {
+    // Fail fast on a mis-specified scenario instead of at the event.
+    TAP_CHECK(dynamic_cast<const TransitStubMetric*>(&net_.space()) != nullptr,
+              "rackfail requires a transit-stub metric space");
+    rackfail_event_ = net_.events().schedule_in(sc_.rackfail_at, [this] {
+      rackfail_event_.reset();
+      if (!running_) return;
+      do_rackfail();
+    });
+  }
+}
+
+void ChurnDriver::do_rackfail() {
+  const auto& ts = dynamic_cast<const TransitStubMetric&>(net_.space());
+  // Group the live population by stub domain and kill the most populated
+  // one outright (ties break toward the lowest stub id) — every node that
+  // shares the victim rack's stub router fail-stops in the same instant.
+  std::vector<std::vector<NodeId>> by_stub(ts.num_stubs());
+  for (const NodeId id : net_.node_ids())
+    by_stub[ts.stub_of(net_.node(id).location())].push_back(id);
+  std::size_t victim_stub = 0;
+  for (std::size_t s = 1; s < by_stub.size(); ++s)
+    if (by_stub[s].size() > by_stub[victim_stub].size()) victim_stub = s;
+  for (const NodeId v : by_stub[victim_stub]) {
+    net_.fail(v);
+    ++epoch_now().fails;
+    metrics::churn_fails_total().inc();
+  }
+  last_failure_ = net_.now();
+  log_event('K', "rackfail stub=" + std::to_string(victim_stub) + " killed=" +
+                     std::to_string(by_stub[victim_stub].size()));
+}
+
+void ChurnDriver::schedule_burst() {
+  if (sc_.burst_every <= 0.0 || sc_.burst_len <= 0.0) return;
+  burst_event_ = net_.events().schedule_in(sc_.burst_every, [this] {
+    burst_event_.reset();
+    if (!running_) return;
+    churn_multiplier_ = sc_.burst_factor;
+    log_event('U', "burst-start x" + std::to_string(sc_.burst_factor));
+    reschedule_churn();
+    burst_event_ = net_.events().schedule_in(sc_.burst_len, [this] {
+      burst_event_.reset();
+      if (!running_) return;
+      churn_multiplier_ = 1.0;
+      log_event('U', "burst-end");
+      reschedule_churn();
+      schedule_burst();  // next burst burst_every after this one ends
+    });
+  });
+}
+
+void ChurnDriver::open_metrics() {
+  if (sc_.metrics_out.empty()) return;
+  // Per-run clean slate over a fixed metric set: values reset to zero and
+  // every builtin family registers up front, so two same-seed runs emit
+  // byte-identical streams regardless of what ran in this process before.
+  metrics::reset_all();
+  metrics::touch_builtin();
+  metrics_file_.open(sc_.metrics_out, std::ios::trunc);
+  TAP_CHECK(metrics_file_.is_open(),
+            "cannot open metrics_out file: " + sc_.metrics_out);
+}
+
+void ChurnDriver::write_metrics_snapshot(std::size_t index) {
+  if (!metrics_file_.is_open()) return;
+  // Point-in-time gauges are sampled here rather than maintained on the
+  // hot paths: population, queue depth, and the store totals summed over
+  // the live membership.
+  metrics::live_nodes().set(static_cast<double>(net_.size()));
+  metrics::event_queue_depth().set(
+      static_cast<double>(net_.events().pending()));
+  std::uint64_t records = 0;
+  std::uint64_t wal_bytes = 0;
+  for (const auto& n : net_.registry().nodes()) {
+    if (!n->alive) continue;
+    const StoreStats st = n->store().stats();
+    records += st.records;
+    wal_bytes += st.wal_bytes;
+  }
+  metrics::store_records().set(static_cast<double>(records));
+  metrics::store_wal_bytes().set(static_cast<double>(wal_bytes));
+  char head[96];
+  std::snprintf(head, sizeof head, "{\"t\":%.6f,\"epoch\":%zu,\"metrics\":",
+                net_.now(), index);
+  metrics_file_ << head << metrics::snapshot_json() << "}\n";
 }
 
 void ChurnDriver::schedule_queries() {
@@ -283,11 +419,13 @@ void ChurnDriver::snapshot_epoch_boundary(std::size_t index) {
   maint_msgs_seen_ = maint_trace_.messages();
   e.churn_msgs = churn_trace_.messages() - churn_msgs_seen_;
   churn_msgs_seen_ = churn_trace_.messages();
+  write_metrics_snapshot(index);
 }
 
 ChurnReport ChurnDriver::run() {
   TAP_CHECK(!ran_, "ChurnDriver instances are single-shot");
   ran_ = true;
+  open_metrics();
   fired_at_start_ = net_.events().fired();
 
   const auto n_epochs = static_cast<std::size_t>(
@@ -332,6 +470,8 @@ ChurnReport ChurnDriver::run() {
   schedule_churn();
   schedule_queries();
   schedule_checkpoint();
+  schedule_faults();
+  schedule_burst();
 
   for (std::size_t i = 0; i < epochs_.size(); ++i) {
     net_.events().run_until(epochs_[i].t1);
@@ -349,6 +489,10 @@ ChurnReport ChurnDriver::run() {
   if (sync_maint_event_.has_value()) net_.events().cancel(*sync_maint_event_);
   if (checkpoint_event_.has_value()) net_.events().cancel(*checkpoint_event_);
   if (flash_event_.has_value()) net_.events().cancel(*flash_event_);
+  if (partition_event_.has_value()) net_.events().cancel(*partition_event_);
+  if (heal_event_.has_value()) net_.events().cancel(*heal_event_);
+  if (rackfail_event_.has_value()) net_.events().cancel(*rackfail_event_);
+  if (burst_event_.has_value()) net_.events().cancel(*burst_event_);
   if (hotspot_ != nullptr) hotspot_->stop();
   net_.stop_soft_state();
   net_.stop_heartbeats();
@@ -361,6 +505,9 @@ ChurnReport ChurnDriver::run() {
     net_.checkpoint_stores(sc_.checkpoint_dir);
     log_event('C', "checkpoint-final " + sc_.checkpoint_dir);
   }
+  // Terminal snapshot for the drain bucket (epoch index past the last).
+  write_metrics_snapshot(epochs_.size());
+  if (metrics_file_.is_open()) metrics_file_.close();
   return finalize();
 }
 

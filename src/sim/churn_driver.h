@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -110,6 +111,34 @@ struct ChurnScenario {
   double republish_interval = 4.0;
   double expiry_interval = 1.0;
   double heartbeat_interval = 4.0;
+
+  // Fault script (tentpole scenarios; zero disables each knob).
+  /// Network partition: at `partition_at` time units into the run the live
+  /// population is split into two halves (odd ranks of the sorted id list
+  /// form side B) that cannot exchange messages; at `partition_heal` the
+  /// cut heals.  Partitioned members stay alive — routing skips them
+  /// without purging, so healing needs no repair wave, only the next
+  /// republish round to refresh cross-side pointers.
+  double partition_at = 0.0;
+  double partition_heal = 0.0;
+  /// Correlated rack failure: at `rackfail_at`, every live node in the
+  /// most-populated transit-stub domain fail-stops at once.  Requires the
+  /// network's metric space to be a TransitStubMetric (TAP_CHECKed).
+  double rackfail_at = 0.0;
+  /// Mobile-style churn bursts: `burst_len` time units of churn at
+  /// `burst_factor` times the base rates, recurring `burst_every` time
+  /// units after the run start / the previous burst's end.  The multiplier
+  /// scales only the event rate — the join/leave/fail mix is unchanged.
+  double burst_every = 0.0;
+  double burst_len = 0.0;
+  double burst_factor = 8.0;
+
+  /// Metrics JSONL sink: when non-empty, the run resets the global metrics
+  /// registry and appends one `{"t":..,"epoch":..,"metrics":{..}}` line per
+  /// epoch boundary plus a terminal line for the drain.  Only deterministic
+  /// metrics are included (snapshot_json(false)), so the stream is
+  /// byte-identical across same-seed runs.
+  std::string metrics_out{};
 
   std::uint64_t seed = 1;    ///< workload randomness (driver-owned Rng)
   bool synchronous = false;  ///< legacy atomic-operation engine
@@ -228,11 +257,17 @@ class ChurnDriver {
  private:
   void publish_initial_objects();
   void schedule_churn();
+  void reschedule_churn();
   void schedule_queries();
   void schedule_sync_maintenance();
   void schedule_checkpoint();
+  void schedule_faults();
+  void schedule_burst();
   void do_churn_event();
+  void do_rackfail();
   void issue_query();
+  void open_metrics();
+  void write_metrics_snapshot(std::size_t index);
   void log_event(char kind, const std::string& detail);
   ChurnEpoch& epoch_now();
   void snapshot_epoch_boundary(std::size_t index);
@@ -266,6 +301,14 @@ class ChurnDriver {
   std::optional<EventId> sync_maint_event_;
   std::optional<EventId> checkpoint_event_;
   std::optional<EventId> flash_event_;
+
+  // Fault-script state (see the ChurnScenario knobs).
+  double churn_multiplier_ = 1.0;  ///< burst scaling of the churn rate
+  std::ofstream metrics_file_;     ///< open iff sc_.metrics_out non-empty
+  std::optional<EventId> partition_event_;
+  std::optional<EventId> heal_event_;
+  std::optional<EventId> rackfail_event_;
+  std::optional<EventId> burst_event_;
 };
 
 // ---------------------------------------------------------------------

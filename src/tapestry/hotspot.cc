@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/metrics.h"
 #include "src/tapestry/object_directory.h"
 #include "src/tapestry/registry.h"
 
@@ -39,6 +40,7 @@ std::optional<LocateCache::Entry> LocateCache::lookup(const NodeId& at,
   }
   pn.lru.splice(pn.lru.begin(), pn.lru, it->second);  // refresh LRU position
   ++stats_.hits;
+  metrics::cache_hits_total().inc();
   return it->second->second;
 }
 
@@ -263,6 +265,7 @@ void HotspotManager::consider_promote(const Guid& base, ObjState& s) {
       dir_.publish_async(best->client, base, trace_);
     s.extra.push_back(best->client);
     ++promotions_;
+    metrics::hotspot_promotions_total().inc();
   }
 }
 
@@ -273,6 +276,7 @@ void HotspotManager::demote_last(const Guid& base, ObjState& s) {
   // soft state and servers_of already ignores it.
   if (reg_.is_live(victim)) dir_.unpublish(victim, base, trace_);
   ++demotions_;
+  metrics::hotspot_demotions_total().inc();
 }
 
 void HotspotManager::tick() {

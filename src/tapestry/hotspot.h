@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
 #include "src/tapestry/id.h"
 #include "src/tapestry/params.h"
 
@@ -99,7 +100,10 @@ class LocateCache {
 
   /// Records a hit whose holder verification failed (the caller fell back
   /// to the surrogate walk).
-  void note_fallback() noexcept { ++stats_.fallbacks; }
+  void note_fallback() noexcept {
+    ++stats_.fallbacks;
+    metrics::cache_fallbacks_total().inc();
+  }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// Total entries across all nodes (tests audit the LRU bound with

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "src/sim/metrics.h"
+
 namespace tap {
 
 MaintenanceEngine::MaintenanceEngine(NodeRegistry& registry, Router& router,
@@ -132,6 +134,7 @@ std::optional<NodeId> MaintenanceEngine::find_replacement(TapestryNode& at,
 }
 
 void MaintenanceEngine::heartbeat_sweep(Trace* trace) {
+  metrics::heartbeat_sweeps_total().inc();
   const unsigned digits = params_.id.num_digits;
   const unsigned radix = params_.id.radix();
 

@@ -147,6 +147,23 @@ class Network {
   }
 
   // ------------------------------------------------------------------
+  // Fault injection: network partition
+  // ------------------------------------------------------------------
+
+  /// Splits the overlay into side A (everyone else) and side B (`side_b`).
+  /// Protocol traffic stops crossing the cut; tables and pointer records
+  /// survive it untouched (see NodeRegistry::set_partition).
+  void set_partition(const std::vector<NodeId>& side_b) {
+    registry_.set_partition(side_b);
+  }
+  /// Heals the cut: all live nodes can talk again instantly; stale
+  /// side-local pointer state decays via the §6.5 soft-state machinery.
+  void heal_partition() { registry_.clear_partition(); }
+  [[nodiscard]] bool partition_active() const noexcept {
+    return registry_.partition_active();
+  }
+
+  // ------------------------------------------------------------------
   // Objects
   // ------------------------------------------------------------------
 

@@ -27,6 +27,7 @@
 #include <mutex>
 
 #include "src/common/rng.h"
+#include "src/sim/metrics.h"
 #include "src/tapestry/id.h"
 
 namespace tap {
@@ -44,21 +45,21 @@ class NodeLockTable {
   class Guard {
    public:
     Guard(const NodeLockTable& t, const NodeId& a) : first_(&t.stripe(a)) {
-      first_->lock();
+      lock_counted(first_);
     }
     Guard(const NodeLockTable& t, const NodeId& a, const NodeId& b) {
       std::mutex* x = &t.stripe(a);
       std::mutex* y = &t.stripe(b);
       if (x == y) {
         first_ = x;
-        first_->lock();
+        lock_counted(first_);
         return;
       }
       if (x > y) std::swap(x, y);
       first_ = x;
       second_ = y;
-      first_->lock();
-      second_->lock();
+      lock_counted(first_);
+      lock_counted(second_);
     }
     ~Guard() {
       if (second_ != nullptr) second_->unlock();
@@ -68,6 +69,14 @@ class NodeLockTable {
     Guard& operator=(const Guard&) = delete;
 
    private:
+    // A failed try_lock is a contended acquisition — the volatile
+    // contention counter measures real waiting, not lock traffic.
+    static void lock_counted(std::mutex* m) {
+      if (m->try_lock()) return;
+      metrics::stripe_lock_contention_total().inc();
+      m->lock();
+    }
+
     std::mutex* first_ = nullptr;
     std::mutex* second_ = nullptr;
   };

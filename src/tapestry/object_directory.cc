@@ -17,10 +17,21 @@
 #include <filesystem>
 #include <limits>
 
+#include "src/sim/metrics.h"
 #include "src/sim/thread_pool.h"
 #include "src/tapestry/sharded_store.h"
 
 namespace tap {
+
+namespace {
+
+void record_locate_metrics(const LocateResult& res) {
+  metrics::locate_total().inc();
+  if (res.found) metrics::locate_found_total().inc();
+  metrics::locate_hops().observe(static_cast<double>(res.hops));
+}
+
+}  // namespace
 
 ObjectDirectory::ObjectDirectory(NodeRegistry& registry, Router& router,
                                  const TapestryParams& params,
@@ -55,6 +66,7 @@ void ObjectDirectory::publish_one(TapestryNode& server, const Guid& salted,
         if (member.id == *next || member.id == cur->id()) continue;
         TapestryNode* m = reg_.find(member.id);
         if (m == nullptr || !m->alive) continue;
+        if (!reg_.reachable(cur->id(), member.id)) continue;
         reg_.acct(trace, *cur, *m, 1);
         m->store().upsert(salted,
                           PointerRecord{server.id(), cur->id(), state.level,
@@ -72,6 +84,7 @@ void ObjectDirectory::publish(NodeId server, const Guid& guid, Trace* trace) {
   TapestryNode& s = reg_.live(server);
   TAP_CHECK(guid.valid() && guid.spec() == params_.id,
             "guid does not match the network's IdSpec");
+  metrics::publish_total().inc();
   for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
     publish_one(s, salted_guid(guid, salt), trace);
   auto& servers = replicas_[guid];
@@ -240,6 +253,7 @@ void ObjectDirectory::unpublish_one(TapestryNode& server, const Guid& salted,
 void ObjectDirectory::unpublish(NodeId server, const Guid& guid,
                                 Trace* trace) {
   TapestryNode& s = reg_.checked(server);
+  metrics::unpublish_total().inc();
   for (unsigned salt = 0; salt < params_.root_multiplicity; ++salt)
     unpublish_one(s, salted_guid(guid, salt), trace);
   auto it = replicas_.find(guid);
@@ -282,6 +296,10 @@ std::optional<PointerRecord> ObjectDirectory::pick_live_replica(
   holder.store().for_each_of(
       target, [&](const Guid&, const PointerRecord& r) {
         if (r.expires_at < now) return;  // expired records are invisible
+        // A replica on the far side of an active partition is unavailable
+        // but *alive*: skip it without pruning — its record must survive
+        // the cut so healing restores it for free.
+        if (!reg_.reachable(holder.id(), r.server)) return;
         const double d = reg_.distance(relative_to.id(), r.server);
         if (reg_.is_live(r.server)) {
           if (!best.has_value() || d < best_d ||
@@ -336,8 +354,15 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
     // Forward the query along neighbor links to the replica.
     if (!(rec.server == holder.id())) {
       RouteResult leg = router_.route_to_root(holder.id(), rec.server, t);
-      TAP_ASSERT_MSG(leg.root == rec.server,
-                     "exact-id routing must terminate at the server");
+      if (!(leg.root == rec.server)) {
+        // Only a partition can divert exact-id routing: the replica is
+        // alive and same-side as the holder, but the side-local digit
+        // path may lack the entries needed to land on it exactly.  The
+        // query dead-ends at a surrogate — a miss, not a bug.
+        TAP_ASSERT_MSG(reg_.partition_active(),
+                       "exact-id routing must terminate at the server");
+        res.found = false;
+      }
     }
     res.hops = t->messages() - msgs0;
     res.latency = t->latency() - lat0;
@@ -364,7 +389,8 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
       if (auto ce = cache_.lookup(cur->id(), *base, events_.now());
           ce.has_value()) {
         TapestryNode* h = reg_.find(ce->holder);
-        if (h != nullptr && h->alive && !(h->id() == cur->id())) {
+        if (h != nullptr && h->alive && !(h->id() == cur->id()) &&
+            reg_.reachable(cur->id(), h->id())) {
           reg_.acct(t, *cur, *h);  // forward to the remembered holder
           if (auto rec = pick_live_replica(*h, ce->target, *h);
               rec.has_value()) {
@@ -400,6 +426,7 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
           if (member.id == *next || member.id == cur->id()) continue;
           TapestryNode* m = reg_.find(member.id);
           if (m == nullptr || !m->alive) continue;
+          if (!reg_.reachable(cur->id(), member.id)) continue;
           reg_.acct(t, *cur, *m, 2);  // probe round trip
           if (auto rec = pick_live_replica(*m, target, *cur);
               rec.has_value()) {
@@ -465,6 +492,7 @@ LocateResult ObjectDirectory::locate(NodeId client, const Guid& guid,
     if (res.found) {
       res.hops += spent_hops;
       res.latency += spent_latency;
+      record_locate_metrics(res);
       return res;
     }
     spent_hops += res.hops;
@@ -472,6 +500,7 @@ LocateResult ObjectDirectory::locate(NodeId client, const Guid& guid,
   }
   res.hops = spent_hops;
   res.latency = spent_latency;
+  record_locate_metrics(res);
   return res;
 }
 
@@ -543,6 +572,7 @@ void ObjectDirectory::publish_async(NodeId server, const Guid& guid,
   TAP_CHECK(guid.valid() && guid.spec() == params_.id,
             "guid does not match the network's IdSpec");
   TAP_CHECK(reg_.is_live(server), "publish_async: server must be alive");
+  metrics::publish_total().inc();
   // The replica exists from this instant; the directory catches up hop by
   // hop (queries racing the deposit may legitimately miss meanwhile).
   auto& servers = replicas_[guid];
@@ -600,6 +630,7 @@ void ObjectDirectory::publish_step(const std::shared_ptr<AsyncPublishOp>& op) {
       if (member.id == *next || member.id == cur->id()) continue;
       TapestryNode* m = reg_.find(member.id);
       if (m == nullptr || !m->alive) continue;
+      if (!reg_.reachable(cur->id(), member.id)) continue;
       reg_.acct(&op->per_op, *cur, *m, 1);
       m->store().upsert(op->target,
                         PointerRecord{op->server, cur->id(), op->state.level,
@@ -666,6 +697,7 @@ void ObjectDirectory::next_locate_attempt(
 void ObjectDirectory::finish_locate(const std::shared_ptr<AsyncLocateOp>& op) {
   op->res.hops = op->per_op.messages();
   op->res.latency = op->per_op.latency();
+  record_locate_metrics(op->res);
   if (op->external != nullptr) op->external->absorb(op->per_op);
   --in_flight_;
   op->done(op->res);
@@ -720,7 +752,8 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
     if (auto ce = cache_.lookup(cur.id(), op->base, events_.now());
         ce.has_value()) {
       TapestryNode* h = reg_.find(ce->holder);
-      if (h != nullptr && h->alive && !(h->id() == cur.id())) {
+      if (h != nullptr && h->alive && !(h->id() == cur.id()) &&
+          reg_.reachable(cur.id(), h->id())) {
         reg_.acct(t, cur, *h);  // forward to the remembered holder
         op->path.push_back(cur.id());
         op->cache_target = ce->target;
@@ -757,6 +790,7 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
         if (member.id == *next || member.id == cur.id()) continue;
         TapestryNode* m = reg_.find(member.id);
         if (m == nullptr || !m->alive) continue;
+        if (!reg_.reachable(cur.id(), member.id)) continue;
         reg_.acct(t, cur, *m, 2);  // probe round trip
         if (auto rec = pick_live_replica(*m, op->target, cur);
             rec.has_value()) {

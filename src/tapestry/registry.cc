@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/sim/metrics.h"
 #include "src/sim/thread_pool.h"
 
 namespace tap {
@@ -225,9 +226,22 @@ double NodeRegistry::dist(const TapestryNode& a, const TapestryNode& b) const {
 
 void NodeRegistry::acct(Trace* trace, const TapestryNode& a,
                         const TapestryNode& b, std::size_t msgs) const {
+  metrics::messages_total().inc(msgs);
   if (trace == nullptr) return;
   const double d = dist(a, b);
   for (std::size_t i = 0; i < msgs; ++i) trace->hop(d);
+}
+
+void NodeRegistry::set_partition(const std::vector<NodeId>& side_b) {
+  partition_side_b_.clear();
+  for (const NodeId& id : side_b) partition_side_b_.insert(id.value());
+  partition_active_.store(true, std::memory_order_release);
+  metrics::partition_transitions_total().inc();
+}
+
+void NodeRegistry::clear_partition() {
+  partition_active_.store(false, std::memory_order_release);
+  metrics::partition_transitions_total().inc();
 }
 
 NodeId NodeRegistry::random_node_id(Rng& rng) const {

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -120,6 +121,30 @@ class NodeRegistry {
            (kShardCount - 1);
   }
 
+  // --- network partition model (fault-injection scenarios) ---
+  /// Splits the overlay in two: nodes whose ids are in `side_b` can only
+  /// exchange messages with other side-B nodes; everyone else forms side
+  /// A.  The routing/locate layers skip unreachable-but-live peers
+  /// *without purging them* — a partition is not a death, and tables must
+  /// survive it intact so healing is instant at the membership layer.
+  /// Ground-truth liveness (is_live, heartbeat sweeps, driver
+  /// bookkeeping) is deliberately unaffected: the control plane of the
+  /// simulation sees through the cut; only protocol traffic is blocked.
+  /// Transitions require quiescence with respect to routing (the
+  /// event-driven scenarios satisfy this trivially).
+  void set_partition(const std::vector<NodeId>& side_b);
+  void clear_partition();
+  [[nodiscard]] bool partition_active() const noexcept {
+    return partition_active_.load(std::memory_order_acquire);
+  }
+  /// May `a` and `b` exchange messages under the current partition?
+  /// Always true when no partition is active.
+  [[nodiscard]] bool reachable(const NodeId& a, const NodeId& b) const {
+    if (!partition_active()) return true;
+    return (partition_side_b_.count(a.value()) != 0) ==
+           (partition_side_b_.count(b.value()) != 0);
+  }
+
   // --- distances and cost accounting ---
   [[nodiscard]] double distance(const NodeId& a, const NodeId& b) const;
   [[nodiscard]] double dist(const TapestryNode& a,
@@ -182,6 +207,9 @@ class NodeRegistry {
   std::vector<std::unique_ptr<TapestryNode>> nodes_;
   std::atomic<std::size_t> live_count_{0};
   NodeLockTable node_locks_;
+
+  std::atomic<bool> partition_active_{false};
+  std::unordered_set<std::uint64_t> partition_side_b_;
 };
 
 }  // namespace tap

@@ -43,12 +43,18 @@ std::optional<unsigned> Router::select_slot(const TapestryNode& at,
                                             const ExcludeSet* exclude) const {
   const unsigned radix = params_.id.radix();
   const std::uint64_t* row = at.table().row_occupancy(level);
-  // Occupancy answers "slot non-empty" exactly; only an exclude set forces
-  // a look at the members themselves (and then only for occupied slots).
+  // Occupancy answers "slot non-empty" exactly; an exclude set or an
+  // active partition forces a look at the members themselves (and then
+  // only for occupied slots).  Partitioned-away members are skipped but
+  // never purged — the cut is not a death.
+  const bool cut = reg_.partition_active();
   auto filled = [&](unsigned j) {
-    if (exclude == nullptr) return true;  // callers only offer occupied j
-    for (const auto& e : at.table().at(level, j).entries())
-      if (exclude->count(e.id.value()) == 0) return true;
+    if (exclude == nullptr && !cut) return true;  // callers only offer occupied j
+    for (const auto& e : at.table().at(level, j).entries()) {
+      if (exclude != nullptr && exclude->count(e.id.value()) != 0) continue;
+      if (cut && !reg_.reachable(at.id(), e.id)) continue;
+      return true;
+    }
     return false;
   };
 
@@ -99,11 +105,13 @@ std::optional<unsigned> Router::select_slot_reference(
     const TapestryNode& at, unsigned level, unsigned desired, bool& past_hole,
     const ExcludeSet* exclude) const {
   const unsigned radix = params_.id.radix();
+  const bool cut = reg_.partition_active();
   auto filled = [&](unsigned j) {
-    const auto& entries = at.table().at(level, j).entries();
-    if (exclude == nullptr) return !entries.empty();
-    for (const auto& e : entries)
-      if (exclude->count(e.id.value()) == 0) return true;
+    for (const auto& e : at.table().at(level, j).entries()) {
+      if (exclude != nullptr && exclude->count(e.id.value()) != 0) continue;
+      if (cut && !reg_.reachable(at.id(), e.id)) continue;
+      return true;
+    }
     return false;
   };
 
@@ -153,6 +161,9 @@ std::optional<NodeId> Router::live_primary_repair(TapestryNode& at,
     std::optional<NodeId> prim;
     for (const auto& e : at.table().at(level, digit).entries()) {
       if (exclude != nullptr && exclude->count(e.id.value()) != 0) continue;
+      // A partitioned-away member is unreachable but alive: route around
+      // it without purging (the table must survive the cut intact).
+      if (!reg_.reachable(at.id(), e.id)) continue;
       prim = e.id;
       break;
     }
@@ -208,7 +219,7 @@ std::optional<NodeId> Router::route_step_peek(const NodeId& at,
     const std::uint64_t* row = n.table().row_occupancy(level);
     auto live_primary = [&](unsigned j) -> const NodeId* {
       for (const auto& e : n.table().at(level, j).entries())
-        if (reg_.is_live(e.id)) return &e.id;
+        if (reg_.is_live(e.id) && reg_.reachable(n.id(), e.id)) return &e.id;
       return nullptr;  // entries are distance-sorted; first live is primary
     };
     const unsigned desired = target.digit(level);

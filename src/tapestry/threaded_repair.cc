@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <unordered_set>
 
+#include "src/sim/metrics.h"
 #include "src/sim/thread_pool.h"
 #include "src/tapestry/striped_links.h"
 
@@ -388,8 +390,28 @@ void ThreadedRepairDriver::finish_wave(std::size_t workers, Trace* trace,
 // MaintenanceEngine facade
 // ---------------------------------------------------------------------
 
+namespace {
+
+// Wall-clock wave timing feeds a *volatile* metric: it is scrape-visible
+// but excluded from deterministic snapshots (see metrics.h).
+class WaveTimer {
+ public:
+  WaveTimer() : t0_(std::chrono::steady_clock::now()) {}
+  ~WaveTimer() {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    metrics::repair_wave_seconds().observe(
+        std::chrono::duration<double>(dt).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
 void MaintenanceEngine::leave_bulk(const std::vector<NodeId>& victims,
                                    std::size_t workers, Trace* trace) {
+  WaveTimer timer;
   ThreadedRepairDriver driver(reg_, router_, dir_, params_);
   driver.run_leave(victims, workers, trace);
 }
@@ -397,12 +419,14 @@ void MaintenanceEngine::leave_bulk(const std::vector<NodeId>& victims,
 void MaintenanceEngine::fail_and_repair_bulk(const std::vector<NodeId>& victims,
                                              std::size_t workers,
                                              Trace* trace) {
+  WaveTimer timer;
   ThreadedRepairDriver driver(reg_, router_, dir_, params_);
   driver.run_fail(victims, workers, trace);
 }
 
 void MaintenanceEngine::heartbeat_sweep_bulk(std::size_t workers,
                                              Trace* trace) {
+  WaveTimer timer;
   ThreadedRepairDriver driver(reg_, router_, dir_, params_);
   driver.run_sweep(workers, trace);
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Cross-check the metrics registry against docs/metrics.md.
+
+Every metric the simulator exports is registered by a named accessor in
+src/sim/metrics.cc (the registry's design rule), so that single file is
+the source of truth for the exported set.  This script extracts every
+"tapestry_*" name literal registered there and every `tapestry_*` name
+documented in docs/metrics.md, and fails the build when either side has
+a name the other lacks:
+
+  * registered but undocumented — an operator scraping the endpoint
+    finds a series the docs never explain;
+  * documented but unregistered — the docs promise a series that no
+    longer exists.
+
+Usage:
+    check_metrics_doc.py [--src src/sim/metrics.cc] [--doc docs/metrics.md]
+
+Exit code 0 when the sets match, 1 otherwise.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"tapestry_[a-z0-9_]+")
+
+
+def registered_names(src_path):
+    """Metric families registered in metrics.cc (quoted name literals)."""
+    with open(src_path, encoding="utf-8") as f:
+        text = f.read()
+    return {m.group(0)[1:-1]
+            for m in re.finditer(r'"tapestry_[a-z0-9_]+"', text)}
+
+
+def documented_names(doc_path):
+    """Metric families named in backticks in docs/metrics.md."""
+    with open(doc_path, encoding="utf-8") as f:
+        text = f.read()
+    names = set()
+    for code in re.findall(r"`([^`]+)`", text):
+        m = NAME_RE.fullmatch(code.strip())
+        if m:
+            names.add(m.group(0))
+    return names
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", default="src/sim/metrics.cc")
+    parser.add_argument("--doc", default="docs/metrics.md")
+    args = parser.parse_args()
+
+    registered = registered_names(args.src)
+    documented = documented_names(args.doc)
+    if not registered:
+        sys.exit(f"{args.src}: no registered tapestry_* metrics found "
+                 "(wrong --src path?)")
+    if not documented:
+        sys.exit(f"{args.doc}: no documented tapestry_* metrics found "
+                 "(wrong --doc path?)")
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    for name in undocumented:
+        print(f"UNDOCUMENTED: {name} is registered in {args.src} "
+              f"but missing from {args.doc}")
+    for name in stale:
+        print(f"STALE: {name} is documented in {args.doc} "
+              f"but not registered in {args.src}")
+    if undocumented or stale:
+        return 1
+    print(f"metrics doc in sync: {len(registered)} families documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,30 @@
 //                            crowd: zipf popularity, --cache=128 and
 //                            --hotspot unless overridden, flash at
 //                            horizon/2
+//
+// Fault-scenario presets (churn runs with a scripted fault; each exits
+// non-zero unless its availability gate holds — see docs/scenarios.md):
+//   --scenario=partition     split the overlay into two halves that cannot
+//                            exchange messages, then heal the cut; churn
+//                            rates default to 0 so the cut is the only
+//                            disturbance.  --partition-at / --partition-heal
+//                            override the cut window     [horizon/4, 5/8]
+//   --scenario=rackfail      kill every node in the most-populated
+//                            transit-stub domain at once (forces
+//                            --space=transit-stub); --rackfail-at overrides
+//                            the instant                 [horizon/4]
+//   --scenario=burst         mobile-style churn bursts: --burst-every /
+//                            --burst-len / --burst-factor control the
+//                            cadence         [horizon/8, horizon/16, 8]
+//
+// Metrics export (any scenario; see docs/metrics.md):
+//   --metrics-out=FILE       reset the metrics registry and append one
+//                            deterministic JSONL snapshot per epoch plus
+//                            a terminal drain snapshot (churn-family
+//                            scenarios only)
+//   --metrics-port=N         serve Prometheus text exposition on
+//                            127.0.0.1:N for the life of the process
+//                            (N=0 picks an ephemeral port, printed)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -106,6 +130,7 @@
 #include "src/metric/torus.h"
 #include "src/metric/transit_stub.h"
 #include "src/sim/churn_driver.h"
+#include "src/sim/metrics.h"
 #include "src/sim/thread_pool.h"
 #include "src/tapestry/network.h"
 #include "src/tapestry/parallel_join.h"
@@ -164,11 +189,31 @@ struct Options {
   // Threaded-churn-soak mode (--scenario=churn only).
   std::size_t churn_threads = 0;  // 0 => event-driven ChurnDriver
 
+  // Fault-scenario script (churn-family scenarios).
+  double partition_at = 0.0;
+  double partition_heal = 0.0;
+  double rackfail_at = 0.0;
+  double burst_every = 0.0;
+  double burst_len = 0.0;
+  double burst_factor = 8.0;
+
+  // Metrics export.
+  std::string metrics_out;
+  int metrics_port = -1;  // -1 = off; 0 = ephemeral
+
   // Object-store backend.
   std::string store = "memory";
   std::string store_dir;       // empty => tapestry_store.<scenario>
   double checkpoint_interval = 0.0;
 };
+
+// Scenarios that run through ChurnDriver (hotspot and the fault presets
+// are churn runs with different knobs).
+bool churn_family(const std::string& scenario) {
+  return scenario == "churn" || scenario == "hotspot" ||
+         scenario == "partition" || scenario == "rackfail" ||
+         scenario == "burst";
+}
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
   const std::size_t len = std::strlen(name);
@@ -234,6 +279,21 @@ Options parse(int argc, char** argv) {
       o.join_threads = std::stoul(v);
     else if (parse_flag(argv[i], "--churn-threads", &v))
       o.churn_threads = std::stoul(v);
+    else if (parse_flag(argv[i], "--partition-at", &v))
+      o.partition_at = std::stod(v);
+    else if (parse_flag(argv[i], "--partition-heal", &v))
+      o.partition_heal = std::stod(v);
+    else if (parse_flag(argv[i], "--rackfail-at", &v))
+      o.rackfail_at = std::stod(v);
+    else if (parse_flag(argv[i], "--burst-every", &v))
+      o.burst_every = std::stod(v);
+    else if (parse_flag(argv[i], "--burst-len", &v))
+      o.burst_len = std::stod(v);
+    else if (parse_flag(argv[i], "--burst-factor", &v))
+      o.burst_factor = std::stod(v);
+    else if (parse_flag(argv[i], "--metrics-out", &v)) o.metrics_out = v;
+    else if (parse_flag(argv[i], "--metrics-port", &v))
+      o.metrics_port = std::stoi(v);
     else if (parse_flag(argv[i], "--store", &v)) o.store = v;
     else if (parse_flag(argv[i], "--store-dir", &v)) o.store_dir = v;
     else if (parse_flag(argv[i], "--checkpoint-interval", &v))
@@ -258,9 +318,33 @@ Options parse(int argc, char** argv) {
                 : std::numeric_limits<double>::infinity();
   if (o.scenario != "static" && o.scenario != "churn" &&
       o.scenario != "bigbuild" && o.scenario != "recover" &&
-      o.scenario != "hotspot") {
+      o.scenario != "hotspot" && o.scenario != "partition" &&
+      o.scenario != "rackfail" && o.scenario != "burst") {
     std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
     std::exit(2);
+  }
+  if (o.scenario == "partition") {
+    // The cut is the scenario's only disturbance: churn rates default to
+    // zero, and the window leaves at least one republish round after the
+    // heal so cross-side pointers refresh before the gate.
+    if (o.partition_at == 0.0) o.partition_at = o.horizon / 4.0;
+    if (o.partition_heal == 0.0) o.partition_heal = o.horizon * 5.0 / 8.0;
+    o.join_rate = 0.0;
+    o.leave_rate = 0.0;
+    o.fail_rate = 0.0;
+  }
+  if (o.scenario == "rackfail") {
+    if (o.space == "ring") o.space = "transit-stub";  // preset default
+    if (o.space != "transit-stub") {
+      std::fprintf(stderr,
+                   "--scenario=rackfail requires --space=transit-stub\n");
+      std::exit(2);
+    }
+    if (o.rackfail_at == 0.0) o.rackfail_at = o.horizon / 4.0;
+  }
+  if (o.scenario == "burst") {
+    if (o.burst_every == 0.0) o.burst_every = o.horizon / 8.0;
+    if (o.burst_len == 0.0) o.burst_len = o.horizon / 16.0;
   }
   if (o.scenario == "hotspot") {
     // Flash-crowd preset: a churn run with skewed popularity, the locate
@@ -443,9 +527,38 @@ int run_churn_scenario(const Options& o, Network& net) {
     sc.checkpoint_interval = o.checkpoint_interval;
     sc.checkpoint_dir = o.store_dir;
   }
+  sc.partition_at = o.partition_at;
+  sc.partition_heal = o.partition_heal;
+  sc.rackfail_at = o.rackfail_at;
+  sc.burst_every = o.burst_every;
+  sc.burst_len = o.burst_len;
+  sc.burst_factor = o.burst_factor;
+  sc.metrics_out = o.metrics_out;
 
   ChurnDriver driver(net, sc);
   const ChurnReport rep = driver.run();
+
+  // Fault presets gate their exit status on recovery: the final epoch (the
+  // window after the heal / the repair interval after the fault) must come
+  // back to high availability, and the run as a whole must not collapse.
+  // Availability is over objects that still have a live replica, so a
+  // rack-kill destroying sole replicas does not count against the gate.
+  int gate_rc = 0;
+  if (o.scenario == "partition" || o.scenario == "rackfail" ||
+      o.scenario == "burst") {
+    const double final_avail = rep.epochs.back().availability();
+    const double total_avail = rep.availability();
+    const double final_floor = o.scenario == "burst" ? 0.85 : 0.90;
+    const double total_floor = o.scenario == "partition" ? 0.60 : 0.75;
+    if (final_avail < final_floor || total_avail < total_floor) {
+      std::fprintf(stderr,
+                   "%s availability gate FAILED: final epoch %.4f "
+                   "(floor %.2f), total %.4f (floor %.2f)\n",
+                   o.scenario.c_str(), final_avail, final_floor, total_avail,
+                   total_floor);
+      gate_rc = 1;
+    }
+  }
 
   if (o.csv) {
     // hops_p50/hops_p99 are over found queries bucketed by completion
@@ -484,7 +597,7 @@ int run_churn_scenario(const Options& o, Network& net) {
                 rep.queries_post_failure, rep.found_post_failure,
                 rep.queries_skipped, rep.mean_stretch(), hops_p(rep.hops, 50),
                 hops_p(rep.hops, 99), rep.maintenance_msgs, rep.churn_msgs);
-    return 0;
+    return gate_rc;
   }
 
   std::printf("tapestry_sim churn — %zu nodes on %s (%s engine, seed %llu)\n",
@@ -562,7 +675,7 @@ int run_churn_scenario(const Options& o, Network& net) {
               rep.maintenance_msgs, rep.maintenance_msgs / o.horizon,
               rep.churn_msgs,
               static_cast<unsigned long long>(rep.events_fired));
-  return 0;
+  return gate_rc;
 }
 
 // Checkpoint -> destroy -> recover round trip on the persistent backend:
@@ -784,6 +897,21 @@ int run_bigbuild_scenario(const Options& o, const MetricSpace& space,
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
 
+  // The scrape endpoint serves whatever the registry holds for the life of
+  // the process; touch_builtin() makes the full metric set visible even
+  // before the scenario's first increment.
+  std::unique_ptr<metrics::ScrapeServer> scrape;
+  if (o.metrics_port >= 0) {
+    metrics::touch_builtin();
+    scrape = std::make_unique<metrics::ScrapeServer>(o.metrics_port);
+    if (!scrape->running()) {
+      std::fprintf(stderr, "cannot bind metrics port %d\n", o.metrics_port);
+      return 2;
+    }
+    std::fprintf(stderr, "metrics: http://127.0.0.1:%d/metrics\n",
+                 scrape->port());
+  }
+
   Rng rng(o.seed);
   auto space = make_space(o, rng);
 
@@ -795,8 +923,7 @@ int main(int argc, char** argv) {
   params.prr_secondary_search = o.secondary;
   params.routing = o.routing == "prr" ? RoutingMode::kPrrLike
                                       : RoutingMode::kTapestryNative;
-  if (o.scenario == "churn" || o.scenario == "hotspot")
-    params.pointer_ttl = o.ttl;
+  if (churn_family(o.scenario)) params.pointer_ttl = o.ttl;
   params.locate_cache_size = o.cache;
   if (o.cache_ttl > 0.0) params.locate_cache_ttl = o.cache_ttl;
   if (o.store == "sharded") params.store_backend = StoreBackend::kSharded;
@@ -821,8 +948,7 @@ int main(int argc, char** argv) {
       net.join(i, std::nullopt, &build_trace);
   }
 
-  if (o.scenario == "churn" || o.scenario == "hotspot")
-    return run_churn_scenario(o, net);
+  if (churn_family(o.scenario)) return run_churn_scenario(o, net);
 
   // Workload.
   Rng wl(o.seed ^ 0x4c0ad);
