@@ -18,6 +18,12 @@
 //     that every backend saw the same visible state, the parallel drain
 //     matched the serial one, and the persistent store survived a close
 //     -> reopen round trip bit-for-bit.
+//   * replicated_kill_availability: overlay-level availability after
+//     killing every published object's current root (and, for half the
+//     objects, additionally its first replica holder) with no republish
+//     running.  Floor gate at 1.0 for the replicated backend — quorum
+//     reads must absorb every kill; the memory backend's figure under the
+//     identical kill schedule is reported for contrast.
 //
 // Absolute throughput figures are reported as informational metrics.
 #include <algorithm>
@@ -29,8 +35,11 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "src/metric/ring.h"
 #include "src/sim/thread_pool.h"
+#include "src/tapestry/network.h"
 #include "src/tapestry/persistent_store.h"
+#include "src/tapestry/replicated_store.h"
 #include "src/tapestry/sharded_store.h"
 
 namespace {
@@ -170,6 +179,83 @@ std::uint64_t store_fingerprint(const ObjectStoreBackend& store) {
   return h;
 }
 
+// ---- availability under root/holder kills (static overlay, no timers) ----
+
+struct KillRun {
+  double availability = 1.0;
+  std::size_t queries = 0;
+  std::size_t kills = 0;
+};
+
+/// Builds a static 128-node overlay on `backend`, publishes 24 objects,
+/// kills each object's current surrogate root (skipping roots that serve
+/// the object themselves), additionally kills the first replica holder of
+/// every odd object when the backend has one, then locates everything
+/// from remote clients.  No republish or expiry timers run, so the only
+/// recovery path is the quorum read.  Deterministic: same seeds, same
+/// kill schedule for every backend.
+KillRun kill_availability_run(StoreBackend backend) {
+  constexpr std::size_t kNodes = 128, kObjects = 24;
+  TapestryParams p;
+  p.id = kSpec;
+  p.redundancy = 3;
+  p.store_backend = backend;
+  Rng rng(11);
+  RingMetric space(kNodes + 8, rng);
+  Network net(space, p, 51);
+  for (std::size_t i = 0; i < kNodes; ++i) net.insert_static(i);
+  net.rebuild_static_tables();
+  const auto ids = net.node_ids();
+
+  std::vector<Guid> guids;
+  Rng wl(5);
+  for (std::size_t i = 0; i < kObjects; ++i) {
+    guids.push_back(guid_at(0x900 + i));
+    net.publish(ids[wl.next_u64(ids.size())], guids.back());
+  }
+
+  KillRun out;
+  QuorumReplicator* repl = net.directory().replicator();
+  auto kill_unless_server = [&](const NodeId& victim, const Guid& object) {
+    if (!net.registry().is_live(victim)) return;
+    const auto servers = net.servers_of(object);
+    if (std::find(servers.begin(), servers.end(), victim) != servers.end())
+      return;  // the object would legitimately vanish with its server
+    net.fail(victim);
+    ++out.kills;
+  };
+  for (std::size_t i = 0; i < guids.size(); ++i) {
+    const Guid salted = salted_guid(guids[i], 0);
+    kill_unless_server(net.surrogate_root(salted), guids[i]);
+    if (i % 2 == 1 && repl != nullptr) {
+      if (const auto* hs = repl->holders(salted);
+          hs != nullptr && !hs->empty())
+        kill_unless_server(hs->front(), guids[i]);
+    }
+  }
+
+  std::size_t found = 0;
+  for (const Guid& g : guids) {
+    const auto servers = net.servers_of(g);
+    if (servers.empty() || !net.registry().is_live(servers[0]))
+      continue;  // collateral server death: not a replication loss
+    NodeId client = servers[0];
+    for (const NodeId& id : ids) {
+      if (net.registry().is_live(id) && !(id == servers[0])) {
+        client = id;
+        break;
+      }
+    }
+    ++out.queries;
+    if (net.locate(client, g).found) ++found;
+  }
+  out.availability =
+      out.queries == 0
+          ? 1.0
+          : static_cast<double>(found) / static_cast<double>(out.queries);
+  return out;
+}
+
 int run(bool json, std::size_t threads) {
   const auto ops = make_ops(kUpserts, 42);
 
@@ -307,6 +393,11 @@ int run(bool json, std::size_t threads) {
   const double read_ratio = mem_read_ms / legacy_read_ms;
   const double drain_speedup = drain_serial_ms / drain_parallel_ms;
 
+  // ---- availability under kills: replicated must dominate memory ----
+  const KillRun kill_mem = kill_availability_run(StoreBackend::kMemory);
+  const KillRun kill_repl = kill_availability_run(StoreBackend::kReplicated);
+  const bool kill_ok = kill_repl.availability >= kill_mem.availability;
+
   if (json) {
     std::printf(
         "{\"bench\":\"bench_store\",\"metrics\":{"
@@ -322,15 +413,19 @@ int run(bool json, std::size_t threads) {
         "\"expire_ms_memory\":%.2f,\"expire_ms_sharded\":%.2f,"
         "\"drain_serial_ms\":%.2f,\"drain_parallel_ms\":%.2f,"
         "\"persist_wal_mb\":%.2f,\"persist_compactions\":%zu,"
-        "\"persist_recover_ms\":%.2f}}\n",
+        "\"persist_recover_ms\":%.2f,"
+        "\"replicated_kill_availability\":%.4f,"
+        "\"memory_kill_availability\":%.4f,"
+        "\"kill_count\":%zu}}\n",
         agreement ? 1 : 0, drain_match ? 1 : 0, roundtrip ? 1 : 0,
         upsert_ratio, read_ratio, drain_speedup, legacy_upsert_ms,
         mem_upsert_ms, shard_upsert_ms, persist_upsert_ms, legacy_read_ms,
         mem_read_ms, shard_read_ms, persist_read_ms, mem_expire_ms,
         shard_expire_ms, drain_serial_ms, drain_parallel_ms,
         static_cast<double>(persist_stats.wal_bytes) / (1024.0 * 1024.0),
-        persist_stats.compactions, recover_ms);
-    return agreement && drain_match && roundtrip ? 0 : 1;
+        persist_stats.compactions, recover_ms, kill_repl.availability,
+        kill_mem.availability, kill_repl.kills);
+    return agreement && drain_match && roundtrip && kill_ok ? 0 : 1;
   }
 
   print_header("E14 — object-store backends",
@@ -365,7 +460,12 @@ int run(bool json, std::size_t threads) {
               roundtrip ? "exact" : "BROKEN");
   std::printf("read agreement across backends: %s\n",
               agreement ? "exact" : "BROKEN");
-  return agreement && drain_match && roundtrip ? 0 : 1;
+  std::printf("availability after %zu root/holder kills: replicated %.2f%% "
+              "vs memory %.2f%% over %zu locates (%s)\n",
+              kill_repl.kills, kill_repl.availability * 100.0,
+              kill_mem.availability * 100.0, kill_repl.queries,
+              kill_ok ? "replicated dominates" : "BROKEN");
+  return agreement && drain_match && roundtrip && kill_ok ? 0 : 1;
 }
 
 }  // namespace

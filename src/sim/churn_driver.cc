@@ -249,6 +249,42 @@ void ChurnDriver::schedule_faults() {
       do_rackfail();
     });
   }
+  if (sc_.rootfail_at > 0.0) {
+    rootfail_event_ = net_.events().schedule_in(sc_.rootfail_at, [this] {
+      rootfail_event_.reset();
+      if (!running_) return;
+      do_rootfail();
+    });
+  }
+}
+
+void ChurnDriver::do_rootfail() {
+  // Kill the current surrogate roots of the hottest published objects —
+  // under a zipf workload object index = popularity rank, under uniform
+  // the leading objects stand in for "hottest".  Each root is computed at
+  // kill time (the oracle walk), so the victims adapt to whatever churn
+  // already happened; duplicates (one node rooting several objects) and
+  // roots that store the object themselves are skipped.
+  std::size_t killed = 0;
+  const std::size_t want = std::min(sc_.rootfail_count, objects_.size());
+  for (std::size_t i = 0; i < want; ++i) {
+    const Guid& object = objects_[i];
+    if (net_.directory().servers_of(object).empty()) continue;
+    const NodeId root = net_.surrogate_root(salted_guid(object, 0));
+    if (!net_.registry().is_live(root)) continue;  // already dead: skip
+    const auto servers = net_.directory().servers_of(object);
+    if (std::find(servers.begin(), servers.end(), root) != servers.end()) {
+      log_event('o', "root-is-server " + root.to_string());
+      continue;
+    }
+    net_.fail(root);
+    ++epoch_now().fails;
+    metrics::churn_fails_total().inc();
+    ++killed;
+    log_event('O', "rootfail obj=" + object.to_string() + " root=" +
+                       root.to_string());
+  }
+  if (killed > 0) last_failure_ = net_.now();
 }
 
 void ChurnDriver::do_rackfail() {
@@ -492,6 +528,7 @@ ChurnReport ChurnDriver::run() {
   if (partition_event_.has_value()) net_.events().cancel(*partition_event_);
   if (heal_event_.has_value()) net_.events().cancel(*heal_event_);
   if (rackfail_event_.has_value()) net_.events().cancel(*rackfail_event_);
+  if (rootfail_event_.has_value()) net_.events().cancel(*rootfail_event_);
   if (burst_event_.has_value()) net_.events().cancel(*burst_event_);
   if (hotspot_ != nullptr) hotspot_->stop();
   net_.stop_soft_state();

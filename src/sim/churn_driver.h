@@ -125,6 +125,15 @@ struct ChurnScenario {
   /// most-populated transit-stub domain fail-stops at once.  Requires the
   /// network's metric space to be a TransitStubMetric (TAP_CHECKed).
   double rackfail_at = 0.0;
+  /// Targeted root failure: at `rootfail_at`, the current surrogate roots
+  /// of the `rootfail_count` hottest published objects (by popularity
+  /// rank) fail-stop at once — the adversarial worst case for pointer
+  /// availability, since each kill erases exactly the records that object's
+  /// locates depend on.  A root that is the object's own storage server is
+  /// skipped (killing the replica would make the object genuinely
+  /// unlocatable rather than exercise the directory).  Zero disables.
+  double rootfail_at = 0.0;
+  std::size_t rootfail_count = 3;
   /// Mobile-style churn bursts: `burst_len` time units of churn at
   /// `burst_factor` times the base rates, recurring `burst_every` time
   /// units after the run start / the previous burst's end.  The multiplier
@@ -265,6 +274,7 @@ class ChurnDriver {
   void schedule_burst();
   void do_churn_event();
   void do_rackfail();
+  void do_rootfail();
   void issue_query();
   void open_metrics();
   void write_metrics_snapshot(std::size_t index);
@@ -308,6 +318,7 @@ class ChurnDriver {
   std::optional<EventId> partition_event_;
   std::optional<EventId> heal_event_;
   std::optional<EventId> rackfail_event_;
+  std::optional<EventId> rootfail_event_;
   std::optional<EventId> burst_event_;
 };
 

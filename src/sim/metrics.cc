@@ -358,6 +358,34 @@ Counter& partition_transitions_total() {
   return c;
 }
 
+Counter& replica_writes_total() {
+  static Counter& c = registry().counter(
+      "tapestry_replica_writes_total",
+      "Pointer records mirrored to replica holders (acknowledged writes)");
+  return c;
+}
+
+Counter& replica_quorum_reads_total() {
+  static Counter& c = registry().counter(
+      "tapestry_replica_quorum_reads_total",
+      "R-of-N quorum reads issued at roots after a locate miss");
+  return c;
+}
+
+Counter& replica_read_repairs_total() {
+  static Counter& c = registry().counter(
+      "tapestry_replica_read_repairs_total",
+      "Stale or missing replica copies refreshed by read-repair");
+  return c;
+}
+
+Counter& replica_rereplications_total() {
+  static Counter& c = registry().counter(
+      "tapestry_replica_rereplications_total",
+      "Holder sets re-replicated onto a replacement after a holder death");
+  return c;
+}
+
 Gauge& live_nodes() {
   static Gauge& g = registry().gauge("tapestry_live_nodes",
                                      "Live overlay members (sampled)");
@@ -416,6 +444,10 @@ void touch_builtin() {
   churn_fails_total();
   heartbeat_sweeps_total();
   partition_transitions_total();
+  replica_writes_total();
+  replica_quorum_reads_total();
+  replica_read_repairs_total();
+  replica_rereplications_total();
   live_nodes();
   event_queue_depth();
   store_records();

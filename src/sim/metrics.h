@@ -209,6 +209,10 @@ Counter& churn_leaves_total();        ///< §5.1 voluntary leaves completed
 Counter& churn_fails_total();         ///< fail-stop deaths processed
 Counter& heartbeat_sweeps_total();    ///< §6.5 heartbeat sweeps run
 Counter& partition_transitions_total();  ///< partition set/heal events
+Counter& replica_writes_total();      ///< quorum mirror writes acknowledged
+Counter& replica_quorum_reads_total();  ///< R-of-N quorum reads at roots
+Counter& replica_read_repairs_total();  ///< stale/missing replicas repaired
+Counter& replica_rereplications_total();  ///< holder deaths re-replicated
 Gauge& live_nodes();                  ///< live overlay members (sampled)
 Gauge& event_queue_depth();           ///< pending event actions (sampled)
 Gauge& store_records();               ///< pointer records, all nodes (sampled)

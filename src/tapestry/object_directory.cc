@@ -19,6 +19,7 @@
 
 #include "src/sim/metrics.h"
 #include "src/sim/thread_pool.h"
+#include "src/tapestry/replicated_store.h"
 #include "src/tapestry/sharded_store.h"
 
 namespace tap {
@@ -37,7 +38,20 @@ ObjectDirectory::ObjectDirectory(NodeRegistry& registry, Router& router,
                                  const TapestryParams& params,
                                  EventQueue& events, Rng& rng)
     : reg_(registry), router_(router), params_(params), events_(events),
-      rng_(rng), cache_(params.locate_cache_size, params.locate_cache_ttl) {}
+      rng_(rng), cache_(params.locate_cache_size, params.locate_cache_ttl) {
+  if (params.store_backend == StoreBackend::kReplicated ||
+      params.store_backend == StoreBackend::kReplicatedPersistent) {
+    replicator_ = std::make_unique<QuorumReplicator>(registry, params);
+  }
+}
+
+ObjectDirectory::~ObjectDirectory() = default;
+
+void ObjectDirectory::invalidate_node_cache(const NodeId& id) {
+  cache_.invalidate_node(id);
+  if (replicator_) replicator_->on_node_death(id);
+  if (node_death_hook_) node_death_hook_(id);
+}
 
 // ---------------------------------------------------------------------
 // Publish / unpublish
@@ -50,11 +64,14 @@ void ObjectDirectory::publish_one(TapestryNode& server, const Guid& salted,
   TapestryNode* cur = &server;
   std::optional<NodeId> last_hop;  // none at the server itself
   for (;;) {
-    cur->store().upsert(salted, PointerRecord{server.id(), last_hop,
-                                              state.level, state.past_hole,
-                                              expires});
+    const PointerRecord rec{server.id(), last_hop, state.level,
+                            state.past_hole, expires};
+    cur->store().upsert(salted, rec);
     auto next = router_.route_step(*cur, salted, state, trace);
-    if (!next.has_value()) break;  // cur is the root
+    if (!next.has_value()) {  // cur is the root
+      if (replicator_) replicator_->mirror_publish(*cur, salted, rec, trace);
+      break;
+    }
     // §2.4 PRR variant: also deposit on the secondaries of the slot being
     // routed through ("equivalent to publishing on all the secondary
     // neighbors"); queries under the same flag probe those secondaries.
@@ -230,7 +247,12 @@ void ObjectDirectory::unpublish_one(TapestryNode& server, const Guid& salted,
   for (;;) {
     cur->store().remove(salted, server.id());
     auto next = router_.route_step(*cur, salted, state, trace);
-    if (!next.has_value()) break;
+    if (!next.has_value()) {  // cur is the root
+      if (replicator_) {
+        replicator_->mirror_remove(*cur, salted, server.id(), trace);
+      }
+      break;
+    }
     if (params_.prr_secondary_search && state.level >= 1) {
       // Withdraw the secondary-deposited copies symmetrically.
       const unsigned slot_level = state.level - 1;
@@ -459,6 +481,23 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
       cur = &sur;
       continue;
     }
+
+    // Quorum fallback: the root lost its records (typically it is a fresh
+    // surrogate after the old root died).  Read R-of-N from the holder
+    // set, install the merged records here so future queries hit the fast
+    // path, and resolve as if the root had held them all along.
+    if (replicator_ != nullptr) {
+      const auto merged =
+          replicator_->quorum_read(*cur, target, events_.now(), t);
+      if (!merged.empty()) {
+        for (const PointerRecord& r : merged) cur->store().upsert(target, r);
+        if (auto rec = pick_live_replica(*cur, target, *cur);
+            rec.has_value()) {
+          resolve(*cur, *rec, target);
+          return res;
+        }
+      }
+    }
     break;  // definitive miss
   }
 
@@ -612,11 +651,14 @@ void ObjectDirectory::publish_step(const std::shared_ptr<AsyncPublishOp>& op) {
     begin_publish_path(op);
     return;
   }
-  cur->store().upsert(op->target,
-                      PointerRecord{op->server, op->last_hop, op->state.level,
-                                    op->state.past_hole, op->expires});
+  const PointerRecord rec{op->server, op->last_hop, op->state.level,
+                          op->state.past_hole, op->expires};
+  cur->store().upsert(op->target, rec);
   auto next = router_.route_step(*cur, op->target, op->state, &op->per_op);
   if (!next.has_value()) {  // root reached and stamped
+    if (replicator_) {
+      replicator_->mirror_publish(*cur, op->target, rec, &op->per_op);
+    }
     ++op->salt;
     begin_publish_path(op);
     return;
@@ -820,6 +862,21 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
     events_.schedule_in(reg_.dist(cur, sur) * params_.hop_delay_scale,
                         [this, op] { locate_step(op); });
     return;
+  }
+
+  // Quorum fallback, mirroring the synchronous path: a root with no
+  // records asks its holder set before declaring a miss.
+  if (replicator_ != nullptr) {
+    const auto merged =
+        replicator_->quorum_read(cur, op->target, events_.now(), t);
+    if (!merged.empty()) {
+      for (const PointerRecord& r : merged) cur.store().upsert(op->target, r);
+      if (auto rec = pick_live_replica(cur, op->target, cur);
+          rec.has_value()) {
+        resolve(cur, *rec, op->target);
+        return;
+      }
+    }
   }
   next_locate_attempt(op);  // definitive miss for this root
 }

@@ -27,6 +27,8 @@
 
 namespace tap {
 
+class QuorumReplicator;
+
 class ObjectDirectory {
  public:
   /// A pointer record paired with its next hop at snapshot time; used to
@@ -39,6 +41,7 @@ class ObjectDirectory {
 
   ObjectDirectory(NodeRegistry& registry, Router& router,
                   const TapestryParams& params, EventQueue& events, Rng& rng);
+  ~ObjectDirectory();  // out of line: replicator_ is incomplete here
 
   // --- publication and location (§2.2) ---
   void publish(NodeId server, const Guid& guid, Trace* trace = nullptr);
@@ -225,10 +228,17 @@ class ObjectDirectory {
   /// Drops every cache entry involving a dead/departed node — its own LRU
   /// and any hint naming it as holder or replica.  MaintenanceEngine calls
   /// this from fail()/leave(); queries already in flight toward the corpse
-  /// fail holder verification and fall back to the walk regardless.
-  void invalidate_node_cache(const NodeId& id) {
-    cache_.invalidate_node(id);
-    if (node_death_hook_) node_death_hook_(id);
+  /// fail holder verification and fall back to the walk regardless.  Also
+  /// the death seam of the replication layer: the QuorumReplicator (when
+  /// the replicated backend is active) re-replicates every holder set the
+  /// dead node belonged to before the external hook fires.
+  void invalidate_node_cache(const NodeId& id);
+
+  /// Quorum replication coordinator; nullptr unless params.store_backend
+  /// is kReplicated / kReplicatedPersistent (tests and benches introspect
+  /// holder sets and stats through it).
+  [[nodiscard]] QuorumReplicator* replicator() noexcept {
+    return replicator_.get();
   }
 
   /// Registers a callback fired from invalidate_node_cache — i.e. on every
@@ -282,6 +292,10 @@ class ObjectDirectory {
 
   // Per-node locate cache (sized by params.locate_cache_size; 0 = off).
   LocateCache cache_;
+
+  // Quorum replication layer; null for the non-replicated backends, which
+  // keeps every default code path identical to the pre-replication build.
+  std::unique_ptr<QuorumReplicator> replicator_;
 
   // Event-driven state.
   std::size_t in_flight_ = 0;

@@ -3,6 +3,7 @@
 #include "src/common/assert.h"
 #include "src/tapestry/params.h"
 #include "src/tapestry/persistent_store.h"
+#include "src/tapestry/replicated_store.h"
 #include "src/tapestry/sharded_store.h"
 
 namespace tap {
@@ -122,8 +123,19 @@ std::unique_ptr<ObjectStoreBackend> make_object_store(
                 "StoreBackend::kPersistent requires params.store_dir");
       return std::make_unique<PersistentStore>(params.store_dir, id,
                                                params.id);
+    case StoreBackend::kReplicated:
+      return std::make_unique<ReplicatedStore>(std::make_unique<MemoryStore>(),
+                                               "replicated");
+    case StoreBackend::kReplicatedPersistent:
+      TAP_CHECK(!params.store_dir.empty(),
+                "StoreBackend::kReplicatedPersistent requires params.store_dir");
+      return std::make_unique<ReplicatedStore>(
+          std::make_unique<PersistentStore>(params.store_dir, id, params.id),
+          "replicated+persist");
   }
-  TAP_CHECK(false, "unknown StoreBackend");
+  TAP_CHECK(false,
+            "unknown StoreBackend (valid: memory, sharded, persist, "
+            "replicated, replicated+persist)");
   return nullptr;  // unreachable
 }
 

@@ -16,7 +16,7 @@
 //     regular intervals and vanish if their publisher stops refreshing.
 //
 // The paper treats this per-node store as an abstract directory; here it is
-// the ObjectStoreBackend interface, with three implementations selected per
+// the ObjectStoreBackend interface, with the implementations selected per
 // overlay through TapestryParams::store_backend (see make_object_store):
 //
 //   MemoryStore      unordered_map, the conformance reference — exactly the
@@ -26,7 +26,12 @@
 //                    store from several threads (sharded_store.{h,cc});
 //   PersistentStore  MemoryStore mirror + append-only WAL and compacting
 //                    snapshot on disk; recover() rebuilds identical visible
-//                    state after a restart (persistent_store.{h,cc}).
+//                    state after a restart (persistent_store.{h,cc});
+//   ReplicatedStore  decorator over a MemoryStore ("replicated") or a
+//                    PersistentStore ("replicated+persist") that adds a
+//                    private replica area for records mirrored here by the
+//                    quorum replication layer (replicated_store.{h,cc};
+//                    docs/stores.md has the k/W/R semantics).
 //
 // Visible-state contract (what the conformance suite in
 // tests/test_object_store.cc pins down): after any single-threaded op
@@ -65,7 +70,8 @@ struct PointerRecord {
 /// counters cover the store's lifetime; the WAL fields are zero for
 /// non-persistent backends.
 struct StoreStats {
-  const char* backend = "";   ///< "memory" | "sharded" | "persist"
+  const char* backend = "";   ///< "memory" | "sharded" | "persist" |
+                              ///< "replicated" | "replicated+persist"
   std::size_t records = 0;    ///< live records (== size())
   std::size_t upserts = 0;    ///< upsert() calls accepted
   std::size_t removes = 0;    ///< records dropped via remove()

@@ -16,6 +16,10 @@ enum class StoreBackend {
   kMemory,      ///< unordered_map; the conformance reference
   kSharded,     ///< striped internal locks; concurrent batch/expiry drains
   kPersistent,  ///< WAL + compacting snapshot; survives node restarts
+  kReplicated,  ///< memory store + quorum-replicated mirrors at the root's
+                ///< k-nearest neighbor set (replicated_store.{h,cc})
+  kReplicatedPersistent,  ///< the same replication over a persistent inner
+                          ///< store; needs `store_dir` like kPersistent
 };
 
 /// Which localized surrogate-routing variant to use (paper §2.3).
@@ -55,6 +59,22 @@ struct HotspotParams {
   /// How many distinct querying clients to remember per object —
   /// promotion places the replica at the heaviest remembered one.
   std::size_t demand_sites = 8;
+};
+
+/// Knobs of the quorum-replicated pointer store (see
+/// src/tapestry/replicated_store.h).  N = k holders per object; the
+/// DistHash-style intersection property needs w + r > k so every quorum
+/// read overlaps every acknowledged write.
+struct ReplicationParams {
+  /// Replica holders per published object: the k live nodes nearest to
+  /// the object's root (excluding the root itself).
+  unsigned k = 3;
+  /// Replica writes that must succeed for a publish to count as
+  /// replicated (the write quorum W).
+  unsigned w = 2;
+  /// Holder responses a quorum read gathers before merging (the read
+  /// quorum R).
+  unsigned r = 2;
 };
 
 struct TapestryParams {
@@ -118,8 +138,12 @@ struct TapestryParams {
   bool retry_all_roots = false;
 
   /// Object-store backend every node of the overlay instantiates (via
-  /// make_object_store).  kPersistent additionally needs `store_dir`.
+  /// make_object_store).  kPersistent and kReplicatedPersistent
+  /// additionally need `store_dir`.
   StoreBackend store_backend = StoreBackend::kMemory;
+
+  /// Quorum knobs of the replicated backends; ignored by the others.
+  ReplicationParams replication{};
 
   /// Directory holding the per-node WAL/snapshot files of the persistent
   /// backend (scenario-named by the drivers; ignored by other backends).

@@ -1,0 +1,235 @@
+#include "src/tapestry/replicated_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/assert.h"
+#include "src/sim/metrics.h"
+#include "src/tapestry/registry.h"
+
+namespace tap {
+
+ReplicatedStore::ReplicatedStore(std::unique_ptr<ObjectStoreBackend> inner,
+                                 const char* backend_name)
+    : inner_(std::move(inner)), name_(backend_name) {
+  TAP_CHECK(inner_ != nullptr, "ReplicatedStore needs an inner backend");
+}
+
+std::size_t ReplicatedStore::remove_expired(double now) {
+  const std::size_t primary = inner_->remove_expired(now);
+  replicas_.remove_expired(now);  // mirrors are soft state too (§6.5)
+  return primary;
+}
+
+StoreStats ReplicatedStore::stats() const {
+  StoreStats s = inner_->stats();
+  s.backend = name_;
+  return s;
+}
+
+QuorumReplicator::QuorumReplicator(NodeRegistry& registry,
+                                   const TapestryParams& params)
+    : reg_(registry), params_(params) {
+  const ReplicationParams& rp = params.replication;
+  TAP_CHECK(rp.k >= 1 && rp.w >= 1 && rp.r >= 1,
+            "replication k/w/r must all be at least 1");
+  TAP_CHECK(rp.w <= rp.k && rp.r <= rp.k,
+            "replication quorums w and r cannot exceed k");
+  TAP_CHECK(rp.w + rp.r > rp.k,
+            "replication needs w + r > k so reads intersect writes");
+}
+
+ReplicatedStore* QuorumReplicator::replica_store_of(const NodeId& id) {
+  TapestryNode* node = reg_.find(id);
+  if (node == nullptr) return nullptr;
+  return dynamic_cast<ReplicatedStore*>(&node->store());
+}
+
+std::vector<NodeId>& QuorumReplicator::holder_set(const TapestryNode& root,
+                                                  const Guid& target) {
+  const auto it = holder_sets_.find(target);
+  if (it != holder_sets_.end()) return it->second;
+
+  // First mirror for this (salted) guid: pick the k live nodes nearest to
+  // the root, excluding the root itself.  node_ids() enumerates live
+  // members in insertion order, which is identical across same-seed
+  // replays, and ties on distance break toward the smaller id — so the
+  // chosen set is a pure function of the membership.
+  struct Candidate {
+    double d;
+    NodeId id;
+  };
+  std::vector<Candidate> candidates;
+  for (const NodeId& id : reg_.node_ids()) {
+    if (id == root.id()) continue;
+    candidates.push_back(Candidate{reg_.distance(root.id(), id), id});
+  }
+  const std::size_t k = params_.replication.k;
+  const std::size_t take = std::min<std::size_t>(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [](const Candidate& a, const Candidate& b) {
+                      if (a.d != b.d) return a.d < b.d;
+                      return a.id < b.id;
+                    });
+  std::vector<NodeId> holders;
+  holders.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) holders.push_back(candidates[i].id);
+  return holder_sets_.emplace(target, std::move(holders)).first->second;
+}
+
+std::size_t QuorumReplicator::mirror_publish(const TapestryNode& root,
+                                             const Guid& target,
+                                             const PointerRecord& rec,
+                                             Trace* trace) {
+  std::size_t acks = 0;
+  for (const NodeId& h : holder_set(root, target)) {
+    TapestryNode* node = reg_.find(h);
+    if (node == nullptr || !node->alive) continue;
+    if (!reg_.reachable(root.id(), h)) continue;
+    ReplicatedStore* store = replica_store_of(h);
+    if (store == nullptr) continue;
+    reg_.acct(trace, root, *node, 2);  // mirrored write + its ack
+    store->replica_upsert(target, rec);
+    metrics::replica_writes_total().inc();
+    ++stats_.replica_writes;
+    ++acks;
+  }
+  return acks;
+}
+
+void QuorumReplicator::mirror_remove(const TapestryNode& root,
+                                     const Guid& target, const NodeId& server,
+                                     Trace* trace) {
+  const auto it = holder_sets_.find(target);
+  if (it == holder_sets_.end()) return;
+  for (const NodeId& h : it->second) {
+    TapestryNode* node = reg_.find(h);
+    if (node == nullptr || !node->alive) continue;
+    if (!reg_.reachable(root.id(), h)) continue;
+    ReplicatedStore* store = replica_store_of(h);
+    if (store == nullptr) continue;
+    reg_.acct(trace, root, *node, 2);
+    store->replica_remove(target, server);
+  }
+}
+
+std::vector<PointerRecord> QuorumReplicator::quorum_read(
+    const TapestryNode& root, const Guid& target, double now, Trace* trace) {
+  const auto it = holder_sets_.find(target);
+  if (it == holder_sets_.end()) return {};
+  metrics::replica_quorum_reads_total().inc();
+  ++stats_.quorum_reads;
+
+  // Probe holders in set order until R respond.  A live reachable holder
+  // with no record is still a response — "I have nothing" is an answer,
+  // and with w + r > k a fresh copy is guaranteed among any r answers
+  // when the write quorum was met.
+  struct Responder {
+    TapestryNode* node;
+    ReplicatedStore* store;
+  };
+  std::vector<Responder> responders;
+  for (const NodeId& h : it->second) {
+    if (responders.size() >= params_.replication.r) break;
+    TapestryNode* node = reg_.find(h);
+    if (node == nullptr || !node->alive) continue;
+    if (!reg_.reachable(root.id(), h)) continue;
+    ReplicatedStore* store = replica_store_of(h);
+    if (store == nullptr) continue;
+    reg_.acct(trace, root, *node, 2);  // read request + reply
+    responders.push_back(Responder{node, store});
+  }
+
+  // Merge: freshest live record per server wins.
+  std::map<NodeId, PointerRecord> merged;
+  for (const Responder& r : responders) {
+    for (const PointerRecord& rec : r.store->replica_all(target)) {
+      if (rec.expires_at < now) continue;
+      auto [mit, inserted] = merged.emplace(rec.server, rec);
+      if (!inserted && rec.expires_at > mit->second.expires_at) {
+        mit->second = rec;
+      }
+    }
+  }
+  if (merged.empty()) return {};
+
+  // Read-repair: every responder whose copy of a merged record is stale
+  // or missing gets the fresh one pushed back.
+  for (const Responder& r : responders) {
+    for (const auto& [server, rec] : merged) {
+      const auto have = r.store->replica_find(target, server);
+      if (have.has_value() && have->expires_at >= rec.expires_at) continue;
+      reg_.acct(trace, root, *r.node, 1);
+      r.store->replica_upsert(target, rec);
+      metrics::replica_read_repairs_total().inc();
+      ++stats_.read_repairs;
+    }
+  }
+
+  std::vector<PointerRecord> out;
+  out.reserve(merged.size());
+  for (const auto& [server, rec] : merged) out.push_back(rec);
+  return out;
+}
+
+void QuorumReplicator::on_node_death(const NodeId& dead) {
+  for (auto& [target, holders] : holder_sets_) {
+    const auto pos = std::find(holders.begin(), holders.end(), dead);
+    if (pos == holders.end()) continue;
+
+    // Replacement: the live node nearest to the dead holder (its tombstone
+    // keeps the location) that is not already in the set.  Same
+    // deterministic scan-and-tiebreak as the initial selection.
+    bool found = false;
+    NodeId best{};
+    double best_d = std::numeric_limits<double>::infinity();
+    for (const NodeId& id : reg_.node_ids()) {
+      if (id == dead) continue;
+      if (std::find(holders.begin(), holders.end(), id) != holders.end()) {
+        continue;
+      }
+      const double d = reg_.distance(dead, id);
+      if (!found || d < best_d || (d == best_d && id < best)) {
+        found = true;
+        best = id;
+        best_d = d;
+      }
+    }
+    if (!found) {  // overlay too small to keep k holders; shrink the set
+      holders.erase(pos);
+      continue;
+    }
+    *pos = best;
+
+    // Copy the merged surviving records onto the replacement so the set is
+    // back to full strength before the next failure.
+    ReplicatedStore* dst = replica_store_of(best);
+    if (dst == nullptr) continue;
+    std::map<NodeId, PointerRecord> merged;
+    for (const NodeId& h : holders) {
+      if (h == best) continue;
+      TapestryNode* node = reg_.find(h);
+      if (node == nullptr || !node->alive) continue;
+      ReplicatedStore* src = replica_store_of(h);
+      if (src == nullptr) continue;
+      for (const PointerRecord& rec : src->replica_all(target)) {
+        auto [mit, inserted] = merged.emplace(rec.server, rec);
+        if (!inserted && rec.expires_at > mit->second.expires_at) {
+          mit->second = rec;
+        }
+      }
+    }
+    for (const auto& [server, rec] : merged) dst->replica_upsert(target, rec);
+    metrics::replica_rereplications_total().inc();
+    ++stats_.rereplications;
+  }
+}
+
+const std::vector<NodeId>* QuorumReplicator::holders(
+    const Guid& target) const {
+  const auto it = holder_sets_.find(target);
+  return it == holder_sets_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tap

@@ -1,0 +1,213 @@
+// ReplicatedStore + QuorumReplicator: quorum-replicated pointer records
+// over the root's k-nearest neighbor set (the DistHash direction in
+// PAPERS.md — robust replicated objects in a DHT).
+//
+// In the paper a single root node owns every pointer record of an object:
+// a root crash costs availability for each of its objects until the §6.5
+// soft-state republish backstop refreshes the records at the new
+// surrogate root.  This subsystem closes that window:
+//
+//   * Every record that a publish deposits at a root is mirrored across
+//     the root's k nearest live neighbors (its holder set, chosen
+//     deterministically per salted guid by network distance — the same
+//     nearest-neighbor notion the §3 construction optimizes for).
+//   * A publish counts as replicated once W of the k holders acknowledged
+//     the mirrored write (ReplicationParams::w; the write quorum).
+//   * A locate that reaches a root with no record — the new surrogate
+//     after a root death, typically — performs an R-of-N quorum read over
+//     the holder set, merges the freshest live copy per server, repairs
+//     stale/missing responder copies (read-repair) and installs the
+//     merged records at the root, so the locate resolves exactly as if
+//     the root had never lost them.
+//   * When a holder dies (reported through ObjectDirectory's node-death
+//     seam, the same one HotspotManager uses), a replacement holder is
+//     chosen and the surviving copies are merged onto it
+//     (re-replication), keeping N holders ahead of further failures.
+//
+// With w + r > k (default k=3, W=2, R=2) every quorum read intersects
+// every acknowledged write, so losing the root or any single holder
+// between a publish and a locate loses zero locates — no republish
+// needed.
+//
+// Split of responsibilities:
+//
+//   ReplicatedStore   per-node ObjectStoreBackend decorator.  The node's
+//                     own records live in an inner backend (MemoryStore,
+//                     or PersistentStore for `replicated+persist`) and
+//                     the whole standard interface delegates to it, so
+//                     the visible-state contract of object_store.h holds
+//                     bit-for-bit.  Records mirrored TO this node on
+//                     behalf of roots elsewhere live in a separate
+//                     replica area reachable only through the replica_*
+//                     methods — invisible to size()/find()/snapshot(),
+//                     swept alongside the primary area on
+//                     remove_expired() so mirrors obey §6.5 soft state.
+//
+//   QuorumReplicator  overlay-level coordinator owned by ObjectDirectory
+//                     (constructed only when the replicated backend is
+//                     selected; absent otherwise, leaving the default
+//                     paths byte-identical).  Holds the holder sets and
+//                     implements mirror/quorum-read/re-replicate against
+//                     the registry, accounting every inter-node touch.
+//
+// All choices (holder selection, merge order, replacement hunt) are
+// deterministic functions of registry state, so ChurnDriver replay stays
+// seed-deterministic with replication enabled.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/tapestry/object_store.h"
+
+namespace tap {
+
+class NodeRegistry;
+class TapestryNode;
+class Trace;
+struct TapestryParams;
+
+/// Per-node store decorator: primary records in `inner`, mirrored records
+/// in a private replica area.  Conformant to the ObjectStoreBackend
+/// visible-state contract because every standard method delegates to the
+/// inner backend untouched.
+class ReplicatedStore : public ObjectStoreBackend {
+ public:
+  /// `backend_name` is what stats().backend reports ("replicated" or
+  /// "replicated+persist"); `inner` must be non-null.
+  ReplicatedStore(std::unique_ptr<ObjectStoreBackend> inner,
+                  const char* backend_name);
+
+  // --- standard interface: pure delegation to the inner backend ---
+  void upsert(const Guid& guid, const PointerRecord& record) override {
+    inner_->upsert(guid, record);
+  }
+  [[nodiscard]] std::optional<PointerRecord> find(
+      const Guid& guid, const NodeId& server) const override {
+    return inner_->find(guid, server);
+  }
+  [[nodiscard]] std::vector<PointerRecord> find_all(
+      const Guid& guid) const override {
+    return inner_->find_all(guid);
+  }
+  [[nodiscard]] std::vector<PointerRecord> find_live(
+      const Guid& guid, double now) const override {
+    return inner_->find_live(guid, now);
+  }
+  void for_each_of(const Guid& guid, const Visitor& fn) const override {
+    inner_->for_each_of(guid, fn);
+  }
+  bool remove(const Guid& guid, const NodeId& server) override {
+    return inner_->remove(guid, server);
+  }
+  /// Sweeps both areas; the return value counts primary records only, so
+  /// backends agree with the reference under the conformance suite.
+  std::size_t remove_expired(double now) override;
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return inner_->size();
+  }
+  void for_each(const Visitor& fn) const override { inner_->for_each(fn); }
+  [[nodiscard]] std::vector<std::pair<Guid, PointerRecord>> snapshot()
+      const override {
+    return inner_->snapshot();
+  }
+  [[nodiscard]] StoreStats stats() const override;
+  void flush() override { inner_->flush(); }
+
+  // --- replica area (QuorumReplicator and tests only) ---
+  void replica_upsert(const Guid& guid, const PointerRecord& record) {
+    replicas_.upsert(guid, record);
+  }
+  [[nodiscard]] std::optional<PointerRecord> replica_find(
+      const Guid& guid, const NodeId& server) const {
+    return replicas_.find(guid, server);
+  }
+  [[nodiscard]] std::vector<PointerRecord> replica_all(
+      const Guid& guid) const {
+    return replicas_.find_all(guid);
+  }
+  bool replica_remove(const Guid& guid, const NodeId& server) {
+    return replicas_.remove(guid, server);
+  }
+  [[nodiscard]] std::size_t replica_size() const noexcept {
+    return replicas_.size();
+  }
+
+ private:
+  std::unique_ptr<ObjectStoreBackend> inner_;
+  const char* name_;
+  // Mirrors held for roots elsewhere.  Volatile even under
+  // replicated+persist: after a full restart the recovered primary
+  // stores serve every locate, and the mirrors are rebuilt by the next
+  // republish round.
+  MemoryStore replicas_;
+};
+
+/// Overlay-level replication coordinator (one per ObjectDirectory).
+class QuorumReplicator {
+ public:
+  /// Local operation counters, mirrored into the tapestry_replica_*
+  /// metric family (src/sim/metrics.cc) as they grow.
+  struct Stats {
+    std::size_t replica_writes = 0;   ///< acknowledged mirror writes
+    std::size_t quorum_reads = 0;     ///< quorum reads attempted at roots
+    std::size_t read_repairs = 0;     ///< stale/missing copies repaired
+    std::size_t rereplications = 0;   ///< holder replacements completed
+  };
+
+  /// `registry` and `params` must outlive the replicator (both live on
+  /// Network).
+  QuorumReplicator(NodeRegistry& registry, const TapestryParams& params);
+
+  /// A publish reached `root` for `target`: mirror `rec` to every live
+  /// reachable holder (choosing the holder set on first contact).
+  /// Returns the acknowledged write count; the caller may compare it to
+  /// ReplicationParams::w.
+  std::size_t mirror_publish(const TapestryNode& root, const Guid& target,
+                             const PointerRecord& rec, Trace* trace);
+
+  /// An unpublish reached `root`: withdraw server's mirrored record.
+  void mirror_remove(const TapestryNode& root, const Guid& target,
+                     const NodeId& server, Trace* trace);
+
+  /// R-of-N quorum read at `root` after a definitive locate miss.
+  /// Contacts holders in set order until R respond, merges the freshest
+  /// live record per server, read-repairs responder copies that are
+  /// stale or missing, and returns the merged records (empty = genuine
+  /// miss).  The caller installs them at the root.
+  std::vector<PointerRecord> quorum_read(const TapestryNode& root,
+                                         const Guid& target, double now,
+                                         Trace* trace);
+
+  /// `dead` just died or departed: for every holder set containing it,
+  /// pick a replacement holder and merge the surviving copies onto it.
+  void on_node_death(const NodeId& dead);
+
+  /// Holder set of `target`, if one was ever formed (tests/benches).
+  [[nodiscard]] const std::vector<NodeId>* holders(const Guid& target) const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Existing holder set, or a fresh one: the k live nodes nearest to
+  /// `root` (excluding it), ties broken by id — deterministic given the
+  /// membership.
+  std::vector<NodeId>& holder_set(const TapestryNode& root,
+                                  const Guid& target);
+  /// The node's store as a ReplicatedStore, or nullptr when the node is
+  /// absent or runs a different backend.
+  ReplicatedStore* replica_store_of(const NodeId& id);
+
+  NodeRegistry& reg_;
+  const TapestryParams& params_;
+  // Ordered by guid so death-time scans visit sets in a deterministic
+  // order regardless of insertion history.
+  std::map<Guid, std::vector<NodeId>> holder_sets_;
+  Stats stats_;
+};
+
+}  // namespace tap

@@ -42,6 +42,11 @@ TEST(MultiRoot, RetryFindsObjectAfterRootFailure) {
 
 TEST(MultiRoot, WithoutRetrySomeQueriesMissAfterRootFailure) {
   TapestryParams p = small_params();
+  // This measures the base miss behaviour after a root death; the
+  // replicated backend would mask the dead root via quorum reads, so pin
+  // the reference store regardless of the TAP_STORE matrix leg.
+  p.store_backend = StoreBackend::kMemory;
+  p.store_dir.clear();
   p.root_multiplicity = 3;
   p.retry_all_roots = false;  // single random root per query (base behaviour)
   auto g = grow_ring_network(128, 141, p);

@@ -21,6 +21,7 @@
 #include "src/tapestry/object_store.h"
 #include "src/tapestry/params.h"
 #include "src/tapestry/persistent_store.h"
+#include "src/tapestry/replicated_store.h"
 #include "src/tapestry/sharded_store.h"
 #include "tests/test_util.h"
 
@@ -174,9 +175,14 @@ TEST(StoreConformance, RandomOpSequencesAgree) {
   ShardedStore shard;
   ScratchDir dir("conf_random");
   PersistentStore persist(dir.path, nid(0xABCD), kSpec);
+  ReplicatedStore repl(std::make_unique<MemoryStore>(), "replicated");
+  ScratchDir dir_rp("conf_random_rp");
+  ReplicatedStore repl_persist(
+      std::make_unique<PersistentStore>(dir_rp.path, nid(0xABCF), kSpec),
+      "replicated+persist");
 
   OpDriver d;
-  d.stores = {&mem, &shard, &persist};
+  d.stores = {&mem, &shard, &persist, &repl, &repl_persist};
   d.guid_pool = {1, 2, 0x1000, 0x1001, 0xFFFFFF, 0xABCDEF01, 0x7F7F7F7F};
   d.server_pool = {10, 11, 12, 0xBEEF, 0xF00D};
   d.expiry_pool = {0.5, 1.0, 2.0, 5.0, 5.0, 10.0,
@@ -189,15 +195,25 @@ TEST(StoreConformance, RandomOpSequencesAgree) {
                       "sharded, round " + std::to_string(round));
     expect_same_state(mem, persist, d.guid_pool, d.server_pool, probes,
                       "persist, round " + std::to_string(round));
+    expect_same_state(mem, repl, d.guid_pool, d.server_pool, probes,
+                      "replicated, round " + std::to_string(round));
+    expect_same_state(mem, repl_persist, d.guid_pool, d.server_pool, probes,
+                      "replicated+persist, round " + std::to_string(round));
   }
   // The stats hook reports per-backend identities but shared mutation
   // counts (upserts accepted are identical by construction).
   EXPECT_STREQ(mem.stats().backend, "memory");
   EXPECT_STREQ(shard.stats().backend, "sharded");
   EXPECT_STREQ(persist.stats().backend, "persist");
+  EXPECT_STREQ(repl.stats().backend, "replicated");
+  EXPECT_STREQ(repl_persist.stats().backend, "replicated+persist");
   EXPECT_EQ(mem.stats().upserts, shard.stats().upserts);
   EXPECT_EQ(mem.stats().upserts, persist.stats().upserts);
+  EXPECT_EQ(mem.stats().upserts, repl.stats().upserts);
+  EXPECT_EQ(mem.stats().upserts, repl_persist.stats().upserts);
   EXPECT_GT(shard.stats().stripes, 1u);
+  // The replica area never leaks into the standard interface.
+  EXPECT_EQ(repl.replica_size(), 0u);
 }
 
 TEST(StoreConformance, ExpiryDeadlineEdgeIsInclusive) {
@@ -205,7 +221,13 @@ TEST(StoreConformance, ExpiryDeadlineEdgeIsInclusive) {
   ShardedStore shard;
   ScratchDir dir("conf_edge");
   PersistentStore persist(dir.path, nid(0xABCE), kSpec);
-  std::vector<ObjectStoreBackend*> stores = {&mem, &shard, &persist};
+  ReplicatedStore repl(std::make_unique<MemoryStore>(), "replicated");
+  ScratchDir dir_rp("conf_edge_rp");
+  ReplicatedStore repl_persist(
+      std::make_unique<PersistentStore>(dir_rp.path, nid(0xABD0), kSpec),
+      "replicated+persist");
+  std::vector<ObjectStoreBackend*> stores = {&mem, &shard, &persist, &repl,
+                                             &repl_persist};
 
   for (ObjectStoreBackend* s : stores) {
     s->upsert(gid(1), PointerRecord{nid(1), std::nullopt, 0, false, 5.0});
@@ -374,8 +396,15 @@ TEST(StoreFactory, SelectsBackendFromParams) {
   EXPECT_STREQ(make_object_store(p, id)->stats().backend, "sharded");
   p.store_backend = StoreBackend::kPersistent;
   EXPECT_THROW((void)make_object_store(p, id), CheckError);  // no store_dir
+  p.store_backend = StoreBackend::kReplicated;
+  EXPECT_STREQ(make_object_store(p, id)->stats().backend, "replicated");
+  p.store_backend = StoreBackend::kReplicatedPersistent;
+  EXPECT_THROW((void)make_object_store(p, id), CheckError);  // no store_dir
   ScratchDir dir("factory");
   p.store_dir = dir.path;
+  EXPECT_STREQ(make_object_store(p, id)->stats().backend,
+               "replicated+persist");
+  p.store_backend = StoreBackend::kPersistent;
   EXPECT_STREQ(make_object_store(p, id)->stats().backend, "persist");
 }
 
@@ -532,6 +561,185 @@ TEST(StoreBackendOverlay, PersistCheckpointDestroyRecover) {
   EXPECT_EQ(found_before, guids.size());
   EXPECT_EQ(found_after, guids.size());
   revived.check_property4();
+}
+
+// ------------------------------------------------------------------
+// Quorum replication (ReplicatedStore + QuorumReplicator)
+// ------------------------------------------------------------------
+
+TapestryParams replicated_params() {
+  auto p = test::small_params();
+  p.store_backend = StoreBackend::kReplicated;
+  p.store_dir.clear();
+  return p;
+}
+
+/// A publish that reaches the root must mirror the record to the root's
+/// holder set, acknowledged by at least W of the k holders, without the
+/// mirrors leaking into any holder's replica-area-free visible state.
+TEST(QuorumReplication, PublishMirrorsToWOfKHolders) {
+  const auto params = replicated_params();
+  auto g = test::static_ring_network(64, 11, params);
+  Network& net = *g.net;
+  QuorumReplicator* repl = net.directory().replicator();
+  ASSERT_NE(repl, nullptr);
+
+  const Guid obj = test::make_guid(net, 7);
+  const NodeId server = g.ids[5];
+  net.publish(server, obj);
+
+  const Guid salted = salted_guid(obj, 0);
+  const auto* holders = repl->holders(salted);
+  ASSERT_NE(holders, nullptr);
+  ASSERT_EQ(holders->size(), params.replication.k);
+  const NodeId root = net.surrogate_root(salted);
+  std::size_t acked = 0;
+  for (const NodeId& h : *holders) {
+    EXPECT_NE(h, root);  // the root never mirrors to itself
+    auto* store = dynamic_cast<ReplicatedStore*>(&net.node(h).store());
+    ASSERT_NE(store, nullptr);
+    const auto copy = store->replica_find(salted, server);
+    if (copy.has_value()) {
+      ++acked;
+      EXPECT_EQ(copy->server, server);
+    }
+  }
+  EXPECT_GE(acked, params.replication.w);
+  EXPECT_GE(repl->stats().replica_writes, params.replication.w);
+  // Unpublish withdraws every mirror again.
+  net.unpublish(server, obj);
+  for (const NodeId& h : *holders) {
+    auto* store = dynamic_cast<ReplicatedStore*>(&net.node(h).store());
+    EXPECT_FALSE(store->replica_find(salted, server).has_value());
+  }
+}
+
+/// An R-of-N quorum read merges the freshest copy per server and pushes it
+/// back onto stale responders (read-repair).
+TEST(QuorumReplication, QuorumReadMergesFreshestAndReadRepairs) {
+  auto params = replicated_params();
+  params.pointer_ttl = 100.0;  // finite deadlines so staleness is visible
+  auto g = test::static_ring_network(64, 17, params);
+  Network& net = *g.net;
+  QuorumReplicator* repl = net.directory().replicator();
+  ASSERT_NE(repl, nullptr);
+
+  const Guid obj = test::make_guid(net, 21);
+  const NodeId server = g.ids[9];
+  net.publish(server, obj);
+  const Guid salted = salted_guid(obj, 0);
+  const auto* holders = repl->holders(salted);
+  ASSERT_NE(holders, nullptr);
+  ASSERT_GE(holders->size(), 2u);
+
+  // Stale-ify the first responder's copy; the second responder still has
+  // the fresh one, and w + r > k guarantees the read sees it.
+  auto* first = dynamic_cast<ReplicatedStore*>(
+      &net.node((*holders)[0]).store());
+  ASSERT_NE(first, nullptr);
+  const auto fresh = first->replica_find(salted, server);
+  ASSERT_TRUE(fresh.has_value());
+  PointerRecord stale = *fresh;
+  stale.expires_at = fresh->expires_at - 50.0;
+  first->replica_upsert(salted, stale);
+
+  const auto repairs_before = repl->stats().read_repairs;
+  const auto merged =
+      repl->quorum_read(net.node(net.surrogate_root(salted)), salted,
+                        net.now(), nullptr);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].server, server);
+  EXPECT_EQ(merged[0].expires_at, fresh->expires_at);  // freshest won
+  EXPECT_GT(repl->stats().read_repairs, repairs_before);
+  // Read-repair restored the stale responder's deadline.
+  EXPECT_EQ(first->replica_find(salted, server)->expires_at,
+            fresh->expires_at);
+}
+
+/// Killing the current root of a published object between publish and
+/// locate loses zero locates: the locate at the new surrogate falls back
+/// to a quorum read over the old root's holder set.  No republish runs.
+TEST(QuorumReplication, RootDeathLosesZeroLocates) {
+  const auto params = replicated_params();
+  auto g = test::grow_ring_network(64, 13, params);
+  Network& net = *g.net;
+  ASSERT_NE(net.directory().replicator(), nullptr);
+
+  const std::size_t objects = 8;
+  std::vector<Guid> guids;
+  Rng wl(4);
+  for (std::size_t i = 0; i < objects; ++i) {
+    const Guid obj = test::make_guid(net, 100 + i);
+    guids.push_back(obj);
+    net.publish(g.ids[wl.next_u64(g.ids.size())], obj);
+  }
+
+  std::size_t kills = 0;
+  for (const Guid& obj : guids) {
+    const NodeId root = net.surrogate_root(salted_guid(obj, 0));
+    if (!net.registry().is_live(root)) continue;  // a prior kill got it
+    const auto servers = net.servers_of(obj);
+    if (std::find(servers.begin(), servers.end(), root) != servers.end())
+      continue;  // root is the server: its death would lose the object
+    net.fail(root);
+    ++kills;
+  }
+  ASSERT_GT(kills, 0u);
+
+  std::size_t locatable = 0;
+  for (const Guid& obj : guids) {
+    const auto servers = net.servers_of(obj);
+    // A root killed above may have been this object's server; the object
+    // is legitimately gone then, not a replication loss.
+    if (servers.empty() || !net.registry().is_live(servers[0])) continue;
+    ++locatable;
+    NodeId client = servers[0];
+    for (const NodeId& id : g.ids) {  // a remote live client
+      if (net.registry().is_live(id) && !(id == servers[0])) {
+        client = id;
+        break;
+      }
+    }
+    EXPECT_TRUE(net.locate(client, obj).found)
+        << "lost locate for " << obj.to_string();
+  }
+  ASSERT_GT(locatable, 0u);
+}
+
+/// A holder death re-replicates: the dead holder is replaced by the next
+/// nearest live node and the surviving copies are merged onto it.
+TEST(QuorumReplication, HolderDeathReReplicatesOntoReplacement) {
+  const auto params = replicated_params();
+  auto g = test::grow_ring_network(64, 19, params);
+  Network& net = *g.net;
+  QuorumReplicator* repl = net.directory().replicator();
+  ASSERT_NE(repl, nullptr);
+
+  const Guid obj = test::make_guid(net, 33);
+  const NodeId server = g.ids[3];
+  net.publish(server, obj);
+  const Guid salted = salted_guid(obj, 0);
+  const auto* holders = repl->holders(salted);
+  ASSERT_NE(holders, nullptr);
+  const std::vector<NodeId> before = *holders;
+  ASSERT_EQ(before.size(), params.replication.k);
+
+  const NodeId victim = before[0];
+  net.fail(victim);
+
+  const auto* after = repl->holders(salted);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->size(), params.replication.k);
+  EXPECT_EQ(std::find(after->begin(), after->end(), victim), after->end());
+  EXPECT_GE(repl->stats().rereplications, 1u);
+  // The replacement (the one id not in the old set) holds the record.
+  for (const NodeId& h : *after) {
+    if (std::find(before.begin(), before.end(), h) != before.end()) continue;
+    auto* store = dynamic_cast<ReplicatedStore*>(&net.node(h).store());
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(store->replica_find(salted, server).has_value())
+        << "replacement " << h.to_string() << " missing the mirrored record";
+  }
 }
 
 }  // namespace

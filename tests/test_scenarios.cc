@@ -163,6 +163,76 @@ TEST(Scenarios, RackfailKillsOneStubAndRecovers) {
       << "repair must route around the dead rack";
 }
 
+// --------------------------------------------------------------- rootfail
+
+TEST(Scenarios, RootfailKillsObjectRootsDeterministically) {
+  auto run_once = [](std::vector<std::string>* log) {
+    TapestryParams p = small_params();
+    p.pointer_ttl = 8.0;
+    auto g = test::grow_ring_network(48, 23, p);
+    ChurnScenario sc = quiet_scenario(23);
+    sc.popularity = ChurnScenario::Popularity::kZipf;
+    sc.rootfail_at = 4.0;
+    ChurnDriver driver(*g.net, sc);
+    const ChurnReport rep = driver.run();
+    *log = driver.event_log();
+    return rep;
+  };
+
+  std::vector<std::string> log_a, log_b;
+  const ChurnReport a = run_once(&log_a);
+  const ChurnReport b = run_once(&log_b);
+  EXPECT_EQ(log_a, log_b) << "same seed must replay the same event trace";
+  EXPECT_EQ(a.fails, b.fails);
+
+  // Every targeted object either lost its root ('O') or was skipped
+  // because the root serves the object itself ('o').
+  EXPECT_EQ(count_kind(log_a, 'O') + count_kind(log_a, 'o'), 3u);
+  EXPECT_GE(count_kind(log_a, 'O'), 1u) << "at least one root must die";
+  EXPECT_EQ(a.fails, count_kind(log_a, 'O'));
+
+  // With the default republish backstop running, the final epoch (one
+  // republish round after the kills) must be healthy again.
+  ASSERT_EQ(a.epochs.size(), 4u);
+  EXPECT_GT(a.epochs[3].queries, 10u);
+  EXPECT_GT(a.epochs[3].availability(), 0.90)
+      << "soft state must re-deposit records at the new surrogate roots";
+}
+
+/// The tentpole claim: with the §6.5 republish backstop pushed past the
+/// horizon, a memory overlay loses locates to root kills for good, while
+/// the replicated overlay's quorum reads keep every locate resolving.
+TEST(Scenarios, RootfailReplicatedLosesNoLocatesWithoutBackstop) {
+  auto run_once = [](StoreBackend backend) {
+    TapestryParams p = small_params();
+    p.store_backend = backend;
+    p.store_dir.clear();
+    auto g = test::grow_ring_network(48, 29, p);
+    ChurnScenario sc = quiet_scenario(29);
+    sc.popularity = ChurnScenario::Popularity::kZipf;
+    sc.rootfail_at = 4.0;
+    sc.rootfail_count = 6;
+    sc.republish_interval = 1000.0;  // backstop disabled for this horizon
+    ChurnDriver driver(*g.net, sc);
+    return driver.run();
+  };
+
+  const ChurnReport mem = run_once(StoreBackend::kMemory);
+  const ChurnReport rep = run_once(StoreBackend::kReplicated);
+  ASSERT_GT(mem.fails, 0u);
+  EXPECT_EQ(mem.fails, rep.fails) << "both runs must kill the same roots";
+  ASSERT_GT(rep.queries, 50u);
+
+  // Zero lost locates with replication; without it the kills must show.
+  EXPECT_EQ(rep.found, rep.queries)
+      << "quorum reads must absorb every root kill";
+  EXPECT_GE(rep.found * mem.queries, mem.found * rep.queries)
+      << "replicated availability must dominate memory availability";
+  EXPECT_LT(mem.availability(), 1.0)
+      << "without the backstop the memory overlay must lose locates "
+         "(otherwise this test proves nothing)";
+}
+
 // ------------------------------------------------------------------ burst
 
 TEST(Scenarios, BurstScalesChurnRateDeterministically) {

@@ -23,9 +23,10 @@ namespace tap::test {
 
 /// Applies the TAP_STORE environment override — the CI backend matrix runs
 /// the directory/churn test binaries once per value: "memory" (default),
-/// "sharded", "persist".  Every call hands persist a fresh scratch
-/// directory (under TAP_STORE_DIR or the system temp dir): two networks in
-/// one test must never recover each other's WALs.
+/// "sharded", "persist", "replicated", "replicated+persist".  Every call
+/// hands the disk-backed backends a fresh scratch directory (under
+/// TAP_STORE_DIR or the system temp dir): two networks in one test must
+/// never recover each other's WALs.
 inline void apply_store_env(TapestryParams& p) {
   const char* s = std::getenv("TAP_STORE");
   if (s == nullptr) return;
@@ -35,8 +36,16 @@ inline void apply_store_env(TapestryParams& p) {
     p.store_backend = StoreBackend::kSharded;
     return;
   }
-  TAP_CHECK(backend == "persist", "TAP_STORE must be memory|sharded|persist");
-  p.store_backend = StoreBackend::kPersistent;
+  if (backend == "replicated") {
+    p.store_backend = StoreBackend::kReplicated;
+    return;
+  }
+  TAP_CHECK(backend == "persist" || backend == "replicated+persist",
+            "TAP_STORE must be memory|sharded|persist|replicated|"
+            "replicated+persist");
+  p.store_backend = backend == "persist"
+                        ? StoreBackend::kPersistent
+                        : StoreBackend::kReplicatedPersistent;
   static std::atomic<unsigned> counter{0};
   const char* base = std::getenv("TAP_STORE_DIR");
   const std::filesystem::path root =

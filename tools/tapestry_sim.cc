@@ -29,13 +29,18 @@
 //   --seed=N                                                 [1]
 //   --csv            emit CSV instead of the report
 //
-// Object-store backend flags (any scenario):
-//   --store=memory|sharded|persist   per-node store backend   [memory]
-//   --store-dir=PATH  persist backend's WAL/snapshot directory; treated as
-//                     sim-owned scratch and WIPED at startup
+// Object-store backend flags (any scenario; see docs/stores.md):
+//   --store=memory|sharded|persist|replicated|replicated+persist
+//                     per-node store backend                   [memory]
+//                     replicated* mirrors every root's records across its
+//                     k nearest neighbors and serves locates at a dead
+//                     root from an R-of-N quorum read
+//   --store-dir=PATH  WAL/snapshot directory of the disk-backed backends
+//                     (persist, replicated+persist); treated as sim-owned
+//                     scratch and WIPED at startup
 //                                                  [tapestry_store.<scenario>]
 //
-// Persist-backend extras:
+// Durable-backend extras (--store=persist or replicated+persist):
 //   --scenario=recover       checkpoint -> destroy -> recover round trip:
 //                            builds a static overlay, publishes and queries,
 //                            checkpoints, tears the Network down, rebuilds
@@ -104,6 +109,11 @@
 //                            transit-stub domain at once (forces
 //                            --space=transit-stub); --rackfail-at overrides
 //                            the instant                 [horizon/4]
+//   --scenario=rootfail      kill the current surrogate roots of the
+//                            hottest published objects at once (churn rates
+//                            default to 0, popularity to zipf);
+//                            --rootfail-at / --rootfail-count override the
+//                            instant and target count    [horizon/4, 3]
 //   --scenario=burst         mobile-style churn bursts: --burst-every /
 //                            --burst-len / --burst-factor control the
 //                            cadence         [horizon/8, horizon/16, 8]
@@ -193,6 +203,8 @@ struct Options {
   double partition_at = 0.0;
   double partition_heal = 0.0;
   double rackfail_at = 0.0;
+  double rootfail_at = 0.0;
+  std::size_t rootfail_count = 3;
   double burst_every = 0.0;
   double burst_len = 0.0;
   double burst_factor = 8.0;
@@ -212,7 +224,7 @@ struct Options {
 bool churn_family(const std::string& scenario) {
   return scenario == "churn" || scenario == "hotspot" ||
          scenario == "partition" || scenario == "rackfail" ||
-         scenario == "burst";
+         scenario == "rootfail" || scenario == "burst";
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -285,6 +297,10 @@ Options parse(int argc, char** argv) {
       o.partition_heal = std::stod(v);
     else if (parse_flag(argv[i], "--rackfail-at", &v))
       o.rackfail_at = std::stod(v);
+    else if (parse_flag(argv[i], "--rootfail-at", &v))
+      o.rootfail_at = std::stod(v);
+    else if (parse_flag(argv[i], "--rootfail-count", &v))
+      o.rootfail_count = std::stoul(v);
     else if (parse_flag(argv[i], "--burst-every", &v))
       o.burst_every = std::stod(v);
     else if (parse_flag(argv[i], "--burst-len", &v))
@@ -319,7 +335,8 @@ Options parse(int argc, char** argv) {
   if (o.scenario != "static" && o.scenario != "churn" &&
       o.scenario != "bigbuild" && o.scenario != "recover" &&
       o.scenario != "hotspot" && o.scenario != "partition" &&
-      o.scenario != "rackfail" && o.scenario != "burst") {
+      o.scenario != "rackfail" && o.scenario != "rootfail" &&
+      o.scenario != "burst") {
     std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
     std::exit(2);
   }
@@ -342,6 +359,18 @@ Options parse(int argc, char** argv) {
     }
     if (o.rackfail_at == 0.0) o.rackfail_at = o.horizon / 4.0;
   }
+  if (o.scenario == "rootfail") {
+    // Targeted root kill as the only disturbance: churn rates default to
+    // zero, popularity to zipf so "hottest objects" ranks the targets, and
+    // the kill fires a quarter into the run — leaving the soft-state
+    // backstop (or the replicated store's quorum path, with
+    // --store=replicated) the rest of the horizon to show recovery.
+    if (o.rootfail_at == 0.0) o.rootfail_at = o.horizon / 4.0;
+    if (o.popularity.empty()) o.popularity = "zipf";
+    o.join_rate = 0.0;
+    o.leave_rate = 0.0;
+    o.fail_rate = 0.0;
+  }
   if (o.scenario == "burst") {
     if (o.burst_every == 0.0) o.burst_every = o.horizon / 8.0;
     if (o.burst_len == 0.0) o.burst_len = o.horizon / 16.0;
@@ -360,16 +389,24 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "unknown popularity: %s\n", o.popularity.c_str());
     std::exit(2);
   }
-  if (o.store != "memory" && o.store != "sharded" && o.store != "persist") {
-    std::fprintf(stderr, "unknown store backend: %s\n", o.store.c_str());
+  if (o.store != "memory" && o.store != "sharded" && o.store != "persist" &&
+      o.store != "replicated" && o.store != "replicated+persist") {
+    std::fprintf(stderr,
+                 "unknown store backend: %s (valid: memory, sharded, "
+                 "persist, replicated, replicated+persist)\n",
+                 o.store.c_str());
     std::exit(2);
   }
-  if (o.scenario == "recover" && o.store != "persist") {
-    std::fprintf(stderr, "--scenario=recover requires --store=persist\n");
+  const bool durable_store =
+      o.store == "persist" || o.store == "replicated+persist";
+  if (o.scenario == "recover" && !durable_store) {
+    std::fprintf(stderr, "--scenario=recover requires --store=persist or "
+                         "--store=replicated+persist\n");
     std::exit(2);
   }
-  if (o.checkpoint_interval > 0.0 && o.store != "persist") {
-    std::fprintf(stderr, "--checkpoint-interval requires --store=persist\n");
+  if (o.checkpoint_interval > 0.0 && !durable_store) {
+    std::fprintf(stderr, "--checkpoint-interval requires --store=persist or "
+                         "--store=replicated+persist\n");
     std::exit(2);
   }
   if (o.store_dir.empty()) o.store_dir = "tapestry_store." + o.scenario;
@@ -530,6 +567,8 @@ int run_churn_scenario(const Options& o, Network& net) {
   sc.partition_at = o.partition_at;
   sc.partition_heal = o.partition_heal;
   sc.rackfail_at = o.rackfail_at;
+  sc.rootfail_at = o.rootfail_at;
+  sc.rootfail_count = o.rootfail_count;
   sc.burst_every = o.burst_every;
   sc.burst_len = o.burst_len;
   sc.burst_factor = o.burst_factor;
@@ -545,7 +584,7 @@ int run_churn_scenario(const Options& o, Network& net) {
   // rack-kill destroying sole replicas does not count against the gate.
   int gate_rc = 0;
   if (o.scenario == "partition" || o.scenario == "rackfail" ||
-      o.scenario == "burst") {
+      o.scenario == "rootfail" || o.scenario == "burst") {
     const double final_avail = rep.epochs.back().availability();
     const double total_avail = rep.availability();
     const double final_floor = o.scenario == "burst" ? 0.85 : 0.90;
@@ -927,8 +966,11 @@ int main(int argc, char** argv) {
   params.locate_cache_size = o.cache;
   if (o.cache_ttl > 0.0) params.locate_cache_ttl = o.cache_ttl;
   if (o.store == "sharded") params.store_backend = StoreBackend::kSharded;
-  if (o.store == "persist") {
-    params.store_backend = StoreBackend::kPersistent;
+  if (o.store == "replicated") params.store_backend = StoreBackend::kReplicated;
+  if (o.store == "persist" || o.store == "replicated+persist") {
+    params.store_backend = o.store == "persist"
+                               ? StoreBackend::kPersistent
+                               : StoreBackend::kReplicatedPersistent;
     params.store_dir = o.store_dir;
     reset_store_dir(params.store_dir);
   }
