@@ -386,6 +386,20 @@ Counter& replica_rereplications_total() {
   return c;
 }
 
+Counter& transport_messages_total() {
+  static Counter& c = registry().counter(
+      "tapestry_transport_messages_total",
+      "Inter-node messages delivered through the transport seam");
+  return c;
+}
+
+Counter& transport_bytes_total() {
+  static Counter& c = registry().counter(
+      "tapestry_transport_bytes_total",
+      "Datagram bytes encoded by serializing transports");
+  return c;
+}
+
 Gauge& live_nodes() {
   static Gauge& g = registry().gauge("tapestry_live_nodes",
                                      "Live overlay members (sampled)");
@@ -448,6 +462,8 @@ void touch_builtin() {
   replica_quorum_reads_total();
   replica_read_repairs_total();
   replica_rereplications_total();
+  transport_messages_total();
+  transport_bytes_total();
   live_nodes();
   event_queue_depth();
   store_records();

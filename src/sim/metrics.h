@@ -213,6 +213,8 @@ Counter& replica_writes_total();      ///< quorum mirror writes acknowledged
 Counter& replica_quorum_reads_total();  ///< R-of-N quorum reads at roots
 Counter& replica_read_repairs_total();  ///< stale/missing replicas repaired
 Counter& replica_rereplications_total();  ///< holder deaths re-replicated
+Counter& transport_messages_total();  ///< messages through the wire seam
+Counter& transport_bytes_total();     ///< datagram bytes encoded (loopback)
 Gauge& live_nodes();                  ///< live overlay members (sampled)
 Gauge& event_queue_depth();           ///< pending event actions (sampled)
 Gauge& store_records();               ///< pointer records, all nodes (sampled)

@@ -151,12 +151,18 @@ void MaintenanceEngine::heartbeat_sweep(Trace* trace) {
             if (e.id == n->id()) continue;
             const TapestryNode* other = reg_.find(e.id);
             TAP_ASSERT(other != nullptr);
+            (void)transport_->deliver(make_message(
+                MessageKind::kHeartbeatProbe, n->id(), e.id, e.id));
             reg_.acct(trace, *n, *other, 1);  // heartbeat probe
             if (!other->alive) {
               purge_dead_neighbor(*n, e.id, trace);
               again = true;  // iterators invalidated; rescan this node
               break;
             }
+            Message ack = make_message(MessageKind::kHeartbeatAck, e.id,
+                                       n->id(), n->id());
+            ack.flag = true;  // alive
+            (void)transport_->deliver(ack);
           }
         }
       }

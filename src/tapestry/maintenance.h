@@ -45,6 +45,13 @@ class MaintenanceEngine final : public RepairHandler {
                     ObjectDirectory& directory, const TapestryParams& params,
                     EventQueue& events, Rng& rng);
 
+  /// Wires the transport heartbeat probes and acks travel through
+  /// (Network binds the overlay's; standalone engines use the shared
+  /// direct fallback).
+  void bind_transport(Transport* transport) noexcept {
+    transport_ = transport;
+  }
+
   // --- membership (§3-§5) ---
   /// Creates the first node of the overlay.  `id` defaults to random.
   NodeId bootstrap(Location loc, std::optional<NodeId> id = std::nullopt);
@@ -167,6 +174,7 @@ class MaintenanceEngine final : public RepairHandler {
 
   void schedule_heartbeat_tick(double every, Trace* trace);
 
+  Transport* transport_ = default_transport();
   NodeRegistry& reg_;
   Router& router_;
   ObjectDirectory& dir_;

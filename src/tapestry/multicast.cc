@@ -89,7 +89,17 @@ MulticastStats Router::multicast(NodeId start, const Id& pattern,
           trace->hop(d);
         }
         TapestryNode& c = reg_.live(child->id());
-        completion = std::max(completion, d + mc(c, l + 1) + d);
+        // Forward travels the wire before the subtree runs; the ack
+        // travels back once the subtree has completed (Figure 8).
+        Message fwd = make_message(MessageKind::kMulticastForward, cur.id(),
+                                   c.id(), pattern);
+        fwd.level = l + 1;
+        fwd = transport_->deliver(fwd);
+        completion = std::max(completion, d + mc(c, fwd.level) + d);
+        Message ack = make_message(MessageKind::kMulticastAck, c.id(),
+                                   cur.id(), pattern);
+        ack.level = l + 1;
+        (void)transport_->deliver(ack);
       }
     }
     return completion;

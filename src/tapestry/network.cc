@@ -15,6 +15,7 @@ Network::Network(const MetricSpace& space, TapestryParams params,
     : space_(space),
       params_(params),
       rng_(seed),
+      transport_(make_transport(params_)),
       registry_(space_, params_, rng_),
       router_(registry_, params_),
       directory_(registry_, router_, params_, events_, rng_),
@@ -23,6 +24,9 @@ Network::Network(const MetricSpace& space, TapestryParams params,
   TAP_CHECK(params_.redundancy >= 1, "redundancy must be >= 1");
   TAP_CHECK(params_.root_multiplicity >= 1, "need at least one root");
   router_.bind_repair(&maintenance_);
+  router_.bind_transport(transport_.get());
+  directory_.bind_transport(transport_.get());
+  maintenance_.bind_transport(transport_.get());
 }
 
 NodeId Network::insert_static(Location loc, std::optional<NodeId> id) {

@@ -81,6 +81,13 @@ class Network {
   [[nodiscard]] const MaintenanceEngine& maintenance() const noexcept {
     return maintenance_;
   }
+  /// The wire layer every inter-node message crosses, selected by
+  /// TapestryParams::transport and bound into each subsystem at
+  /// construction (see docs/transport.md).
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const Transport& transport() const noexcept {
+    return *transport_;
+  }
 
   // ------------------------------------------------------------------
   // Membership
@@ -451,7 +458,9 @@ class Network {
   EventQueue events_;
 
   // Construction order matters: each layer takes references to the ones
-  // above it; the router's repair hook is bound in the constructor body.
+  // above it; the router's repair hook and the transport seam are bound
+  // in the constructor body.
+  std::unique_ptr<Transport> transport_;
   NodeRegistry registry_;
   Router router_;
   ObjectDirectory directory_;

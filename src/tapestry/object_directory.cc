@@ -47,6 +47,11 @@ ObjectDirectory::ObjectDirectory(NodeRegistry& registry, Router& router,
 
 ObjectDirectory::~ObjectDirectory() = default;
 
+void ObjectDirectory::bind_transport(Transport* transport) noexcept {
+  transport_ = transport;
+  if (replicator_) replicator_->bind_transport(transport);
+}
+
 void ObjectDirectory::invalidate_node_cache(const NodeId& id) {
   cache_.invalidate_node(id);
   if (replicator_) replicator_->on_node_death(id);
@@ -62,14 +67,16 @@ void ObjectDirectory::publish_one(TapestryNode& server, const Guid& salted,
   const double expires = events_.now() + params_.pointer_ttl;
   RouteState state;
   TapestryNode* cur = &server;
-  std::optional<NodeId> last_hop;  // none at the server itself
+  // The record a node deposits is exactly the payload of the publish
+  // message that arrived there (the server starts the chain locally);
+  // each hop re-derives it from the delivered copy.
+  PointerRecord arriving{server.id(), std::nullopt, 0, false, expires};
   for (;;) {
-    const PointerRecord rec{server.id(), last_hop, state.level,
-                            state.past_hole, expires};
-    cur->store().upsert(salted, rec);
+    cur->store().upsert(salted, arriving);
     auto next = router_.route_step(*cur, salted, state, trace);
     if (!next.has_value()) {  // cur is the root
-      if (replicator_) replicator_->mirror_publish(*cur, salted, rec, trace);
+      if (replicator_)
+        replicator_->mirror_publish(*cur, salted, arriving, trace);
       break;
     }
     // §2.4 PRR variant: also deposit on the secondaries of the slot being
@@ -91,8 +98,17 @@ void ObjectDirectory::publish_one(TapestryNode& server, const Guid& salted,
       }
     }
     TapestryNode& nxt = reg_.live(*next);
+    Message m = make_message(MessageKind::kPublishDeposit, cur->id(),
+                             nxt.id(), salted);
+    m.server = server.id();
+    m.last_hop = cur->id();
+    m.level = state.level;
+    m.flag = state.past_hole;
+    m.expires_at = expires;
+    m = transport_->deliver(m);
     reg_.acct(trace, *cur, nxt);
-    last_hop = cur->id();
+    arriving = PointerRecord{m.server, m.last_hop, m.level, m.flag,
+                             m.expires_at};
     cur = &nxt;
   }
 }
@@ -180,11 +196,12 @@ void ObjectDirectory::publish_batch(const std::vector<PublishRequest>& batch,
           const Task& task = tasks[t];
           TapestryNode* cur = &reg_.live(task.server);
           RouteState state;
-          std::optional<NodeId> last_hop;
+          // As in publish_one: each deposit is the payload of the publish
+          // message that arrived at the depositing node.
+          PointerRecord arriving{task.server, std::nullopt, 0, false,
+                                 expires};
           for (;;) {
-            deposits[t].push_back(
-                Deposit{cur, PointerRecord{task.server, last_hop, state.level,
-                                           state.past_hole, expires}});
+            deposits[t].push_back(Deposit{cur, arriving});
             std::optional<NodeLockTable::Guard> g;
             if (guarded) g.emplace(locks, cur->id());
             const auto next =
@@ -193,8 +210,17 @@ void ObjectDirectory::publish_batch(const std::vector<PublishRequest>& batch,
             if (!next.has_value()) break;  // cur is the root
             TapestryNode* nxt = reg_.find(*next);
             TAP_ASSERT(nxt != nullptr);
+            Message m = make_message(MessageKind::kPublishDeposit, cur->id(),
+                                     nxt->id(), task.target);
+            m.server = task.server;
+            m.last_hop = cur->id();
+            m.level = state.level;
+            m.flag = state.past_hole;
+            m.expires_at = expires;
+            m = transport_->deliver(m);
             reg_.acct(&task_traces[t], *cur, *nxt);
-            last_hop = cur->id();
+            arriving = PointerRecord{m.server, m.last_hop, m.level, m.flag,
+                                     m.expires_at};
             cur = nxt;
           }
         }
@@ -244,12 +270,14 @@ void ObjectDirectory::unpublish_one(TapestryNode& server, const Guid& salted,
                                     Trace* trace) {
   RouteState state;
   TapestryNode* cur = &server;
+  // The server named by the withdrawal rides the wire from hop to hop.
+  NodeId victim = server.id();
   for (;;) {
-    cur->store().remove(salted, server.id());
+    cur->store().remove(salted, victim);
     auto next = router_.route_step(*cur, salted, state, trace);
     if (!next.has_value()) {  // cur is the root
       if (replicator_) {
-        replicator_->mirror_remove(*cur, salted, server.id(), trace);
+        replicator_->mirror_remove(*cur, salted, victim, trace);
       }
       break;
     }
@@ -262,12 +290,17 @@ void ObjectDirectory::unpublish_one(TapestryNode& server, const Guid& salted,
         if (member.id == *next || member.id == cur->id()) continue;
         if (TapestryNode* m = reg_.find(member.id); m != nullptr) {
           reg_.acct(trace, *cur, *m, 1);
-          m->store().remove(salted, server.id());
+          m->store().remove(salted, victim);
         }
       }
     }
     TapestryNode& nxt = reg_.live(*next);
+    Message m = make_message(MessageKind::kUnpublish, cur->id(), nxt.id(),
+                             salted);
+    m.server = victim;
+    m = transport_->deliver(m);
     reg_.acct(trace, *cur, nxt);
+    victim = m.server;
     cur = &nxt;
   }
 }
@@ -371,12 +404,18 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
                      const Guid& via) {
     res.found = true;
     res.pointer_node = holder.id();
-    res.server = rec.server;
+    // The pointer hit travels as a message naming the replica; the final
+    // leg routes toward the server the delivered copy names.
+    Message found = make_message(MessageKind::kLocateFound, holder.id(),
+                                 rec.server, via);
+    found.server = rec.server;
+    found = transport_->deliver(found);
+    res.server = found.server;
     if (use_cache) cache_fill_path(*base, walked, via, holder.id(), rec);
     // Forward the query along neighbor links to the replica.
-    if (!(rec.server == holder.id())) {
-      RouteResult leg = router_.route_to_root(holder.id(), rec.server, t);
-      if (!(leg.root == rec.server)) {
+    if (!(found.server == holder.id())) {
+      RouteResult leg = router_.route_to_root(holder.id(), found.server, t);
+      if (!(leg.root == found.server)) {
         // Only a partition can divert exact-id routing: the replica is
         // alive and same-side as the holder, but the side-local digit
         // path may lack the entries needed to land on it exactly.  The
@@ -413,6 +452,7 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
         TapestryNode* h = reg_.find(ce->holder);
         if (h != nullptr && h->alive && !(h->id() == cur->id()) &&
             reg_.reachable(cur->id(), h->id())) {
+          wire(MessageKind::kLocateStep, cur->id(), h->id(), target);
           reg_.acct(t, *cur, *h);  // forward to the remembered holder
           if (auto rec = pick_live_replica(*h, ce->target, *h);
               rec.has_value()) {
@@ -420,6 +460,7 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
             resolve(*h, *rec, ce->target);
             return res;
           }
+          wire(MessageKind::kLocateStep, h->id(), cur->id(), target);
           reg_.acct(t, *h, *cur);  // verification failed: bounce back
           cache_.note_fallback();
         }
@@ -449,6 +490,7 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
           TapestryNode* m = reg_.find(member.id);
           if (m == nullptr || !m->alive) continue;
           if (!reg_.reachable(cur->id(), member.id)) continue;
+          wire(MessageKind::kLocateStep, cur->id(), m->id(), target);
           reg_.acct(t, *cur, *m, 2);  // probe round trip
           if (auto rec = pick_live_replica(*m, target, *cur);
               rec.has_value()) {
@@ -458,6 +500,13 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
         }
       }
       TapestryNode& nxt = reg_.live(*next);
+      Message q = make_message(MessageKind::kLocateStep, cur->id(), nxt.id(),
+                               target);
+      q.level = state.level;
+      q.flag = state.past_hole;
+      q = transport_->deliver(q);
+      state.level = q.level;
+      state.past_hole = q.flag;
       reg_.acct(t, *cur, nxt);
       cur = &nxt;
       continue;
@@ -471,6 +520,7 @@ LocateResult ObjectDirectory::locate_attempt(TapestryNode& client,
         reg_.is_live(*cur->psurrogate)) {
       excluded.insert(cur->id().value());
       TapestryNode& sur = reg_.live(*cur->psurrogate);
+      wire(MessageKind::kLocateStep, cur->id(), sur.id(), target);
       reg_.acct(t, *cur, sur);
       // Resume at the level of the hole the inserting node fills.  The
       // re-route may legally revisit earlier nodes; termination is
@@ -680,8 +730,19 @@ void ObjectDirectory::publish_step(const std::shared_ptr<AsyncPublishOp>& op) {
     }
   }
   TapestryNode& nxt = reg_.live(*next);
+  Message m = make_message(MessageKind::kPublishDeposit, cur->id(), nxt.id(),
+                           op->target);
+  m.server = op->server;
+  m.last_hop = cur->id();
+  m.level = op->state.level;
+  m.flag = op->state.past_hole;
+  m.expires_at = op->expires;
+  m = transport_->deliver(m);
   reg_.acct(&op->per_op, *cur, nxt);
-  op->last_hop = cur->id();
+  op->last_hop = m.last_hop;
+  op->state.level = m.level;
+  op->state.past_hole = m.flag;
+  op->expires = m.expires_at;
   op->cur = *next;
   events_.schedule_in(reg_.dist(*cur, nxt) * params_.hop_delay_scale,
                       [this, op] { publish_step(op); });
@@ -760,9 +821,13 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
   auto resolve = [&](TapestryNode& holder, const PointerRecord& rec,
                      const Guid& via) {
     op->res.pointer_node = holder.id();
-    op->res.server = rec.server;
+    Message found = make_message(MessageKind::kLocateFound, holder.id(),
+                                 rec.server, via);
+    found.server = rec.server;
+    found = transport_->deliver(found);
+    op->res.server = found.server;
     cache_fill_path(op->base, op->path, via, holder.id(), rec);
-    if (rec.server == holder.id()) {  // the pointer holder is the replica
+    if (found.server == holder.id()) {  // the pointer holder is the replica
       op->res.found = true;
       finish_locate(op);
       return;
@@ -771,7 +836,7 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
     // like the walk to the pointer, so a replica (or carrier) crash can
     // strike while the query is already heading for it — the §6.5
     // interleaving the atomic leg could never observe.
-    op->replica_target = rec.server;
+    op->replica_target = found.server;
     op->leg_state = RouteState{};
     op->cur = holder.id();
     events_.schedule_in(0.0, [this, op] { locate_replica_step(op); });
@@ -796,6 +861,7 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
       TapestryNode* h = reg_.find(ce->holder);
       if (h != nullptr && h->alive && !(h->id() == cur.id()) &&
           reg_.reachable(cur.id(), h->id())) {
+        wire(MessageKind::kLocateStep, cur.id(), h->id(), op->target);
         reg_.acct(t, cur, *h);  // forward to the remembered holder
         op->path.push_back(cur.id());
         op->cache_target = ce->target;
@@ -833,6 +899,7 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
         TapestryNode* m = reg_.find(member.id);
         if (m == nullptr || !m->alive) continue;
         if (!reg_.reachable(cur.id(), member.id)) continue;
+        wire(MessageKind::kLocateStep, cur.id(), m->id(), op->target);
         reg_.acct(t, cur, *m, 2);  // probe round trip
         if (auto rec = pick_live_replica(*m, op->target, cur);
             rec.has_value()) {
@@ -842,6 +909,13 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
       }
     }
     TapestryNode& nxt = reg_.live(*next);
+    Message hop = make_message(MessageKind::kLocateStep, cur.id(), nxt.id(),
+                               op->target);
+    hop.level = op->state.level;
+    hop.flag = op->state.past_hole;
+    hop = transport_->deliver(hop);
+    op->state.level = hop.level;
+    op->state.past_hole = hop.flag;
     reg_.acct(t, cur, nxt);
     op->cur = *next;
     events_.schedule_in(reg_.dist(cur, nxt) * params_.hop_delay_scale,
@@ -855,6 +929,7 @@ void ObjectDirectory::locate_step(const std::shared_ptr<AsyncLocateOp>& op) {
       reg_.is_live(*cur.psurrogate)) {
     op->excluded.insert(cur.id().value());
     TapestryNode& sur = reg_.live(*cur.psurrogate);
+    wire(MessageKind::kLocateStep, cur.id(), sur.id(), op->target);
     reg_.acct(t, cur, sur);
     op->state.level = cur.id().common_prefix_len(sur.id());
     op->visited.clear();
@@ -894,14 +969,18 @@ void ObjectDirectory::locate_cache_step(
         rec.has_value()) {
       // Same resolution an uncached arrival at this holder would produce.
       op->res.pointer_node = h->id();
-      op->res.server = rec->server;
+      Message found = make_message(MessageKind::kLocateFound, h->id(),
+                                   rec->server, op->cache_target);
+      found.server = rec->server;
+      found = transport_->deliver(found);
+      op->res.server = found.server;
       cache_fill_path(op->base, op->path, op->cache_target, h->id(), *rec);
-      if (rec->server == h->id()) {
+      if (found.server == h->id()) {
         op->res.found = true;
         finish_locate(op);
         return;
       }
-      op->replica_target = rec->server;
+      op->replica_target = found.server;
       op->leg_state = RouteState{};
       op->cur = h->id();
       events_.schedule_in(0.0, [this, op] { locate_replica_step(op); });
@@ -920,6 +999,7 @@ void ObjectDirectory::locate_cache_step(
   }
   double delay = 0.0;
   if (h != nullptr) {
+    wire(MessageKind::kLocateStep, h->id(), from->id(), op->target);
     reg_.acct(&op->per_op, *h, *from);  // the bounce-back message
     delay = reg_.dist(*h, *from) * params_.hop_delay_scale;
   }
@@ -955,6 +1035,7 @@ void ObjectDirectory::locate_replica_step(
     return;
   }
   TapestryNode& nxt = reg_.live(*next);
+  wire(MessageKind::kRouteHop, cur.id(), nxt.id(), op->replica_target);
   reg_.acct(&op->per_op, cur, nxt);
   op->cur = *next;
   events_.schedule_in(reg_.dist(cur, nxt) * params_.hop_delay_scale,
@@ -1179,19 +1260,26 @@ void ObjectDirectory::optimize_pointer(TapestryNode& from, const Guid& guid,
   auto step = router_.route_step(from, guid, state, trace);
   while (step.has_value()) {
     TapestryNode& v = reg_.live(*step);
+    Message m = make_message(MessageKind::kPointerOptimize, prev->id(),
+                             v.id(), guid);
+    m.server = record.server;
+    m.last_hop = prev->id();
+    m.level = state.level;
+    m.flag = state.past_hole;
+    m.expires_at = record.expires_at;
+    m = transport_->deliver(m);
     reg_.acct(trace, *prev, v);
     const auto existing = v.store().find(guid, record.server);
     const std::optional<NodeId> old_sender =
         existing.has_value() ? existing->last_hop : std::nullopt;
-    v.store().upsert(guid,
-                     PointerRecord{record.server, prev->id(), state.level,
-                                   state.past_hole, record.expires_at});
+    v.store().upsert(guid, PointerRecord{m.server, m.last_hop, m.level,
+                                         m.flag, m.expires_at});
     if (existing.has_value() && old_sender.has_value() &&
         !(*old_sender == prev->id())) {
       // Converged onto the old path: above here nothing changed.  Prune the
       // outdated branch backward along last-hop links.
       if (!(*old_sender == changed))
-        delete_backward(*old_sender, guid, record.server, changed, trace);
+        delete_backward(v.id(), *old_sender, guid, record.server, changed, trace);
       return;
     }
     prev = &v;
@@ -1199,7 +1287,8 @@ void ObjectDirectory::optimize_pointer(TapestryNode& from, const Guid& guid,
   }
 }
 
-void ObjectDirectory::delete_backward(const NodeId& start, const Guid& guid,
+void ObjectDirectory::delete_backward(const NodeId& notifier,
+                                      const NodeId& start, const Guid& guid,
                                       const NodeId& server,
                                       const NodeId& changed, Trace* trace) {
   // Two passes.  The paper's delete message walks the *changed node's* old
@@ -1228,12 +1317,22 @@ void ObjectDirectory::delete_backward(const NodeId& start, const Guid& guid,
   }
   if (!confirmed) return;
   const TapestryNode* prev = nullptr;
+  NodeId victim = server;
+  NodeId sender = notifier;
   for (const NodeId& id : chain) {
     TapestryNode* w = reg_.find(id);
     TAP_ASSERT(w != nullptr);
-    w->store().remove(guid, server);
+    // Every link of the backward chain is a wire message — the converge
+    // node originates the first; accounting stays on the chain links the
+    // pre-seam code charged.
+    Message m = make_message(MessageKind::kDeleteBackward, sender, id, guid);
+    m.server = victim;
+    m = transport_->deliver(m);
+    victim = m.server;
     if (prev != nullptr) reg_.acct(trace, *prev, *w);
+    w->store().remove(guid, victim);
     prev = w;
+    sender = id;
   }
 }
 
@@ -1297,13 +1396,20 @@ void ObjectDirectory::optimize_pointer_guarded(TapestryNode& from,
     }
     if (!step.has_value()) return;
     TapestryNode& v = reg_.live(*step);
+    Message m = make_message(MessageKind::kPointerOptimize, prev->id(),
+                             v.id(), guid);
+    m.server = record.server;
+    m.last_hop = prev->id();
+    m.level = state.level;
+    m.flag = state.past_hole;
+    m.expires_at = record.expires_at;
+    m = transport_->deliver(m);
     reg_.acct(trace, *prev, v);
     const auto existing = v.store().find(guid, record.server);
     const std::optional<NodeId> old_sender =
         existing.has_value() ? existing->last_hop : std::nullopt;
-    v.store().upsert(guid,
-                     PointerRecord{record.server, prev->id(), state.level,
-                                   state.past_hole, record.expires_at});
+    v.store().upsert(guid, PointerRecord{m.server, m.last_hop, m.level,
+                                         m.flag, m.expires_at});
     if (existing.has_value() && old_sender.has_value() &&
         !(*old_sender == prev->id())) {
       // delete_backward touches only stores (backend-synchronised), never
@@ -1311,7 +1417,7 @@ void ObjectDirectory::optimize_pointer_guarded(TapestryNode& from,
       // confirm-then-delete structure keeps racy interleavings on the
       // under-deletion side, which soft-state expiry absorbs.
       if (!(*old_sender == changed))
-        delete_backward(*old_sender, guid, record.server, changed, trace);
+        delete_backward(v.id(), *old_sender, guid, record.server, changed, trace);
       return;
     }
     prev = &v;

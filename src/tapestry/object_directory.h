@@ -43,6 +43,12 @@ class ObjectDirectory {
                   const TapestryParams& params, EventQueue& events, Rng& rng);
   ~ObjectDirectory();  // out of line: replicator_ is incomplete here
 
+  /// Wires the transport all pointer traffic (publish/locate/unpublish
+  /// deposits, §4.2 reroutes, quorum replica RPCs) travels through and
+  /// forwards it to the replicator when one exists.  Network binds the
+  /// overlay's; standalone directories use the shared direct fallback.
+  void bind_transport(Transport* transport) noexcept;
+
   // --- publication and location (§2.2) ---
   void publish(NodeId server, const Guid& guid, Trace* trace = nullptr);
   void unpublish(NodeId server, const Guid& guid, Trace* trace = nullptr);
@@ -169,9 +175,11 @@ class ObjectDirectory {
                                 Trace* trace);
   void optimize_pointer(TapestryNode& from, const Guid& guid,
                         const PointerRecord& record, Trace* trace);
-  void delete_backward(const NodeId& start, const Guid& guid,
-                       const NodeId& server, const NodeId& changed,
-                       Trace* trace);
+  /// `notifier` is the converge node that discovered the outdated branch:
+  /// it originates the first delete message of the backward chain (§4.2).
+  void delete_backward(const NodeId& notifier, const NodeId& start,
+                       const Guid& guid, const NodeId& server,
+                       const NodeId& changed, Trace* trace);
   [[nodiscard]] std::optional<NodeId> pointer_next_hop(
       const TapestryNode& at, const Guid& guid,
       const PointerRecord& record) const;
@@ -281,6 +289,15 @@ class ObjectDirectory {
       TapestryNode& holder, const Guid& target,
       const TapestryNode& relative_to);
 
+  /// Fire-and-forget wire delivery for messages whose payload carries no
+  /// fields the receiver continues from (probes, bounces, hop
+  /// notifications) — the kinds with onward-flowing payloads construct
+  /// and consume delivered Messages at their call sites instead.
+  void wire(MessageKind kind, const NodeId& src, const NodeId& dst,
+            const Id& target) {
+    (void)transport_->deliver(make_message(kind, src, dst, target));
+  }
+
   NodeRegistry& reg_;
   Router& router_;
   const TapestryParams& params_;
@@ -304,6 +321,9 @@ class ObjectDirectory {
 
   // Fired from invalidate_node_cache on node death/departure.
   std::function<void(const NodeId&)> node_death_hook_;
+
+  // Wire layer for all cross-node pointer traffic (see bind_transport).
+  Transport* transport_ = default_transport();
 };
 
 }  // namespace tap

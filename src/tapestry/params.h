@@ -22,6 +22,13 @@ enum class StoreBackend {
                           ///< store; needs `store_dir` like kPersistent
 };
 
+/// How inter-node messages travel (see src/tapestry/transport.h and
+/// docs/transport.md for the wire format and the selection contract).
+enum class TransportKind {
+  kDirect,    ///< plain function calls; byte-identical to the pre-seam build
+  kLoopback,  ///< every message encoded to Datagram bytes, queued, decoded
+};
+
 /// Which localized surrogate-routing variant to use (paper §2.3).
 enum class RoutingMode {
   /// "Tapestry Native Routing": on a hole, route to the next filled entry
@@ -141,6 +148,11 @@ struct TapestryParams {
   /// make_object_store).  kPersistent and kReplicatedPersistent
   /// additionally need `store_dir`.
   StoreBackend store_backend = StoreBackend::kMemory;
+
+  /// Wire layer every inter-node message of the overlay travels through
+  /// (via make_transport).  kDirect preserves today's call semantics;
+  /// kLoopback serializes each message through the Datagram format.
+  TransportKind transport = TransportKind::kDirect;
 
   /// Quorum knobs of the replicated backends; ignored by the others.
   ReplicationParams replication{};

@@ -89,8 +89,20 @@ std::size_t QuorumReplicator::mirror_publish(const TapestryNode& root,
     if (!reg_.reachable(root.id(), h)) continue;
     ReplicatedStore* store = replica_store_of(h);
     if (store == nullptr) continue;
+    Message w = make_message(MessageKind::kReplicaWrite, root.id(), h, target);
+    w.server = rec.server;
+    w.last_hop = rec.last_hop;
+    w.level = rec.level;
+    w.flag = rec.past_hole;
+    w.expires_at = rec.expires_at;
+    w = transport_->deliver(w);
     reg_.acct(trace, root, *node, 2);  // mirrored write + its ack
-    store->replica_upsert(target, rec);
+    store->replica_upsert(target, PointerRecord{w.server, w.last_hop, w.level,
+                                                w.flag, w.expires_at});
+    Message ack =
+        make_message(MessageKind::kReplicaWriteAck, h, root.id(), target);
+    ack.flag = true;
+    (void)transport_->deliver(ack);
     metrics::replica_writes_total().inc();
     ++stats_.replica_writes;
     ++acks;
@@ -109,8 +121,12 @@ void QuorumReplicator::mirror_remove(const TapestryNode& root,
     if (!reg_.reachable(root.id(), h)) continue;
     ReplicatedStore* store = replica_store_of(h);
     if (store == nullptr) continue;
+    Message m =
+        make_message(MessageKind::kReplicaRemove, root.id(), h, target);
+    m.server = server;
+    m = transport_->deliver(m);
     reg_.acct(trace, root, *node, 2);
-    store->replica_remove(target, server);
+    store->replica_remove(target, m.server);
   }
 }
 
@@ -128,6 +144,7 @@ std::vector<PointerRecord> QuorumReplicator::quorum_read(
   struct Responder {
     TapestryNode* node;
     ReplicatedStore* store;
+    std::vector<PointerRecord> records;
   };
   std::vector<Responder> responders;
   for (const NodeId& h : it->second) {
@@ -137,14 +154,21 @@ std::vector<PointerRecord> QuorumReplicator::quorum_read(
     if (!reg_.reachable(root.id(), h)) continue;
     ReplicatedStore* store = replica_store_of(h);
     if (store == nullptr) continue;
+    (void)transport_->deliver(
+        make_message(MessageKind::kReplicaRead, root.id(), h, target));
     reg_.acct(trace, root, *node, 2);  // read request + reply
-    responders.push_back(Responder{node, store});
+    Message reply =
+        make_message(MessageKind::kReplicaReadReply, h, root.id(), target);
+    reply.records = store->replica_all(target);
+    reply = transport_->deliver(reply);
+    responders.push_back(Responder{node, store, std::move(reply.records)});
   }
 
-  // Merge: freshest live record per server wins.
+  // Merge: freshest live record per server wins — consuming the copies
+  // that travelled back through the wire, not the holder's store directly.
   std::map<NodeId, PointerRecord> merged;
   for (const Responder& r : responders) {
-    for (const PointerRecord& rec : r.store->replica_all(target)) {
+    for (const PointerRecord& rec : r.records) {
       if (rec.expires_at < now) continue;
       auto [mit, inserted] = merged.emplace(rec.server, rec);
       if (!inserted && rec.expires_at > mit->second.expires_at) {
@@ -160,8 +184,18 @@ std::vector<PointerRecord> QuorumReplicator::quorum_read(
     for (const auto& [server, rec] : merged) {
       const auto have = r.store->replica_find(target, server);
       if (have.has_value() && have->expires_at >= rec.expires_at) continue;
+      Message w = make_message(MessageKind::kReplicaWrite, root.id(),
+                               r.node->id(), target);
+      w.server = rec.server;
+      w.last_hop = rec.last_hop;
+      w.level = rec.level;
+      w.flag = rec.past_hole;
+      w.expires_at = rec.expires_at;
+      w = transport_->deliver(w);
       reg_.acct(trace, root, *r.node, 1);
-      r.store->replica_upsert(target, rec);
+      r.store->replica_upsert(target, PointerRecord{w.server, w.last_hop,
+                                                    w.level, w.flag,
+                                                    w.expires_at});
       metrics::replica_read_repairs_total().inc();
       ++stats_.read_repairs;
     }

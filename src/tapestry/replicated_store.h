@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "src/tapestry/object_store.h"
+#include "src/tapestry/transport.h"
 
 namespace tap {
 
@@ -163,6 +164,12 @@ class QuorumReplicator {
   /// Network).
   QuorumReplicator(NodeRegistry& registry, const TapestryParams& params);
 
+  /// Wires the transport every mirror write, quorum probe and read-repair
+  /// push travels through (forwarded from ObjectDirectory::bind_transport).
+  void bind_transport(Transport* transport) noexcept {
+    transport_ = transport;
+  }
+
   /// A publish reached `root` for `target`: mirror `rec` to every live
   /// reachable holder (choosing the holder set on first contact).
   /// Returns the acknowledged write count; the caller may compare it to
@@ -204,6 +211,7 @@ class QuorumReplicator {
 
   NodeRegistry& reg_;
   const TapestryParams& params_;
+  Transport* transport_ = default_transport();
   // Ordered by guid so death-time scans visit sets in a deterministic
   // order regardless of insertion history.
   std::map<Guid, std::vector<NodeId>> holder_sets_;

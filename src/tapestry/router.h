@@ -19,6 +19,7 @@
 
 #include "src/tapestry/registry.h"
 #include "src/tapestry/route_types.h"
+#include "src/tapestry/transport.h"
 
 namespace tap {
 
@@ -43,6 +44,14 @@ class Router {
   /// Wires the lazy-repair callback; must be called before any mutating
   /// walk can encounter a corpse.
   void bind_repair(RepairHandler* repair) noexcept { repair_ = repair; }
+
+  /// Wires the transport every hop and multicast edge travels through
+  /// (Network binds the overlay's; standalone routers use the shared
+  /// direct fallback).
+  void bind_transport(Transport* transport) noexcept {
+    transport_ = transport;
+  }
+  [[nodiscard]] Transport& transport() const noexcept { return *transport_; }
 
   /// Scans row `level` of `at` for the slot serving `desired` under the
   /// configured routing mode.  Returns the chosen digit or nullopt if the
@@ -131,6 +140,7 @@ class Router {
   NodeRegistry& reg_;
   const TapestryParams& params_;
   RepairHandler* repair_ = nullptr;
+  Transport* transport_ = default_transport();
 };
 
 }  // namespace tap

@@ -316,8 +316,17 @@ bool ThreadedRepairDriver::sweep_node(TapestryNode& n, Trace* trace) {
           if (e.id == n.id()) continue;
           const TapestryNode* other = reg_.find(e.id);
           TAP_ASSERT(other != nullptr);
+          (void)router_.transport().deliver(make_message(
+              MessageKind::kHeartbeatProbe, n.id(), e.id, e.id));
           reg_.acct(trace, n, *other, 1);  // heartbeat probe
-          if (!other->alive) corpses.push_back(e.id);
+          if (!other->alive) {
+            corpses.push_back(e.id);
+          } else {
+            Message ack = make_message(MessageKind::kHeartbeatAck, e.id,
+                                       n.id(), n.id());
+            ack.flag = true;  // alive
+            (void)router_.transport().deliver(ack);
+          }
         }
       }
     }

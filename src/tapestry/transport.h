@@ -1,0 +1,108 @@
+// The pluggable transport seam: every inter-node RPC in the overlay is
+// funneled through Transport::deliver as a typed wire Message.
+//
+// The overlay's layers (Router hop delivery, ObjectDirectory pointer
+// traffic, MaintenanceEngine multicast/heartbeats, QuorumReplicator
+// replica RPCs) never hand each other raw references across a node
+// boundary any more: the sender packs the cross-node payload into a
+// Message, passes it through the overlay's Transport, and continues
+// from the *returned* message's fields.  Cost accounting
+// (NodeRegistry::acct) is unchanged — the transport decides only how
+// the payload travels, not what it costs in the paper's model.
+//
+// Two implementations, selected by TapestryParams::transport /
+// `--transport=` (docs/transport.md):
+//
+//   DirectTransport    returns the message untouched — zero
+//                      serialization, byte-identical to the
+//                      pre-transport build on same-seed runs;
+//   LoopbackTransport  encodes the message to Datagram bytes, enqueues
+//                      it on the receiving side's inbox, pops and
+//                      decodes it, and returns the decoded copy — the
+//                      full serialize/queue/parse path of a real wire
+//                      in one process.  Because the wire format is
+//                      lossless, results are identical to direct; the
+//                      existing conformance/churn/scenario matrix run
+//                      under TAP_TRANSPORT=loopback is the proof.
+//
+// A socket transport for multi-process overlays slots in behind the
+// same interface without touching protocol code (ROADMAP).
+//
+// Thread-safety: deliver() is called concurrently from batch publish
+// walks and threaded repair waves.  Stats use relaxed atomics; the
+// loopback inbox is thread-local (each simulated delivery completes on
+// the calling thread, as today's synchronous calls do).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/tapestry/params.h"
+#include "src/tapestry/wire.h"
+
+namespace tap {
+
+/// Lifetime message/byte tallies of one transport instance, per message
+/// kind.  Written with relaxed atomics on the delivery path.
+struct TransportStats {
+  std::atomic<std::uint64_t> messages{0};  ///< deliver() calls completed
+  std::atomic<std::uint64_t> bytes{0};     ///< wire bytes encoded (0: direct)
+  std::array<std::atomic<std::uint64_t>, kWireKindCount> per_kind{};
+
+  [[nodiscard]] std::uint64_t kind_count(MessageKind k) const {
+    return per_kind[static_cast<std::size_t>(k)].load(
+        std::memory_order_relaxed);
+  }
+};
+
+/// Abstract wire layer.  deliver() moves one message from m.src to
+/// m.dst and returns the message as the receiver observed it; callers
+/// must continue from the returned copy (for a serializing transport
+/// that is the decoded datagram, not the original object).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual Message deliver(const Message& m) = 0;
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+
+ protected:
+  void count(const Message& m, std::uint64_t wire_bytes);
+
+  TransportStats stats_;
+};
+
+/// Today's calls: the message is handed to the receiver by reference,
+/// untouched.  Keeps every same-seed run byte-identical to the
+/// pre-transport build.
+class DirectTransport final : public Transport {
+ public:
+  [[nodiscard]] const char* name() const override { return "direct"; }
+  [[nodiscard]] Message deliver(const Message& m) override;
+};
+
+/// A real wire boundary inside one process: encode → enqueue on the
+/// destination inbox → dequeue → bounds-checked decode → dispatch the
+/// decoded copy.  Lossless, so semantics match DirectTransport exactly.
+class LoopbackTransport final : public Transport {
+ public:
+  [[nodiscard]] const char* name() const override { return "loopback"; }
+  [[nodiscard]] Message deliver(const Message& m) override;
+};
+
+/// Shared process-wide DirectTransport: the fallback every layer binds
+/// until a Network wires its own (mirrors the bind_repair pattern, so
+/// subsystems constructed standalone in tests keep working).
+[[nodiscard]] Transport* default_transport();
+
+/// Instantiates the transport selected by params.transport.
+/// TAP_CHECKs on an unknown enum value, listing the valid choices.
+[[nodiscard]] std::unique_ptr<Transport> make_transport(
+    const TapestryParams& params);
+
+/// "direct" / "loopback" — flag values and bench labels.
+[[nodiscard]] const char* transport_kind_name(TransportKind kind);
+
+}  // namespace tap

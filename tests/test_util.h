@@ -72,12 +72,26 @@ inline void apply_store_env(TapestryParams& p) {
   sweeper.dirs.push_back(p.store_dir);
 }
 
+/// Applies the TAP_TRANSPORT environment override — the CI transport
+/// matrix runs the suite once per value: "direct" (default) and
+/// "loopback" (every inter-node message round-trips through the Datagram
+/// codec; see docs/transport.md).
+inline void apply_transport_env(TapestryParams& p) {
+  const char* s = std::getenv("TAP_TRANSPORT");
+  if (s == nullptr) return;
+  const std::string kind(s);
+  if (kind.empty() || kind == "direct") return;
+  TAP_CHECK(kind == "loopback", "TAP_TRANSPORT must be direct|loopback");
+  p.transport = TransportKind::kLoopback;
+}
+
 inline TapestryParams small_params(RoutingMode mode = RoutingMode::kTapestryNative) {
   TapestryParams p;
   p.id = IdSpec{4, 8};  // radix 16, 8 digits
   p.redundancy = 3;
   p.routing = mode;
   apply_store_env(p);
+  apply_transport_env(p);
   return p;
 }
 

@@ -118,6 +118,12 @@
 //                            --burst-len / --burst-factor control the
 //                            cadence         [horizon/8, horizon/16, 8]
 //
+// Transport selection (any scenario; see docs/transport.md):
+//   --transport=direct|loopback
+//                     wire layer for inter-node messages: direct
+//                     delivers in-process, loopback serializes every
+//                     message through the Datagram codec        [direct]
+//
 // Metrics export (any scenario; see docs/metrics.md):
 //   --metrics-out=FILE       reset the metrics registry and append one
 //                            deterministic JSONL snapshot per epoch plus
@@ -216,6 +222,9 @@ struct Options {
   // Object-store backend.
   std::string store = "memory";
   std::string store_dir;       // empty => tapestry_store.<scenario>
+
+  // Wire layer.
+  std::string transport = "direct";
   double checkpoint_interval = 0.0;
 };
 
@@ -312,6 +321,7 @@ Options parse(int argc, char** argv) {
       o.metrics_port = std::stoi(v);
     else if (parse_flag(argv[i], "--store", &v)) o.store = v;
     else if (parse_flag(argv[i], "--store-dir", &v)) o.store_dir = v;
+    else if (parse_flag(argv[i], "--transport", &v)) o.transport = v;
     else if (parse_flag(argv[i], "--checkpoint-interval", &v))
       o.checkpoint_interval = std::stod(v);
     else if (std::strcmp(argv[i], "--hotspot") == 0) o.hotspot = true;
@@ -395,6 +405,12 @@ Options parse(int argc, char** argv) {
                  "unknown store backend: %s (valid: memory, sharded, "
                  "persist, replicated, replicated+persist)\n",
                  o.store.c_str());
+    std::exit(2);
+  }
+  if (o.transport != "direct" && o.transport != "loopback") {
+    std::fprintf(stderr,
+                 "unknown transport: %s (valid: direct, loopback)\n",
+                 o.transport.c_str());
     std::exit(2);
   }
   const bool durable_store =
@@ -965,6 +981,7 @@ int main(int argc, char** argv) {
   if (churn_family(o.scenario)) params.pointer_ttl = o.ttl;
   params.locate_cache_size = o.cache;
   if (o.cache_ttl > 0.0) params.locate_cache_ttl = o.cache_ttl;
+  if (o.transport == "loopback") params.transport = TransportKind::kLoopback;
   if (o.store == "sharded") params.store_backend = StoreBackend::kSharded;
   if (o.store == "replicated") params.store_backend = StoreBackend::kReplicated;
   if (o.store == "persist" || o.store == "replicated+persist") {
